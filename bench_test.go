@@ -1,0 +1,118 @@
+package synergy
+
+import (
+	"testing"
+
+	"github.com/synergy-ft/synergy/internal/experiment"
+)
+
+// One benchmark per table/figure of the paper's evaluation (plus the
+// ablations): each regenerates the artifact through the experiment harness
+// in quick mode and reports its key quantity, so `go test -bench=.` both
+// times the reproduction and re-derives the headline numbers.
+
+func benchExperiment(b *testing.B, id string, metric string) {
+	b.Helper()
+	var last experiment.Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Run(id, experiment.Options{Seed: 1, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if metric != "" {
+		if v, ok := last.Values[metric]; ok {
+			b.ReportMetric(v, metric)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the original-vs-adapted TB comparison.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1", "adapted_dirty_ms") }
+
+// BenchmarkFigure1 regenerates the original MDCD checkpoint timeline.
+func BenchmarkFigure1(b *testing.B) { benchExperiment(b, "fig1", "p2_type1") }
+
+// BenchmarkFigure2 regenerates the TB blocking-period violation study.
+func BenchmarkFigure2(b *testing.B) { benchExperiment(b, "fig2", "noblock_orphans") }
+
+// BenchmarkFigure3 regenerates the modified MDCD timeline.
+func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "fig3", "act_pseudo") }
+
+// BenchmarkFigure4 regenerates the naive-combination violation campaign.
+func BenchmarkFigure4(b *testing.B) { benchExperiment(b, "fig4", "naive_dirty") }
+
+// BenchmarkFigure6 regenerates the adapted write_disk case study.
+func BenchmarkFigure6(b *testing.B) { benchExperiment(b, "fig6", "p2_replaces") }
+
+// BenchmarkFigure7 regenerates the headline rollback-distance comparison;
+// min_ratio is E[Dwt]/E[Dco] at the least favourable swept rate.
+func BenchmarkFigure7(b *testing.B) { benchExperiment(b, "fig7", "min_ratio") }
+
+// BenchmarkFigure7Analytic cross-validates the renewal model against the
+// simulation; worst_factor is the largest model/simulation disagreement.
+func BenchmarkFigure7Analytic(b *testing.B) { benchExperiment(b, "fig7-analytic", "worst_factor") }
+
+// BenchmarkAblationDelta sweeps the checkpoint interval.
+func BenchmarkAblationDelta(b *testing.B) { benchExperiment(b, "ablation-delta", "dist_first") }
+
+// BenchmarkAblationNdc measures the Ndc gate's effect.
+func BenchmarkAblationNdc(b *testing.B) { benchExperiment(b, "ablation-ndc", "ungated_violations") }
+
+// BenchmarkAblationBlocking measures the blocking period's effect.
+func BenchmarkAblationBlocking(b *testing.B) { benchExperiment(b, "ablation-blocking", "disabled") }
+
+// BenchmarkSimulatedMinute times one virtual minute of the coordinated
+// system under the default workload — the simulator's raw throughput.
+func BenchmarkSimulatedMinute(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := NewSimulation(Config{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Start()
+		sys.RunFor(60)
+	}
+}
+
+// BenchmarkHardwareRecovery times a full hardware error recovery (rollback
+// line assembly, state restoration, unacked re-send).
+func BenchmarkHardwareRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys, err := NewSimulation(Config{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Start()
+		sys.RunFor(30)
+		b.StartTimer()
+		if err := sys.InjectHardwareFault(PeerP2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSoftwareRecovery times a software error recovery (demotion,
+// rollback/roll-forward decisions, takeover with log re-send).
+func BenchmarkSoftwareRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys, err := NewSimulation(Config{Seed: int64(i + 1), ExternalRate1: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Start()
+		sys.RunFor(30)
+		sys.ActivateSoftwareFault()
+		b.StartTimer()
+		sys.RunFor(30) // contains detection + recovery
+	}
+}
+
+// BenchmarkCosts regenerates the per-scheme overhead table.
+func BenchmarkCosts(b *testing.B) { benchExperiment(b, "costs", "coordinated_stable") }
+
+// BenchmarkAblationRepair sweeps the node repair delay.
+func BenchmarkAblationRepair(b *testing.B) { benchExperiment(b, "ablation-repair", "dist_last") }

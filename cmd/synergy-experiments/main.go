@@ -1,0 +1,51 @@
+// Command synergy-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	synergy-experiments -run all            # every experiment, full size
+//	synergy-experiments -run fig7 -quick    # one experiment, small campaign
+//	synergy-experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	synergy "github.com/synergy-ft/synergy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "synergy-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runID = flag.String("run", "all", "experiment id to run, or \"all\"")
+		seed  = flag.Int64("seed", 1, "random seed")
+		quick = flag.Bool("quick", false, "shrink campaign sizes for a fast pass")
+		list  = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(synergy.Experiments(), "\n"))
+		return nil
+	}
+	ids := []string{*runID}
+	if *runID == "all" {
+		ids = synergy.Experiments()
+	}
+	for _, id := range ids {
+		r, err := synergy.RunExperiment(id, *seed, *quick)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+// Command synergy-live runs the goroutine middleware (the GSU Middleware
+// prototype) in real time, optionally injecting faults, and reports the
+// outcome.
+//
+// Example:
+//
+//	synergy-live -duration 2s -hw-fault 500ms -sw-fault 1s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	synergy "github.com/synergy-ft/synergy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "synergy-live:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed     = flag.Int64("seed", 1, "random seed")
+		duration = flag.Duration("duration", 2*time.Second, "wall-clock run time")
+		interval = flag.Duration("interval", 100*time.Millisecond, "TB checkpoint interval Δ")
+		hwFault  = flag.Duration("hw-fault", 0, "inject a hardware fault this long after start (0 = never)")
+		swFault  = flag.Duration("sw-fault", 0, "activate the design fault this long after start (0 = never)")
+		useTCP   = flag.Bool("tcp", false, "run the interconnect over loopback TCP sockets")
+	)
+	flag.Parse()
+
+	mw, err := synergy.NewMiddleware(synergy.MiddlewareConfig{
+		Seed:               *seed,
+		CheckpointInterval: *interval,
+		UseTCP:             *useTCP,
+	})
+	if err != nil {
+		return err
+	}
+	mw.Start()
+	defer mw.Stop()
+
+	var faultErr error
+	if *hwFault > 0 {
+		time.AfterFunc(*hwFault, func() {
+			if err := mw.InjectHardwareFault(synergy.PeerP2); err != nil {
+				faultErr = err
+			}
+		})
+	}
+	if *swFault > 0 {
+		time.AfterFunc(*swFault, mw.ActivateSoftwareFault)
+	}
+	time.Sleep(*duration)
+	mw.Stop()
+	if faultErr != nil {
+		return faultErr
+	}
+
+	r := mw.Report()
+	fmt.Printf("ran %v of real time\n", *duration)
+	fmt.Printf("stable rounds: P1act=%d P1sdw=%d P2=%d\n",
+		mw.StableRounds(synergy.ActiveP1), mw.StableRounds(synergy.ShadowP1), mw.StableRounds(synergy.PeerP2))
+	fmt.Printf("hardware faults handled: %d\n", r.HardwareFaults)
+	fmt.Printf("software recoveries:     %d (shadow promoted: %v)\n", r.SoftwareRecoveries, r.ShadowPromoted)
+	if r.HardwareFaults > 0 {
+		fmt.Printf("rollback distance:       mean %.3fs  max %.3fs\n", r.MeanRollbackSeconds, r.MaxRollbackSeconds)
+	}
+	if r.Failed != "" {
+		fmt.Printf("FAILED: %s\n", r.Failed)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Fault-injection campaign: measure dependability outcomes of every scheme
+// under identical randomized fault loads. Each trial runs a fresh system,
+// injects hardware faults at randomized instants plus one software fault,
+// and records whether everything was recovered and how much computation the
+// rollbacks cost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	synergy "github.com/synergy-ft/synergy"
+)
+
+const (
+	trials        = 20
+	missionLength = 900.0 // virtual seconds
+	hwFaults      = 3
+)
+
+func main() {
+	fmt.Printf("%-14s %10s %10s %14s %14s %12s\n",
+		"scheme", "sw-recov", "hw-recov", "unrecoverable", "mean-rollback", "failed-runs")
+	for _, scheme := range []synergy.Scheme{
+		synergy.Coordinated, synergy.WriteThrough, synergy.Naive, synergy.MDCDOnly,
+	} {
+		if err := campaign(scheme); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func campaign(scheme synergy.Scheme) error {
+	var (
+		swRecovered, hwRecovered, unrecoverable, failedRuns int
+		rollbackSum                                         float64
+		rollbackN                                           int
+	)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)*1_000_003 + int64(scheme)))
+		sys, err := synergy.NewSimulation(synergy.Config{Scheme: scheme, Seed: rng.Int63()})
+		if err != nil {
+			return err
+		}
+		sys.Start()
+
+		// Randomized fault schedule: hardware faults spread over the
+		// mission, one software fault near the middle.
+		swAt := missionLength * (0.3 + 0.4*rng.Float64())
+		procs := []synergy.Process{synergy.ActiveP1, synergy.ShadowP1, synergy.PeerP2}
+		for i := 0; i < hwFaults; i++ {
+			at := missionLength * float64(i+1) / float64(hwFaults+1) * (0.8 + 0.4*rng.Float64())
+			if swAt > sys.Now() && swAt < at {
+				sys.RunFor(swAt - sys.Now())
+				sys.ActivateSoftwareFault()
+			}
+			if at > sys.Now() {
+				sys.RunFor(at - sys.Now())
+			}
+			if err := sys.InjectHardwareFault(procs[rng.Intn(len(procs))]); err != nil {
+				break // the scheme failed mid-mission; counted below
+			}
+		}
+		if swAt > sys.Now() {
+			sys.RunFor(swAt - sys.Now())
+			sys.ActivateSoftwareFault()
+		}
+		sys.RunFor(missionLength - sys.Now())
+		sys.Quiesce()
+
+		r := sys.Report()
+		swRecovered += r.SoftwareRecoveries
+		hwRecovered += r.HardwareFaults
+		unrecoverable += r.Unrecoverable
+		if r.HardwareFaults > 0 {
+			rollbackSum += r.MeanRollbackSeconds
+			rollbackN++
+		}
+		if r.Failed != "" {
+			failedRuns++
+		}
+	}
+	meanRollback := 0.0
+	if rollbackN > 0 {
+		meanRollback = rollbackSum / float64(rollbackN)
+	}
+	fmt.Printf("%-14v %10d %10d %14d %13.1fs %12d\n",
+		scheme, swRecovered, hwRecovered, unrecoverable, meanRollback, failedRuns)
+	return nil
+}

@@ -1,0 +1,36 @@
+package synergy
+
+import "github.com/synergy-ft/synergy/internal/experiment"
+
+// ExperimentResult is one regenerated table or figure from the paper's
+// evaluation.
+type ExperimentResult struct {
+	// ID is the experiment identifier (e.g. "fig7", "table1").
+	ID string
+	// Title names the reproduced artifact.
+	Title string
+	// Body holds the rendered rows/series.
+	Body string
+	// Notes records modelling decisions and the expected shape.
+	Notes string
+	// Values exposes the key quantities for programmatic checks.
+	Values map[string]float64
+}
+
+// String renders the result for terminal output.
+func (r ExperimentResult) String() string {
+	return experiment.Result{ID: r.ID, Title: r.Title, Body: r.Body, Notes: r.Notes}.String()
+}
+
+// Experiments lists the reproducible tables and figures.
+func Experiments() []string { return experiment.IDs() }
+
+// RunExperiment regenerates one table or figure. Quick mode shrinks the
+// campaign sizes (for smoke tests); full mode matches EXPERIMENTS.md.
+func RunExperiment(id string, seed int64, quick bool) (ExperimentResult, error) {
+	r, err := experiment.Run(id, experiment.Options{Seed: seed, Quick: quick})
+	if err != nil {
+		return ExperimentResult{}, err
+	}
+	return ExperimentResult{ID: r.ID, Title: r.Title, Body: r.Body, Notes: r.Notes, Values: r.Values}, nil
+}

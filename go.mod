@@ -1,0 +1,3 @@
+module github.com/synergy-ft/synergy
+
+go 1.22

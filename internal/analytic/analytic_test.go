@@ -1,0 +1,81 @@
+package analytic
+
+import (
+	"testing"
+	"time"
+)
+
+func params(li float64) Params {
+	return Params{
+		InternalRate:     li,
+		ActExternalRate:  0.5,
+		PeerExternalRate: 1.0 / 300,
+		Interval:         10 * time.Second,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Params)
+		wantErr bool
+	}{
+		{name: "ok", mutate: func(*Params) {}},
+		{name: "zero internal", mutate: func(p *Params) { p.InternalRate = 0 }, wantErr: true},
+		{name: "zero act", mutate: func(p *Params) { p.ActExternalRate = 0 }, wantErr: true},
+		{name: "zero peer", mutate: func(p *Params) { p.PeerExternalRate = 0 }, wantErr: true},
+		{name: "zero interval", mutate: func(p *Params) { p.Interval = 0 }, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := params(1)
+			tt.mutate(&p)
+			_, err := Evaluate(p)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Evaluate err = %v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPredictionShape(t *testing.T) {
+	pred, err := Evaluate(params(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.DirtyFraction <= 0 || pred.DirtyFraction >= 1 {
+		t.Fatalf("DirtyFraction = %v", pred.DirtyFraction)
+	}
+	// The headline: coordination beats write-through by well over an
+	// order of magnitude in this regime.
+	if pred.Ratio < 10 {
+		t.Fatalf("Ratio = %v, want ≫10", pred.Ratio)
+	}
+	// Dco is Δ-scale; Dwt is validation-bound (hundreds of seconds).
+	if pred.Dco < 5 || pred.Dco > 12 {
+		t.Fatalf("Dco = %v, want Δ-scale", pred.Dco)
+	}
+	if pred.Dwt < 100 || pred.Dwt > 2000 {
+		t.Fatalf("Dwt = %v, want validation-bound", pred.Dwt)
+	}
+}
+
+func TestDirtyFractionGrowsWithInternalRate(t *testing.T) {
+	lo, _ := Evaluate(params(0.6))
+	hi, _ := Evaluate(params(2.0))
+	if hi.DirtyFraction <= lo.DirtyFraction {
+		t.Fatalf("dirty fraction should grow with λi: %v vs %v", lo.DirtyFraction, hi.DirtyFraction)
+	}
+}
+
+func TestDcoScalesWithInterval(t *testing.T) {
+	small := params(1)
+	small.Interval = 2 * time.Second
+	big := params(1)
+	big.Interval = 40 * time.Second
+	ps, _ := Evaluate(small)
+	pb, _ := Evaluate(big)
+	if pb.Dco-ps.Dco < 18 || pb.Dco-ps.Dco > 20 {
+		t.Fatalf("Dco should grow by ΔΔ/2 = 19: %v → %v", ps.Dco, pb.Dco)
+	}
+}

@@ -1,0 +1,108 @@
+// Package app models the application software components hosted by the
+// protocol: a deterministic state machine (so an active process and its
+// shadow compute identical states from identical inputs, and recovery
+// correctness can be checked by comparing state digests) and the stochastic
+// workload that drives internal and external message traffic.
+package app
+
+import "github.com/synergy-ft/synergy/internal/msg"
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// State is the replicated application state of one process. It evolves
+// deterministically from the set of applied inputs. The accumulators are
+// deliberately commutative: an active process and its shadow receive the
+// same inputs but may interleave message arrivals and local steps
+// differently (the middleware guarantees only per-channel FIFO), and the two
+// replicas must still converge to identical states once they have applied
+// the same inputs.
+type State struct {
+	// Step counts computation steps (local steps and applied messages).
+	Step uint64
+	// Acc is the running computation result (a wrapping sum of inputs).
+	Acc int64
+	// Hash is a commutative digest of every applied input: the wrapping
+	// sum of per-input FNV-1a fingerprints. It is a cheap, reordering-
+	// insensitive fingerprint of the applied-input set.
+	Hash uint64
+	// Corrupted is the ground-truth contamination marker: true once a
+	// software design fault has produced an erroneous value in this state.
+	Corrupted bool
+}
+
+// NewState returns the initial application state.
+func NewState() *State {
+	return &State{}
+}
+
+// LocalStep advances the computation with a local input (no message).
+func (s *State) LocalStep(input int64) {
+	s.Step++
+	s.Acc += input
+	s.Hash += fingerprint(uint64(input), 0x9e3779b97f4a7c15)
+}
+
+// ApplyMessage incorporates a received application-purpose payload. Receiving
+// a corrupted payload contaminates the state (the MDCD key assumption: an
+// erroneous message results in process state contamination).
+func (s *State) ApplyMessage(p msg.Payload) {
+	s.Step++
+	s.Acc += p.Value
+	s.Hash += fingerprint(uint64(p.Value), p.Seq)
+	if p.Corrupted {
+		s.Corrupted = true
+	}
+}
+
+// Output produces the payload for the process's next outgoing message. An
+// erroneous state is likely to affect the correctness of outgoing messages
+// (the MDCD key assumption), so corruption propagates to the payload.
+func (s *State) Output() msg.Payload {
+	return msg.Payload{
+		Seq:       s.Step,
+		Value:     s.Acc,
+		Digest:    s.Hash,
+		Corrupted: s.Corrupted,
+	}
+}
+
+// Corrupt activates a software design fault: the state silently becomes
+// erroneous. The flag is ground truth only; protocols never read it directly.
+func (s *State) Corrupt() {
+	s.Corrupted = true
+	s.Acc ^= 0x5a5a5a5a // the observable symptom of the fault
+}
+
+// Digest returns the state fingerprint.
+func (s *State) Digest() uint64 { return s.Hash }
+
+// Clone returns a deep copy, used for checkpointing.
+func (s *State) Clone() *State {
+	c := *s
+	return &c
+}
+
+// Equal reports whether two states are identical.
+func (s *State) Equal(o *State) bool {
+	return s.Step == o.Step && s.Acc == o.Acc && s.Hash == o.Hash && s.Corrupted == o.Corrupted
+}
+
+// fingerprint hashes one input (value plus discriminator) with FNV-1a; the
+// results are combined by wrapping addition, which is commutative.
+func fingerprint(v, salt uint64) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	for i := 0; i < 8; i++ {
+		h ^= salt & 0xff
+		h *= fnvPrime
+		salt >>= 8
+	}
+	return h
+}

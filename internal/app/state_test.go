@@ -1,0 +1,167 @@
+package app
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/msg"
+)
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() *State {
+		s := NewState()
+		s.LocalStep(5)
+		s.ApplyMessage(msg.Payload{Seq: 1, Value: 10})
+		s.LocalStep(-3)
+		s.ApplyMessage(msg.Payload{Seq: 2, Value: 7})
+		return s
+	}
+	a, b := run(), run()
+	if !a.Equal(b) {
+		t.Fatalf("replay diverged: %+v vs %+v", a, b)
+	}
+}
+
+// Replicas may interleave message arrivals and local steps differently; the
+// state must converge once the same input set has been applied.
+func TestReorderingInsensitivity(t *testing.T) {
+	a, b := NewState(), NewState()
+	a.ApplyMessage(msg.Payload{Seq: 1, Value: 10})
+	a.LocalStep(5)
+	a.ApplyMessage(msg.Payload{Seq: 2, Value: 20})
+	b.LocalStep(5)
+	b.ApplyMessage(msg.Payload{Seq: 2, Value: 20})
+	b.ApplyMessage(msg.Payload{Seq: 1, Value: 10})
+	if !a.Equal(b) {
+		t.Fatalf("replicas diverged after reordering: %+v vs %+v", a, b)
+	}
+}
+
+// Distinct input sets must produce distinct digests even when sums collide.
+func TestDigestDistinguishesInputSets(t *testing.T) {
+	a, b := NewState(), NewState()
+	a.ApplyMessage(msg.Payload{Seq: 1, Value: 3})
+	b.ApplyMessage(msg.Payload{Seq: 2, Value: 3})
+	if a.Digest() == b.Digest() {
+		t.Fatal("digest should incorporate the payload sequence")
+	}
+}
+
+func TestCorruptionPropagation(t *testing.T) {
+	s := NewState()
+	s.LocalStep(1)
+	if s.Output().Corrupted {
+		t.Fatal("clean state should emit clean payload")
+	}
+	s.Corrupt()
+	if !s.Output().Corrupted {
+		t.Fatal("corrupted state should emit corrupted payload")
+	}
+
+	r := NewState()
+	r.ApplyMessage(s.Output())
+	if !r.Corrupted {
+		t.Fatal("receiving a corrupted message should contaminate the state")
+	}
+}
+
+func TestCorruptChangesObservableValue(t *testing.T) {
+	a, b := NewState(), NewState()
+	a.LocalStep(9)
+	b.LocalStep(9)
+	b.Corrupt()
+	if a.Output().Value == b.Output().Value {
+		t.Fatal("fault activation should change the computed value")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := NewState()
+	s.LocalStep(1)
+	c := s.Clone()
+	s.LocalStep(2)
+	if c.Equal(s) {
+		t.Fatal("mutating original should not affect clone")
+	}
+	if c.Step != 1 {
+		t.Fatalf("clone.Step = %d, want 1", c.Step)
+	}
+}
+
+// Property: shadow and active processes applying the same message sequence
+// reach identical digests — the basis of MDCD's active/shadow design.
+func TestShadowConvergenceProperty(t *testing.T) {
+	f := func(values []int16) bool {
+		act, sdw := NewState(), NewState()
+		for i, v := range values {
+			p := msg.Payload{Seq: uint64(i), Value: int64(v)}
+			act.ApplyMessage(p)
+			sdw.ApplyMessage(p)
+		}
+		return act.Equal(sdw) && act.Digest() == sdw.Digest()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    Workload
+		wantErr bool
+	}{
+		{name: "ok", give: Workload{InternalRate: 1, ExternalRate: 0.1}},
+		{name: "internal only", give: Workload{InternalRate: 1}},
+		{name: "no messages", give: Workload{LocalStepRate: 5}, wantErr: true},
+		{name: "negative", give: Workload{InternalRate: -1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() = %v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestExponentialDrawMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := Workload{InternalRate: 10}
+	const n = 20000
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		total += w.NextInternal(rng)
+	}
+	mean := total.Seconds() / n
+	if mean < 0.09 || mean > 0.11 {
+		t.Fatalf("mean inter-arrival %.4fs, want ≈0.1s", mean)
+	}
+}
+
+func TestZeroRateNeverFires(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := Workload{ExternalRate: 0}
+	if d := w.NextExternal(rng); d < 24*time.Hour {
+		t.Fatalf("zero-rate draw %v should be effectively never", d)
+	}
+}
+
+func TestDrawsArePositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	w := Workload{InternalRate: 100, ExternalRate: 1, LocalStepRate: 50}
+	for i := 0; i < 1000; i++ {
+		if d := w.NextInternal(rng); d <= 0 {
+			t.Fatalf("non-positive internal draw %v", d)
+		}
+		if d := w.NextExternal(rng); d <= 0 {
+			t.Fatalf("non-positive external draw %v", d)
+		}
+		if d := w.NextLocalStep(rng); d <= 0 {
+			t.Fatalf("non-positive local draw %v", d)
+		}
+	}
+}

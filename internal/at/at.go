@@ -1,0 +1,103 @@
+// Package at implements the acceptance-test (AT) framework the MDCD protocol
+// uses to validate external messages. The paper restricts ATs to external
+// messages because those carry control commands/data that simple logic or
+// reasonableness checks can verify; this package provides such checks plus a
+// coverage-model oracle for fault-injection studies.
+package at
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/synergy-ft/synergy/internal/msg"
+)
+
+// Test validates an outgoing external message payload. It returns true when
+// the payload passes (is accepted as correct).
+type Test interface {
+	Check(p msg.Payload, rng *rand.Rand) bool
+}
+
+// Oracle is the coverage-model acceptance test used in fault-injection
+// campaigns: it observes the ground-truth corruption marker but reports it
+// imperfectly, detecting a corrupted payload with probability Coverage and
+// false-alarming on a clean payload with probability FalseAlarm.
+type Oracle struct {
+	// Coverage is the probability a corrupted payload fails the test.
+	Coverage float64
+	// FalseAlarm is the probability a clean payload fails the test.
+	FalseAlarm float64
+}
+
+var _ Test = Oracle{}
+
+// Check implements Test.
+func (o Oracle) Check(p msg.Payload, rng *rand.Rand) bool {
+	if p.Corrupted {
+		return !bernoulli(o.Coverage, rng)
+	}
+	return !bernoulli(o.FalseAlarm, rng)
+}
+
+// Validate reports whether the oracle's probabilities are well-formed.
+func (o Oracle) Validate() error {
+	if o.Coverage < 0 || o.Coverage > 1 {
+		return fmt.Errorf("at: coverage %v outside [0,1]", o.Coverage)
+	}
+	if o.FalseAlarm < 0 || o.FalseAlarm > 1 {
+		return fmt.Errorf("at: false-alarm rate %v outside [0,1]", o.FalseAlarm)
+	}
+	return nil
+}
+
+// Perfect returns an oracle with full coverage and no false alarms.
+func Perfect() Oracle { return Oracle{Coverage: 1} }
+
+// RangeCheck is a reasonableness test: the payload value must lie within
+// [Min, Max]. This mirrors the "simple logic checking or reasonableness
+// tests" the paper describes for control commands.
+type RangeCheck struct {
+	// Min and Max bound the acceptable payload value, inclusive.
+	Min, Max int64
+}
+
+var _ Test = RangeCheck{}
+
+// Check implements Test.
+func (r RangeCheck) Check(p msg.Payload, _ *rand.Rand) bool {
+	return p.Value >= r.Min && p.Value <= r.Max
+}
+
+// Const is a test with a fixed outcome, useful for scripted scenarios.
+type Const bool
+
+var _ Test = Const(true)
+
+// Check implements Test.
+func (c Const) Check(msg.Payload, *rand.Rand) bool { return bool(c) }
+
+// All combines tests conjunctively: a payload passes only if every member
+// test passes.
+type All []Test
+
+var _ Test = All(nil)
+
+// Check implements Test.
+func (a All) Check(p msg.Payload, rng *rand.Rand) bool {
+	for _, t := range a {
+		if !t.Check(p, rng) {
+			return false
+		}
+	}
+	return true
+}
+
+func bernoulli(p float64, rng *rand.Rand) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return rng.Float64() < p
+}

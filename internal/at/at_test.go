@@ -1,0 +1,109 @@
+package at
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/synergy-ft/synergy/internal/msg"
+)
+
+func TestPerfectOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	o := Perfect()
+	if !o.Check(msg.Payload{Value: 5}, rng) {
+		t.Fatal("perfect oracle failed a clean payload")
+	}
+	if o.Check(msg.Payload{Value: 5, Corrupted: true}, rng) {
+		t.Fatal("perfect oracle passed a corrupted payload")
+	}
+}
+
+func TestOracleCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	o := Oracle{Coverage: 0.7}
+	const n = 20000
+	detected := 0
+	for i := 0; i < n; i++ {
+		if !o.Check(msg.Payload{Corrupted: true}, rng) {
+			detected++
+		}
+	}
+	rate := float64(detected) / n
+	if rate < 0.68 || rate > 0.72 {
+		t.Fatalf("detection rate %.3f, want ≈0.7", rate)
+	}
+}
+
+func TestOracleFalseAlarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	o := Oracle{Coverage: 1, FalseAlarm: 0.1}
+	const n = 20000
+	alarms := 0
+	for i := 0; i < n; i++ {
+		if !o.Check(msg.Payload{}, rng) {
+			alarms++
+		}
+	}
+	rate := float64(alarms) / n
+	if rate < 0.08 || rate > 0.12 {
+		t.Fatalf("false-alarm rate %.3f, want ≈0.1", rate)
+	}
+}
+
+func TestOracleValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    Oracle
+		wantErr bool
+	}{
+		{name: "ok", give: Oracle{Coverage: 0.9, FalseAlarm: 0.01}},
+		{name: "bad coverage", give: Oracle{Coverage: 1.5}, wantErr: true},
+		{name: "bad alarm", give: Oracle{FalseAlarm: -0.1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.give.Validate(); (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() = %v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestRangeCheck(t *testing.T) {
+	rc := RangeCheck{Min: -10, Max: 10}
+	tests := []struct {
+		give int64
+		want bool
+	}{
+		{0, true}, {-10, true}, {10, true}, {11, false}, {-11, false},
+	}
+	for _, tt := range tests {
+		if got := rc.Check(msg.Payload{Value: tt.give}, nil); got != tt.want {
+			t.Errorf("Check(%d) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestConst(t *testing.T) {
+	if !Const(true).Check(msg.Payload{}, nil) {
+		t.Fatal("Const(true) failed")
+	}
+	if Const(false).Check(msg.Payload{}, nil) {
+		t.Fatal("Const(false) passed")
+	}
+}
+
+func TestAllConjunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pass := All{Const(true), RangeCheck{Min: 0, Max: 100}}
+	if !pass.Check(msg.Payload{Value: 50}, rng) {
+		t.Fatal("All should pass when every member passes")
+	}
+	fail := All{Const(true), Const(false)}
+	if fail.Check(msg.Payload{}, rng) {
+		t.Fatal("All should fail when any member fails")
+	}
+	if !(All{}).Check(msg.Payload{}, rng) {
+		t.Fatal("empty All should pass")
+	}
+}

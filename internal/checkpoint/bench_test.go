@@ -1,0 +1,54 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"github.com/synergy-ft/synergy/internal/msg"
+)
+
+func benchCheckpoint() *Checkpoint {
+	c := New(Stable, msg.P2)
+	c.TakenAt = 123456789
+	c.Ndc = 42
+	c.MsgSN = 9001
+	c.State.Step = 8999
+	c.State.Acc = -123456
+	c.State.Hash = 0xdeadbeef
+	c.SentTo[msg.P1Act] = 4000
+	c.SentTo[msg.P1Sdw] = 4000
+	c.RecvFrom[msg.P1Act] = 3990
+	c.ValidSN[msg.P1Act] = 8800
+	for i := 0; i < 8; i++ {
+		c.Unacked = append(c.Unacked, msg.Message{
+			Kind: msg.Internal, From: msg.P2, To: msg.P1Act,
+			SN: uint64(9000 + i), ChanSeq: uint64(3992 + i),
+		})
+	}
+	return c
+}
+
+func BenchmarkEncode(b *testing.B) {
+	c := benchCheckpoint()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(c)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	buf := Encode(benchCheckpoint())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	c := benchCheckpoint()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Clone()
+	}
+}

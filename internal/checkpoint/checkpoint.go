@@ -1,0 +1,140 @@
+// Package checkpoint defines the checkpoint record shared by the MDCD and TB
+// protocols. A checkpoint captures a process's application state together
+// with the message bookkeeping needed to evaluate the paper's two global
+// properties — validity-concerned consistency and recoverability — over a set
+// of checkpoints: per-channel send/receive counts, per-origin validity views,
+// and (for stable checkpoints) the unacknowledged-message log the TB protocol
+// re-sends during hardware error recovery.
+package checkpoint
+
+import (
+	"github.com/synergy-ft/synergy/internal/app"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// Kind classifies checkpoints by the event that established them.
+type Kind uint8
+
+// Checkpoint kinds.
+const (
+	// Type1 is a volatile checkpoint established immediately before a
+	// process state becomes potentially contaminated.
+	Type1 Kind = iota + 1
+	// Type2 is a volatile checkpoint established right after a potentially
+	// contaminated state is validated (original MDCD only; the modified
+	// protocol eliminates Type-2 establishment).
+	Type2
+	// Pseudo is the volatile checkpoint P1act establishes before sending
+	// the first internal message after a validation, guarding its pseudo
+	// dirty bit (modified MDCD).
+	Pseudo
+	// Stable is a stable-storage checkpoint established by the TB protocol.
+	Stable
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Type1:
+		return "type-1"
+	case Type2:
+		return "type-2"
+	case Pseudo:
+		return "pseudo"
+	case Stable:
+		return "stable"
+	default:
+		return "unknown"
+	}
+}
+
+// Checkpoint is a snapshot of one process. Volatile checkpoints leave Unacked
+// empty; stable checkpoints populate it so unacknowledged messages can be
+// re-sent after a hardware fault.
+type Checkpoint struct {
+	// Kind records the establishing event.
+	Kind Kind
+	// Proc is the process whose state is captured.
+	Proc msg.ProcID
+	// TakenAt is the true time the captured state was current.
+	TakenAt vtime.Time
+	// Ndc is the stable-storage checkpoint sequence number at capture.
+	Ndc uint64
+	// Dirty is the dirty bit describing the captured content: true iff the
+	// captured state is potentially contaminated.
+	Dirty bool
+	// MsgSN is the process's message sequence counter (msg_SN) at capture.
+	MsgSN uint64
+	// State is the captured application state.
+	State *app.State
+	// SentTo counts, per destination, the application-purpose messages
+	// sent and reflected in the captured state.
+	SentTo map[msg.ProcID]uint64
+	// RecvFrom counts, per origin, the application-purpose messages
+	// received and reflected in the captured state.
+	RecvFrom map[msg.ProcID]uint64
+	// ValidSN records, per origin, the highest message SN this process
+	// views as valid (verified correct).
+	ValidSN map[msg.ProcID]uint64
+	// Unacked holds the sent-but-unacknowledged messages saved with a
+	// stable checkpoint.
+	Unacked []msg.Message
+}
+
+// New returns an empty checkpoint shell for proc.
+func New(kind Kind, proc msg.ProcID) *Checkpoint {
+	return &Checkpoint{
+		Kind:     kind,
+		Proc:     proc,
+		State:    app.NewState(),
+		SentTo:   make(map[msg.ProcID]uint64),
+		RecvFrom: make(map[msg.ProcID]uint64),
+		ValidSN:  make(map[msg.ProcID]uint64),
+	}
+}
+
+// Clone returns a deep copy, so a stored checkpoint is immune to later
+// mutation of the live process state.
+func (c *Checkpoint) Clone() *Checkpoint {
+	if c == nil {
+		return nil
+	}
+	out := &Checkpoint{
+		Kind:     c.Kind,
+		Proc:     c.Proc,
+		TakenAt:  c.TakenAt,
+		Ndc:      c.Ndc,
+		Dirty:    c.Dirty,
+		MsgSN:    c.MsgSN,
+		State:    c.State.Clone(),
+		SentTo:   cloneCounts(c.SentTo),
+		RecvFrom: cloneCounts(c.RecvFrom),
+		ValidSN:  cloneCounts(c.ValidSN),
+	}
+	if len(c.Unacked) > 0 {
+		out.Unacked = make([]msg.Message, len(c.Unacked))
+		copy(out.Unacked, c.Unacked)
+	}
+	return out
+}
+
+// UnackedTo returns the stored unacknowledged messages destined for dst, in
+// send order.
+func (c *Checkpoint) UnackedTo(dst msg.ProcID) []msg.Message {
+	var out []msg.Message
+	for _, m := range c.Unacked {
+		if m.To == dst {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func cloneCounts(m map[msg.ProcID]uint64) map[msg.ProcID]uint64 {
+	out := make(map[msg.ProcID]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package checkpoint
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+func sample(rng *rand.Rand) *Checkpoint {
+	c := New(Stable, msg.P2)
+	c.TakenAt = vtime.Time(rng.Int63())
+	c.Ndc = rng.Uint64()
+	c.Dirty = rng.Intn(2) == 0
+	c.MsgSN = rng.Uint64()
+	c.State.Step = rng.Uint64()
+	c.State.Acc = rng.Int63() - rng.Int63()
+	c.State.Hash = rng.Uint64()
+	c.State.Corrupted = rng.Intn(2) == 0
+	c.SentTo[msg.P1Act] = rng.Uint64()
+	c.SentTo[msg.P1Sdw] = rng.Uint64()
+	c.RecvFrom[msg.P1Act] = rng.Uint64()
+	c.ValidSN[msg.P2] = rng.Uint64()
+	for i := 0; i < rng.Intn(5); i++ {
+		c.Unacked = append(c.Unacked, msg.Message{
+			Kind: msg.Internal, From: msg.P2, To: msg.P1Act, SN: rng.Uint64(),
+			Payload: msg.Payload{Value: rng.Int63()},
+		})
+	}
+	return c
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		give Kind
+		want string
+	}{
+		{Type1, "type-1"},
+		{Type2, "type-2"},
+		{Pseudo, "pseudo"},
+		{Stable, "stable"},
+		{Kind(0), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := New(Type1, msg.P2)
+	c.SentTo[msg.P1Act] = 3
+	c.Unacked = append(c.Unacked, msg.Message{Kind: msg.Internal, From: msg.P2, SN: 1})
+	d := c.Clone()
+	c.SentTo[msg.P1Act] = 99
+	c.State.LocalStep(5)
+	c.Unacked[0].SN = 42
+	if d.SentTo[msg.P1Act] != 3 {
+		t.Fatal("clone shares SentTo map")
+	}
+	if d.State.Step != 0 {
+		t.Fatal("clone shares State")
+	}
+	if d.Unacked[0].SN != 1 {
+		t.Fatal("clone shares Unacked slice")
+	}
+}
+
+func TestCloneNil(t *testing.T) {
+	var c *Checkpoint
+	if c.Clone() != nil {
+		t.Fatal("nil.Clone() should be nil")
+	}
+}
+
+func TestUnackedTo(t *testing.T) {
+	c := New(Stable, msg.P2)
+	c.Unacked = []msg.Message{
+		{From: msg.P2, To: msg.P1Act, SN: 1},
+		{From: msg.P2, To: msg.P1Sdw, SN: 2},
+		{From: msg.P2, To: msg.P1Act, SN: 3},
+	}
+	got := c.UnackedTo(msg.P1Act)
+	if len(got) != 2 || got[0].SN != 1 || got[1].SN != 3 {
+		t.Fatalf("UnackedTo = %+v", got)
+	}
+	if c.UnackedTo(msg.Device) != nil {
+		t.Fatal("UnackedTo should be nil for no matches")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 200; i++ {
+		give := sample(rng)
+		got, err := Decode(Encode(give))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Decode never returns nil maps/slices mismatch: normalize empties.
+		if len(give.Unacked) == 0 {
+			give.Unacked = nil
+			got.Unacked = nil
+		}
+		if !reflect.DeepEqual(give, got) {
+			t.Fatalf("round trip mismatch:\n give %+v (state %+v)\n got  %+v (state %+v)",
+				give, give.State, got, got.State)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	buf := Encode(sample(rand.New(rand.NewSource(5))))
+	for _, cut := range []int{0, 1, 2, 5, 10, len(buf) / 2, len(buf) - 1} {
+		if _, err := Decode(buf[:cut]); err == nil {
+			t.Fatalf("Decode accepted truncation to %d bytes", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	buf := Encode(sample(rand.New(rand.NewSource(6))))
+	if _, err := Decode(append(buf, 0)); err == nil {
+		t.Fatal("Decode accepted trailing bytes")
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	buf := Encode(sample(rand.New(rand.NewSource(7))))
+	buf[0] = 99
+	if _, err := Decode(buf); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	c := sample(rand.New(rand.NewSource(8)))
+	a, b := Encode(c), Encode(c)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Encode is not deterministic")
+	}
+}

@@ -1,0 +1,57 @@
+package coord
+
+import (
+	"fmt"
+
+	"github.com/synergy-ft/synergy/internal/checkpoint"
+	"github.com/synergy-ft/synergy/internal/invariant"
+	"github.com/synergy-ft/synergy/internal/msg"
+)
+
+// ActiveC1 returns the process currently embodying the active side of
+// component 1.
+func (s *System) ActiveC1() msg.ProcID {
+	if s.actDemoted {
+		return msg.P1Sdw
+	}
+	return msg.P1Act
+}
+
+// StableLine assembles the current recovery line: the checkpoints a hardware
+// fault right now would restore — every live process at the highest round all
+// of them have committed. It fails until the first complete round exists.
+func (s *System) StableLine() (invariant.Line, error) {
+	line := invariant.Line{
+		Ckpts:    make(map[msg.ProcID]*checkpoint.Checkpoint, len(s.cps)),
+		ActiveC1: s.ActiveC1(),
+	}
+	round := s.recoveryRound()
+	if round == 0 {
+		return line, fmt.Errorf("stable line: no complete checkpoint round yet")
+	}
+	for id, cp := range s.cps {
+		if s.procs[id].Failed() {
+			continue
+		}
+		r := round
+		if s.cfg.Scheme == WriteThrough {
+			r = cp.Stable.LatestRound()
+		}
+		c, err := cp.StableAtRound(r)
+		if err != nil {
+			return line, fmt.Errorf("stable line: %v: %w", id, err)
+		}
+		line.Ckpts[id] = c
+	}
+	return line, nil
+}
+
+// ReplicasConverged reports whether the active and shadow states are equal;
+// valid at quiescent points, where both have applied the same input set.
+func (s *System) ReplicasConverged() bool {
+	act, sdw := s.procs[msg.P1Act], s.procs[msg.P1Sdw]
+	if act == nil || sdw == nil || act.Failed() || sdw.Failed() {
+		return true
+	}
+	return act.State.Equal(sdw.State)
+}

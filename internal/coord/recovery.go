@@ -1,0 +1,276 @@
+package coord
+
+import (
+	"errors"
+
+	"github.com/synergy-ft/synergy/internal/checkpoint"
+	"github.com/synergy-ft/synergy/internal/mdcd"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/tb"
+	"github.com/synergy-ft/synergy/internal/trace"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// softwareRecovery runs the MDCD error recovery procedure after a failed
+// acceptance test: P1act is demoted, each surviving process locally decides
+// between rollback (dirty) and roll-forward (clean), and the shadow takes
+// over the active role, re-sending or further suppressing its logged
+// messages based on the validity knowledge.
+func (s *System) softwareRecovery(detector msg.ProcID) {
+	if s.actDemoted || s.failed {
+		return
+	}
+	s.actDemoted = true
+	s.record(trace.Event{At: s.eng.Now(), Proc: detector, Kind: trace.ATFailed, Note: "software error recovery initiated"})
+
+	act, sdw, p2 := s.procs[msg.P1Act], s.procs[msg.P1Sdw], s.procs[msg.P2]
+	act.Demote()
+	if cp := s.cps[msg.P1Act]; cp != nil {
+		cp.Stop()
+	}
+	p2.StopSendingTo(msg.P1Act)
+	p2.IgnoreFrom(msg.P1Act)
+	sdw.IgnoreFrom(msg.P1Act)
+	// In-flight messages predate the recovery decision: a rolled-back
+	// receiver must not apply traffic produced from discarded (possibly
+	// contaminated) states. Survivors re-send from their unacknowledged
+	// sets below, relative to their post-recovery states.
+	s.net.Flush()
+
+	for _, id := range []msg.ProcID{msg.P1Sdw, msg.P2} {
+		proc, cp := s.procs[id], s.cps[id]
+		if cp != nil {
+			// A stable write capturing pre-recovery state must not
+			// commit after the rollback decision.
+			cp.AbortCycle()
+			cp.DropUnacked(msg.P1Act)
+		}
+		rolled, restored, err := proc.RecoverSoftware()
+		if err != nil {
+			// A potentially contaminated process with no volatile
+			// checkpoint to restore: the naive combination reaches
+			// this after a hardware rollback onto a contaminated
+			// stable checkpoint.
+			s.metrics.UnrecoverableSW++
+			s.failf("software recovery: %v", err)
+			return
+		}
+		if rolled {
+			s.pendingEmit[id] = nil
+			if cp != nil {
+				// Re-sending is relative to the restored state:
+				// adopt its stored unacknowledged set.
+				cp.AdoptUnacked(restored.Unacked)
+				cp.DropUnacked(msg.P1Act)
+			}
+		} else {
+			// Roll-forward: the aborted blocking period's held
+			// messages and deferred events are still valid —
+			// process them now.
+			proc.ReleaseHeld()
+			s.flushPending(id)
+		}
+		if cp != nil {
+			// Push the unacknowledged set out again; the flush above
+			// discarded any in-flight copies and receivers
+			// deduplicate what they already reflect.
+			for _, m := range cp.UnackedSnapshot() {
+				s.net.SendWithDelay(m, s.delayFor(m))
+			}
+		}
+	}
+	sdw.TakeOver()
+	s.metrics.SWRecoveries++
+}
+
+// CommitUpgrade ends guarded operation with the upgraded version accepted:
+// sufficient onboard execution time has earned it high confidence. The MDCD
+// protocol goes on leave (all dirty bits constant zero, the shadow retires),
+// and the adapted TB protocol becomes equivalent to the original — the
+// seamless disengagement the paper describes at the end of Section 4.2. It
+// reports false if guarded operation already ended (takeover or an earlier
+// commit).
+func (s *System) CommitUpgrade() bool {
+	if s.actDemoted || s.upgradeDone || !s.cfg.Scheme.Guarded() {
+		return false
+	}
+	s.upgradeDone = true
+	act, sdw, p2 := s.procs[msg.P1Act], s.procs[msg.P1Sdw], s.procs[msg.P2]
+	act.CommitUpgrade()
+	if sdw != nil {
+		sdw.CommitUpgrade()
+		if cp := s.cps[msg.P1Sdw]; cp != nil {
+			cp.Stop()
+		}
+		s.pendingEmit[msg.P1Sdw] = nil
+	}
+	p2.CommitUpgrade()
+	// The retired shadow no longer acknowledges anything.
+	p2.StopSendingTo(msg.P1Sdw)
+	if cp := s.cps[msg.P2]; cp != nil {
+		cp.DropUnacked(msg.P1Sdw)
+	}
+	return true
+}
+
+// UpgradeCommitted reports whether guarded operation ended in acceptance.
+func (s *System) UpgradeCommitted() bool { return s.upgradeDone }
+
+// InjectHardwareFault crashes the given node and runs hardware error
+// recovery immediately (a crash-restart with negligible repair time). For a
+// fail-stop period with a real repair delay, use CrashNode followed by
+// RepairNode.
+func (s *System) InjectHardwareFault(node msg.NodeID) error {
+	s.CrashNode(node)
+	return s.RepairNode(node)
+}
+
+// CrashNode marks a node failed: its volatile contents are lost, its
+// checkpoint timers stop, and traffic to and from it is dropped until
+// RepairNode. The survivors keep computing (and keep committing stable
+// checkpoints; Config.MaxRepair sizes the round retention that keeps the
+// eventual common recovery round available).
+func (s *System) CrashNode(node msg.NodeID) {
+	now := s.eng.Now()
+	s.net.SetNodeDown(node, true)
+	for _, id := range s.orderedProcs() {
+		if s.nodeOf[id] != node {
+			continue
+		}
+		s.procs[id].Volatile.Crash()
+		if cp := s.cps[id]; cp != nil {
+			cp.Stop()
+		}
+		s.pendingEmit[id] = nil
+		s.record(trace.Event{At: now, Proc: id, Kind: trace.NodeCrashed})
+	}
+}
+
+// RepairNode brings a crashed node back and runs hardware error recovery:
+// in-flight messages are discarded, every process rolls back to the stable
+// checkpoint line, and the unacknowledged messages saved in those
+// checkpoints are re-sent. The per-process rollback distance (computation
+// undone, in seconds — including survivor work discarded because of the
+// downtime) is recorded in the metrics.
+func (s *System) RepairNode(node msg.NodeID) error {
+	if s.failed {
+		return errors.New("coord: system already failed")
+	}
+	s.metrics.HWFaults++
+	now := s.eng.Now()
+	s.net.SetNodeDown(node, false)
+	s.net.Flush()
+
+	// Every process rolls back to the same checkpoint round: the highest
+	// round all live processes have committed. Stable storage retains the
+	// previous round precisely so a fault inside the staggered-commit
+	// window still finds a complete, consistent line.
+	round := s.recoveryRound()
+
+	for _, id := range s.orderedProcs() {
+		proc := s.procs[id]
+		if proc.Failed() {
+			continue
+		}
+		cp := s.cps[id]
+		if cp == nil {
+			// MDCD alone offers no hardware fault tolerance: the
+			// whole computation restarts from genesis.
+			s.metrics.UnrecoverableHW++
+			s.restoreGenesis(id, proc)
+			continue
+		}
+		// Timer-based schemes roll back to the globally agreed round;
+		// write-through checkpoints follow each process's own
+		// validation cadence, so each restores its latest (part of why
+		// the paper rejects the variant).
+		procRound := round
+		if s.cfg.Scheme == WriteThrough {
+			procRound = cp.Stable.LatestRound()
+		}
+		restored, err := cp.PrepareRecoveryAt(procRound)
+		if errors.Is(err, tb.ErrNoStableCheckpoint) {
+			// A fault before the first complete round: genesis.
+			cp.Stop()
+			s.metrics.UnrecoverableHW++
+			s.restoreGenesis(id, proc)
+			continue
+		}
+		if err != nil {
+			s.failf("hardware recovery for %v: %v", id, err)
+			return err
+		}
+		proc.RestoreFrom(restored)
+		// Volatile checkpoints newer than the restored state are
+		// invalid rollback targets; drop them everywhere. A dirty
+		// restored state with no volatile checkpoint (the naive
+		// combination) leaves a later software error unrecoverable.
+		proc.Volatile.Crash()
+		s.pendingEmit[id] = nil
+		dist := now.Sub(restored.TakenAt).Seconds()
+		s.metrics.RollbackDistance.Add(dist)
+		s.metrics.RollbackByProc[id].Add(dist)
+		s.record(trace.Event{At: now, Proc: id, Kind: trace.RolledBack, Note: "hardware recovery"})
+	}
+
+	// Re-send every unacknowledged message saved in the restored
+	// checkpoints; receivers deduplicate anything they already reflect.
+	for _, id := range s.orderedProcs() {
+		cp := s.cps[id]
+		if cp == nil || s.procs[id].Failed() {
+			continue
+		}
+		for _, m := range cp.UnackedSnapshot() {
+			s.net.SendWithDelay(m, s.delayFor(m))
+		}
+	}
+
+	// Restart the checkpoint timers at one common tick: each node's next
+	// expiry is the same local-clock target, two intervals out, so the
+	// skewed clocks cannot land in different tick buckets and shear the
+	// round numbering (the +2 keeps the target strictly ahead of every
+	// clock despite deviation).
+	if s.cfg.Scheme.UsesTBTimers() {
+		ival := int64(s.cfg.CheckpointInterval)
+		target := vtime.Time((int64(now)/ival + 2) * ival)
+		for _, id := range s.orderedProcs() {
+			if cp := s.cps[id]; cp != nil && !s.procs[id].Failed() {
+				cp.StartAt(target)
+			}
+		}
+	}
+	return nil
+}
+
+// recoveryRound returns the highest checkpoint round every live process has
+// committed (0 when some process has not completed a round yet).
+func (s *System) recoveryRound() uint64 {
+	round := ^uint64(0)
+	any := false
+	for id, cp := range s.cps {
+		if s.procs[id].Failed() {
+			continue
+		}
+		any = true
+		if n := cp.Ndc(); n < round {
+			round = n
+		}
+	}
+	if !any {
+		return 0
+	}
+	return round
+}
+
+// restoreGenesis rewinds a process to the initial state (no stable
+// checkpoint exists). The rollback distance is the whole computation so far.
+func (s *System) restoreGenesis(id msg.ProcID, proc *mdcd.Process) {
+	genesis := checkpoint.New(checkpoint.Stable, id)
+	proc.RestoreFrom(genesis)
+	proc.Volatile.Crash()
+	s.pendingEmit[id] = nil
+	dist := s.eng.Now().Seconds()
+	s.metrics.RollbackDistance.Add(dist)
+	s.metrics.RollbackByProc[id].Add(dist)
+	s.record(trace.Event{At: s.eng.Now(), Proc: id, Kind: trace.RolledBack, Note: "genesis (no stable checkpoint)"})
+}

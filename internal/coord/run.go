@@ -1,0 +1,176 @@
+package coord
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/trace"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// Start arms the workload streams and (for timer-based schemes) the TB
+// checkpointers.
+func (s *System) Start() {
+	s.workloadOn = true
+	if s.cfg.Scheme.UsesTBTimers() {
+		for _, id := range s.orderedProcs() {
+			if cp := s.cps[id]; cp != nil {
+				cp.Start()
+			}
+		}
+	}
+	s.armWorkload()
+}
+
+// RunUntil advances the simulation to instant t.
+func (s *System) RunUntil(t vtime.Time) { s.eng.RunUntil(t) }
+
+// RunFor advances the simulation by d seconds of virtual time.
+func (s *System) RunFor(seconds float64) {
+	s.RunUntil(s.eng.Now().Add(vtime.FromSeconds(seconds).Sub(vtime.Zero)))
+}
+
+// StopWorkload stops generating new application events; already-scheduled
+// traffic still drains.
+func (s *System) StopWorkload() { s.workloadOn = false }
+
+// Quiesce stops the workload and the TB timers, then drains every in-flight
+// message, blocking period and held queue. After Quiesce the active and
+// shadow replicas have applied the same input set.
+func (s *System) Quiesce() {
+	s.workloadOn = false
+	// TB timers reschedule themselves forever; stop them so the event
+	// queue can drain. Stopping abandons any in-flight stable write.
+	for _, id := range s.orderedProcs() {
+		if cp := s.cps[id]; cp != nil {
+			cp.Stop()
+		}
+	}
+	s.eng.Run() // drain in-flight messages and acks
+	for _, id := range s.orderedProcs() {
+		s.procs[id].ReleaseHeld()
+		s.flushPending(id)
+	}
+	s.eng.Run() // drain traffic triggered by the releases
+}
+
+// armWorkload schedules the six event streams: internal, external and
+// local-step traffic for each of the two application components. Component-1
+// events drive the active process and its shadow identically (the middleware
+// feeds both replicas the same inputs).
+func (s *System) armWorkload() {
+	c1 := s.component1Procs()
+	s.armStream(func() { s.appEvent(c1, localStepEvent(s.drawInput())) },
+		func() float64 { return s.cfg.Workload1.LocalStepRate })
+	s.armStream(func() { s.appEvent(c1, emitInternalEvent) },
+		func() float64 { return s.cfg.Workload1.InternalRate })
+	s.armStream(func() { s.appEvent(c1, emitExternalEvent) },
+		func() float64 { return s.cfg.Workload1.ExternalRate })
+
+	c2 := []msg.ProcID{msg.P2}
+	s.armStream(func() { s.appEvent(c2, localStepEvent(s.drawInput())) },
+		func() float64 { return s.cfg.Workload2.LocalStepRate })
+	s.armStream(func() { s.appEvent(c2, emitInternalEvent) },
+		func() float64 { return s.cfg.Workload2.InternalRate })
+	s.armStream(func() { s.appEvent(c2, emitExternalEvent) },
+		func() float64 { return s.cfg.Workload2.ExternalRate })
+}
+
+// component1Procs lists the processes embodying component 1 in this scheme.
+func (s *System) component1Procs() []msg.ProcID {
+	if s.cfg.Scheme == TBOnly {
+		return []msg.ProcID{msg.P1Act}
+	}
+	return []msg.ProcID{msg.P1Act, msg.P1Sdw}
+}
+
+type appEventFn func(s *System, id msg.ProcID)
+
+func localStepEvent(input int64) appEventFn {
+	return func(s *System, id msg.ProcID) {
+		s.runOrDefer(id, func() { s.procs[id].State.LocalStep(input) })
+	}
+}
+
+func emitInternalEvent(s *System, id msg.ProcID) {
+	s.runOrDefer(id, func() { s.procs[id].EmitInternal() })
+}
+
+func emitExternalEvent(s *System, id msg.ProcID) {
+	s.runOrDefer(id, func() { s.procs[id].EmitExternal() })
+}
+
+// appEvent applies one workload event to every replica of a component.
+func (s *System) appEvent(ids []msg.ProcID, fn appEventFn) {
+	for _, id := range ids {
+		fn(s, id)
+	}
+}
+
+// armStream schedules a self-rescheduling exponential event stream. The rate
+// is re-read each firing so experiments can modulate traffic mid-run.
+func (s *System) armStream(fire func(), rate func() float64) {
+	var schedule func()
+	schedule = func() {
+		r := rate()
+		if r <= 0 {
+			return
+		}
+		d := expDraw(r, s.eng.Rand())
+		s.eng.After(d, func() {
+			if !s.workloadOn {
+				return
+			}
+			fire()
+			schedule()
+		})
+	}
+	if rate() > 0 {
+		schedule()
+	}
+}
+
+func (s *System) drawInput() int64 {
+	return s.eng.Rand().Int63n(1_000_000)
+}
+
+// expDraw samples an exponential inter-arrival time for the given rate.
+func expDraw(rate float64, rng *rand.Rand) time.Duration {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return time.Duration(-math.Log(u) / rate * float64(time.Second))
+}
+
+// EmitC1Internal drives one explicit internal-message event on component 1
+// (both replicas), used by scripted scenarios and examples.
+func (s *System) EmitC1Internal() { s.appEvent(s.component1Procs(), emitInternalEvent) }
+
+// EmitC1External drives one explicit external-message event on component 1.
+func (s *System) EmitC1External() { s.appEvent(s.component1Procs(), emitExternalEvent) }
+
+// EmitC1LocalStep drives one explicit local computation step on component 1.
+func (s *System) EmitC1LocalStep(input int64) {
+	s.appEvent(s.component1Procs(), localStepEvent(input))
+}
+
+// EmitC2Internal drives one explicit internal-message event on component 2.
+func (s *System) EmitC2Internal() { s.appEvent([]msg.ProcID{msg.P2}, emitInternalEvent) }
+
+// EmitC2External drives one explicit external-message event on component 2.
+func (s *System) EmitC2External() { s.appEvent([]msg.ProcID{msg.P2}, emitExternalEvent) }
+
+// ActivateSoftwareFault corrupts the active process's state (the design
+// fault in the low-confidence version manifests). The next acceptance test
+// over a corrupted payload detects it with the configured coverage.
+func (s *System) ActivateSoftwareFault() {
+	p := s.procs[msg.P1Act]
+	if p == nil || p.Failed() || !s.cfg.Scheme.Guarded() {
+		return
+	}
+	p.State.Corrupt()
+	s.record(trace.Event{At: s.eng.Now(), Proc: msg.P1Act, Kind: trace.FaultActivated})
+}

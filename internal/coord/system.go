@@ -1,0 +1,395 @@
+package coord
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/checkpoint"
+	"github.com/synergy-ft/synergy/internal/mdcd"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/sim"
+	"github.com/synergy-ft/synergy/internal/simnet"
+	"github.com/synergy-ft/synergy/internal/stats"
+	"github.com/synergy-ft/synergy/internal/tb"
+	"github.com/synergy-ft/synergy/internal/trace"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// Metrics aggregates a run's dependability outcomes.
+type Metrics struct {
+	// HWFaults counts injected hardware faults.
+	HWFaults int
+	// SWRecoveries counts completed software error recoveries.
+	SWRecoveries int
+	// UnrecoverableSW counts software errors the system could not recover
+	// from (the fate of the naive combination after a bad rollback).
+	UnrecoverableSW int
+	// UnrecoverableHW counts hardware faults with no stable checkpoint to
+	// roll back to beyond genesis.
+	UnrecoverableHW int
+	// RollbackDistance samples, in seconds, the computation undone per
+	// process per hardware fault (the paper's Figure 7 metric).
+	RollbackDistance stats.Sample
+	// RollbackByProc breaks the samples down per process.
+	RollbackByProc map[msg.ProcID]*stats.Sample
+}
+
+// System is one assembled three-node run over the discrete-event engine.
+type System struct {
+	cfg Config
+	eng *sim.Engine
+	net *simnet.Network
+	rec *trace.Recorder
+
+	procs  map[msg.ProcID]*mdcd.Process
+	cps    map[msg.ProcID]*tb.Checkpointer
+	nodeOf map[msg.ProcID]msg.NodeID
+
+	pendingEmit map[msg.ProcID][]func()
+	workloadOn  bool
+	actDemoted  bool
+	upgradeDone bool
+	failed      bool
+	failReason  string
+
+	metrics Metrics
+}
+
+// NewSystem assembles a system from the configuration.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:         cfg,
+		eng:         sim.New(cfg.Seed),
+		procs:       make(map[msg.ProcID]*mdcd.Process),
+		cps:         make(map[msg.ProcID]*tb.Checkpointer),
+		nodeOf:      map[msg.ProcID]msg.NodeID{msg.P1Act: 1, msg.P1Sdw: 2, msg.P2: 3},
+		pendingEmit: make(map[msg.ProcID][]func()),
+	}
+	s.metrics.RollbackByProc = make(map[msg.ProcID]*stats.Sample)
+	if cfg.TraceEnabled {
+		s.rec = trace.New()
+	}
+	net, err := simnet.New(s.eng, cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	s.net = net
+
+	for _, spec := range s.processSpecs() {
+		spec := spec
+		env := &procEnv{sys: s, proc: spec.id}
+		p := mdcd.NewProcess(spec.id, spec.role, s.mdcdConfig(), env)
+		s.procs[spec.id] = p
+		s.metrics.RollbackByProc[spec.id] = &stats.Sample{}
+
+		if cfg.Scheme.UsesTBTimers() || cfg.Scheme == WriteThrough {
+			clock := vtime.NewClock(cfg.Clock, s.eng.Rand())
+			cp, err := tb.NewCheckpointer(spec.id, s.tbConfigFor(), clock,
+				simRuntime{eng: s.eng}, hostAdapter{sys: s, proc: p}, s.record)
+			if err != nil {
+				return nil, err
+			}
+			cp.OnResyncRequest = s.resyncAll
+			if cfg.MaxRepair > 0 {
+				cp.Stable.SetRetention(2 + int(cfg.MaxRepair/cfg.CheckpointInterval) + 1)
+			}
+			s.cps[spec.id] = cp
+			p.DirtyChanged = cp.NotifyDirtyChanged
+			p.UnackedProvider = cp.UnackedSnapshot
+		}
+		if cfg.Scheme == WriteThrough {
+			p.Validated = func(selfAT, wasDirty bool) { s.writeThroughValidated(spec.id, selfAT, wasDirty) }
+		}
+		s.net.Register(spec.id, s.nodeOf[spec.id], func(m msg.Message) { s.route(spec.id, m) })
+	}
+	if cfg.Scheme == TBOnly {
+		// Two plain processes; no shadow participates.
+		delete(s.nodeOf, msg.P1Sdw)
+	}
+	return s, nil
+}
+
+type processSpec struct {
+	id   msg.ProcID
+	role mdcd.Role
+}
+
+func (s *System) processSpecs() []processSpec {
+	if s.cfg.Scheme == TBOnly {
+		return []processSpec{
+			{id: msg.P1Act, role: mdcd.RolePlain},
+			{id: msg.P2, role: mdcd.RolePlain},
+		}
+	}
+	return []processSpec{
+		{id: msg.P1Act, role: mdcd.RoleActive},
+		{id: msg.P1Sdw, role: mdcd.RoleShadow},
+		{id: msg.P2, role: mdcd.RolePeer},
+	}
+}
+
+func (s *System) mdcdConfig() mdcd.Config {
+	cfg := mdcd.Config{Test: s.cfg.Test}
+	switch s.cfg.Scheme {
+	case Coordinated:
+		cfg.Mode = mdcd.ModeModified
+		cfg.GateOnNdc = !s.cfg.ContentOnlyCoordination && !s.cfg.DisableNdcGate
+		cfg.HoldPassedATInBlocking = s.cfg.ContentOnlyCoordination
+	case WriteThrough:
+		cfg.Mode = mdcd.ModeOriginal
+	case Naive:
+		cfg.Mode = mdcd.ModeModified
+		cfg.HoldPassedATInBlocking = true // original TB blocks all messages
+	default:
+		cfg.Mode = mdcd.ModeModified
+		if s.cfg.OriginalMDCD && s.cfg.Scheme == MDCDOnly {
+			cfg.Mode = mdcd.ModeOriginal
+		}
+	}
+	return cfg
+}
+
+// tbConfigFor returns the per-node TB configuration; WriteThrough reuses the
+// checkpointer purely for its stable slot and unacknowledged-message
+// tracking (timers never start).
+func (s *System) tbConfigFor() tb.Config {
+	if s.cfg.Scheme == WriteThrough {
+		c := Config{
+			Scheme:             Coordinated,
+			Clock:              s.cfg.Clock,
+			Net:                s.cfg.Net,
+			CheckpointInterval: s.cfg.CheckpointInterval,
+		}
+		return c.tbConfig()
+	}
+	return s.cfg.tbConfig()
+}
+
+// Engine exposes the discrete-event engine.
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Network exposes the interconnect.
+func (s *System) Network() *simnet.Network { return s.net }
+
+// Recorder returns the trace recorder (nil unless TraceEnabled).
+func (s *System) Recorder() *trace.Recorder { return s.rec }
+
+// Process returns a participant by ID (nil if absent in this scheme).
+func (s *System) Process(id msg.ProcID) *mdcd.Process { return s.procs[id] }
+
+// Checkpointer returns a participant's TB checkpointer (nil if none).
+func (s *System) Checkpointer(id msg.ProcID) *tb.Checkpointer { return s.cps[id] }
+
+// Metrics returns the accumulated outcomes.
+func (s *System) Metrics() *Metrics { return &s.metrics }
+
+// Failed reports whether the system reached an unrecoverable condition, with
+// the reason.
+func (s *System) Failed() (bool, string) { return s.failed, s.failReason }
+
+// orderedProcs returns the live process IDs in deterministic order; every
+// loop that draws randomness, accumulates floats or schedules simultaneous
+// events must use it, or replay determinism breaks on map iteration order.
+func (s *System) orderedProcs() []msg.ProcID {
+	out := make([]msg.ProcID, 0, len(s.procs))
+	for _, id := range []msg.ProcID{msg.P1Act, msg.P1Sdw, msg.P2} {
+		if s.procs[id] != nil {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// record forwards a trace event to the recorder, if tracing is on.
+func (s *System) record(e trace.Event) { s.rec.Record(e) }
+
+// route dispatches a delivered message: acknowledgements feed the TB
+// checkpointer's unacknowledged tracking, everything else enters the MDCD
+// containment algorithm. Traffic from a demoted P1act is dropped.
+func (s *System) route(dst msg.ProcID, m msg.Message) {
+	if s.actDemoted && m.From == msg.P1Act {
+		return
+	}
+	if m.Kind == msg.Ack {
+		if cp := s.cps[dst]; cp != nil {
+			cp.OnAck(m)
+		}
+		return
+	}
+	s.procs[dst].Receive(m)
+}
+
+// delayFor derives a deterministic delivery delay for a message from the run
+// seed and the message identity. Broadcast copies of one logical message
+// (same origin and SN) travel with the same delay, keeping the active and
+// shadow replicas aligned.
+func (s *System) delayFor(m msg.Message) time.Duration {
+	h := uint64(s.cfg.Seed) ^ 0x8a91b2c3d4e5f607
+	h = splitmix(h ^ uint64(m.From)<<8 ^ uint64(m.Kind))
+	h = splitmix(h ^ m.SN)
+	h = splitmix(h ^ m.ValidSN ^ m.Ndc<<17 ^ m.AckSN<<29 ^ m.ChanSeq<<43)
+	span := uint64(s.cfg.Net.MaxDelay - s.cfg.Net.MinDelay)
+	if span == 0 {
+		return s.cfg.Net.MinDelay
+	}
+	return s.cfg.Net.MinDelay + time.Duration(h%(span+1))
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// procEnv implements mdcd.Env for one process.
+type procEnv struct {
+	sys  *System
+	proc msg.ProcID
+}
+
+var _ mdcd.Env = (*procEnv)(nil)
+
+func (e *procEnv) Now() vtime.Time  { return e.sys.eng.Now() }
+func (e *procEnv) Rand() *rand.Rand { return e.sys.eng.Rand() }
+
+func (e *procEnv) Send(m msg.Message) {
+	if cp := e.sys.cps[e.proc]; cp != nil {
+		cp.OnSend(m)
+	}
+	e.sys.net.SendWithDelay(m, e.sys.delayFor(m))
+}
+
+func (e *procEnv) InBlocking() bool {
+	cp := e.sys.cps[e.proc]
+	return cp != nil && cp.InBlocking()
+}
+
+func (e *procEnv) Ndc() uint64 {
+	cp := e.sys.cps[e.proc]
+	if cp == nil {
+		return 0
+	}
+	return cp.Ndc()
+}
+
+func (e *procEnv) Record(ev trace.Event) { e.sys.record(ev) }
+
+func (e *procEnv) RequestErrorRecovery(detector msg.ProcID) {
+	e.sys.softwareRecovery(detector)
+}
+
+// simRuntime adapts the engine to tb.Runtime.
+type simRuntime struct{ eng *sim.Engine }
+
+var _ tb.Runtime = simRuntime{}
+
+func (r simRuntime) Now() vtime.Time { return r.eng.Now() }
+
+func (r simRuntime) After(d time.Duration, fn func()) func() {
+	id := r.eng.After(d, fn)
+	return func() { r.eng.Cancel(id) }
+}
+
+// hostAdapter exposes an MDCD process to its TB checkpointer and lets the
+// coordination layer flush deferred application events when a blocking
+// period ends.
+type hostAdapter struct {
+	sys  *System
+	proc *mdcd.Process
+}
+
+var _ tb.Host = hostAdapter{}
+
+func (h hostAdapter) EffectiveDirty() bool { return h.proc.EffectiveDirty() }
+
+func (h hostAdapter) Snapshot(kind checkpoint.Kind) *checkpoint.Checkpoint {
+	return h.proc.Snapshot(kind)
+}
+
+func (h hostAdapter) LatestVolatile() (*checkpoint.Checkpoint, bool) {
+	return h.proc.Volatile.Latest()
+}
+
+func (h hostAdapter) ReleaseHeld() {
+	h.proc.ReleaseHeld()
+	h.sys.flushPending(h.proc.ID())
+}
+
+// writeThroughCommit implements the write-through baseline: every validation
+// event writes a Type-2 checkpoint straight through to stable storage.
+// writeThroughValidated decides whether a validation event writes a
+// checkpoint through to stable storage under the write-through baseline.
+// Type-2 checkpoints exist only where the original MDCD protocol establishes
+// them — right after a potentially contaminated state is validated — and
+// P1act (exempt from MDCD checkpointing, dirty bit constantly one) saves its
+// current state upon the receipt of a passed-AT notification, per the
+// paper's description of the variant. The rollback distance consequences of
+// this validation-bound cadence are what Figure 7 quantifies.
+func (s *System) writeThroughValidated(id msg.ProcID, selfAT, wasDirty bool) {
+	if id == msg.P1Act {
+		if selfAT {
+			return // saves only upon receipt of a notification
+		}
+	} else if !wasDirty {
+		return // no Type-2 establishment for an already-clean state
+	}
+	s.writeThroughCommit(id)
+}
+
+func (s *System) writeThroughCommit(id msg.ProcID) {
+	proc, cp := s.procs[id], s.cps[id]
+	snap := proc.Snapshot(checkpoint.Stable)
+	if err := cp.CommitImmediate(snap); err != nil {
+		s.record(trace.Event{At: s.eng.Now(), Proc: id, Kind: trace.StableCommitted, Note: "write-through: " + err.Error()})
+		return
+	}
+	s.record(trace.Event{At: s.eng.Now(), Proc: id, Kind: trace.StableCommitted, Ckpt: checkpoint.Stable, Note: "write-through"})
+}
+
+// resyncAll resynchronizes every node's clock (the timer-resynchronization
+// service the TB protocol assumes; modelled as instantaneous).
+func (s *System) resyncAll() {
+	for _, id := range s.orderedProcs() {
+		cp := s.cps[id]
+		if cp == nil {
+			continue
+		}
+		cp.Clock().Resynchronize(s.eng.Now(), s.eng.Rand())
+		cp.NoteResynced()
+	}
+}
+
+// runOrDefer executes an application event now, or defers it to the end of
+// the process's blocking period (a blocked process neither computes nor
+// communicates).
+func (s *System) runOrDefer(id msg.ProcID, fn func()) {
+	p := s.procs[id]
+	if p == nil || p.Failed() || s.net.NodeDown(s.nodeOf[id]) {
+		return // a crashed node computes nothing until repaired
+	}
+	if cp := s.cps[id]; cp != nil && cp.InBlocking() {
+		s.pendingEmit[id] = append(s.pendingEmit[id], fn)
+		return
+	}
+	fn()
+}
+
+// flushPending runs events deferred during a blocking period.
+func (s *System) flushPending(id msg.ProcID) {
+	pend := s.pendingEmit[id]
+	s.pendingEmit[id] = nil
+	for _, fn := range pend {
+		fn()
+	}
+}
+
+// Failf marks the system unrecoverable.
+func (s *System) failf(format string, args ...any) {
+	s.failed = true
+	s.failReason = fmt.Sprintf(format, args...)
+}

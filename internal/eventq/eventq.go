@@ -1,0 +1,136 @@
+// Package eventq implements the priority queue at the heart of the
+// discrete-event simulator: events ordered by virtual firing time, with a
+// monotonically increasing sequence number as a deterministic tie-breaker so
+// that simultaneous events fire in scheduling order.
+package eventq
+
+import (
+	"container/heap"
+
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// ID identifies a scheduled event so it can be cancelled.
+type ID uint64
+
+// Event is a callback scheduled to fire at a virtual instant.
+type Event struct {
+	// At is the virtual instant at which the event fires.
+	At vtime.Time
+	// Fn is invoked when the event fires.
+	Fn func()
+
+	id        ID
+	index     int
+	cancelled bool
+}
+
+// Queue is a min-heap of events keyed by (At, scheduling order). The zero
+// value is ready to use.
+type Queue struct {
+	h      eventHeap
+	nextID ID
+	live   int
+}
+
+// Push schedules fn to run at instant at and returns an ID usable with Cancel.
+func (q *Queue) Push(at vtime.Time, fn func()) ID {
+	q.nextID++
+	ev := &Event{At: at, Fn: fn, id: q.nextID}
+	heap.Push(&q.h, ev)
+	q.live++
+	return ev.id
+}
+
+// Pop removes and returns the earliest live event, or nil if the queue is
+// empty. Cancelled events are discarded transparently.
+func (q *Queue) Pop() *Event {
+	for q.h.Len() > 0 {
+		ev, _ := heap.Pop(&q.h).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		q.live--
+		return ev
+	}
+	return nil
+}
+
+// PeekTime returns the firing instant of the earliest live event. The second
+// result is false if the queue is empty.
+func (q *Queue) PeekTime() (vtime.Time, bool) {
+	for q.h.Len() > 0 {
+		if ev := q.h[0]; !ev.cancelled {
+			return ev.At, true
+		}
+		heap.Pop(&q.h)
+	}
+	return 0, false
+}
+
+// Cancel marks the event with the given ID as cancelled. It returns false if
+// no live event has that ID. Cancellation is O(n) in the worst case but the
+// queue stays small in practice; cancelled entries are discarded lazily, and
+// the heap is compacted once they dominate it.
+func (q *Queue) Cancel(id ID) bool {
+	for _, ev := range q.h {
+		if ev.id == id && !ev.cancelled {
+			ev.cancelled = true
+			q.live--
+			if len(q.h) > 64 && q.live < len(q.h)/2 {
+				q.compact()
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// compact rebuilds the heap without cancelled entries.
+func (q *Queue) compact() {
+	kept := q.h[:0]
+	for _, ev := range q.h {
+		if !ev.cancelled {
+			kept = append(kept, ev)
+		}
+	}
+	q.h = kept
+	heap.Init(&q.h)
+}
+
+// Len returns the number of live (non-cancelled) events.
+func (q *Queue) Len() int { return q.live }
+
+type eventHeap []*Event
+
+var _ heap.Interface = (*eventHeap)(nil)
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].id < h[j].id
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, _ := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

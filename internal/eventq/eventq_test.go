@@ -1,0 +1,184 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+func TestPopOrderedByTime(t *testing.T) {
+	var q Queue
+	q.Push(vtime.FromSeconds(3), nil)
+	q.Push(vtime.FromSeconds(1), nil)
+	q.Push(vtime.FromSeconds(2), nil)
+
+	var got []vtime.Time
+	for ev := q.Pop(); ev != nil; ev = q.Pop() {
+		got = append(got, ev.At)
+	}
+	want := []vtime.Time{vtime.FromSeconds(1), vtime.FromSeconds(2), vtime.FromSeconds(3)}
+	if len(got) != len(want) {
+		t.Fatalf("popped %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	var q Queue
+	var order []int
+	at := vtime.FromSeconds(1)
+	for i := 0; i < 5; i++ {
+		i := i
+		q.Push(at, func() { order = append(order, i) })
+	}
+	for ev := q.Pop(); ev != nil; ev = q.Pop() {
+		ev.Fn()
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	id1 := q.Push(vtime.FromSeconds(1), nil)
+	q.Push(vtime.FromSeconds(2), nil)
+	if !q.Cancel(id1) {
+		t.Fatal("Cancel returned false for live event")
+	}
+	if q.Cancel(id1) {
+		t.Fatal("Cancel returned true for already-cancelled event")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+	ev := q.Pop()
+	if ev == nil || ev.At != vtime.FromSeconds(2) {
+		t.Fatalf("Pop = %+v, want event at 2s", ev)
+	}
+	if q.Pop() != nil {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestCancelUnknownID(t *testing.T) {
+	var q Queue
+	if q.Cancel(123) {
+		t.Fatal("Cancel of unknown ID should return false")
+	}
+}
+
+func TestPeekTimeSkipsCancelled(t *testing.T) {
+	var q Queue
+	id := q.Push(vtime.FromSeconds(1), nil)
+	q.Push(vtime.FromSeconds(5), nil)
+	q.Cancel(id)
+	at, ok := q.PeekTime()
+	if !ok || at != vtime.FromSeconds(5) {
+		t.Fatalf("PeekTime = %v,%v, want 5s,true", at, ok)
+	}
+}
+
+func TestPeekTimeEmpty(t *testing.T) {
+	var q Queue
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("PeekTime on empty queue should report !ok")
+	}
+}
+
+// Property: popping returns events in nondecreasing time order regardless of
+// insertion order.
+func TestPopMonotoneProperty(t *testing.T) {
+	f := func(times []uint32) bool {
+		var q Queue
+		for _, v := range times {
+			q.Push(vtime.Time(v), nil)
+		}
+		prev := vtime.Time(-1)
+		for ev := q.Pop(); ev != nil; ev = q.Pop() {
+			if ev.At < prev {
+				return false
+			}
+			prev = ev.At
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with random cancellations, the live count matches and the
+// surviving events come out sorted.
+func TestCancelConsistencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		var q Queue
+		n := 1 + rng.Intn(40)
+		ids := make([]ID, 0, n)
+		times := make(map[ID]vtime.Time, n)
+		for i := 0; i < n; i++ {
+			at := vtime.Time(rng.Intn(1000))
+			id := q.Push(at, nil)
+			ids = append(ids, id)
+			times[id] = at
+		}
+		var surviving []vtime.Time
+		for _, id := range ids {
+			if rng.Intn(2) == 0 {
+				q.Cancel(id)
+			} else {
+				surviving = append(surviving, times[id])
+			}
+		}
+		if q.Len() != len(surviving) {
+			t.Fatalf("Len = %d, want %d", q.Len(), len(surviving))
+		}
+		sort.Slice(surviving, func(i, j int) bool { return surviving[i] < surviving[j] })
+		for i := 0; ; i++ {
+			ev := q.Pop()
+			if ev == nil {
+				if i != len(surviving) {
+					t.Fatalf("popped %d events, want %d", i, len(surviving))
+				}
+				break
+			}
+			if ev.At != surviving[i] {
+				t.Fatalf("pop[%d] = %v, want %v", i, ev.At, surviving[i])
+			}
+		}
+	}
+}
+
+func TestCompactionBoundsHeapGrowth(t *testing.T) {
+	var q Queue
+	// Schedule-and-cancel churn far beyond the compaction threshold: the
+	// heap must not retain the cancelled entries.
+	for i := 0; i < 10_000; i++ {
+		id := q.Push(vtime.FromSeconds(1e9), nil)
+		if !q.Cancel(id) {
+			t.Fatal("cancel failed")
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("live = %d", q.Len())
+	}
+	if got := len(q.h); got > 128 {
+		t.Fatalf("heap retained %d cancelled entries", got)
+	}
+	// The queue still works after heavy compaction.
+	q.Push(vtime.FromSeconds(2), nil)
+	q.Push(vtime.FromSeconds(1), nil)
+	if ev := q.Pop(); ev == nil || ev.At != vtime.FromSeconds(1) {
+		t.Fatalf("pop after compaction = %+v", ev)
+	}
+}

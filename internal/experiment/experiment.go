@@ -1,0 +1,88 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation, plus the ablations DESIGN.md calls out. Each experiment is a
+// named runner producing a textual Result whose rows/series mirror what the
+// paper reports; cmd/synergy-experiments and the root bench harness drive
+// them.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	// ID is the experiment identifier (e.g. "fig7").
+	ID string
+	// Title names the paper artifact being reproduced.
+	Title string
+	// Body is the rendered output: the table rows or plotted series.
+	Body string
+	// Notes records modelling decisions and expected shape.
+	Notes string
+	// Values exposes the experiment's key quantities for programmatic
+	// checks (tests, regression tracking).
+	Values map[string]float64
+}
+
+// String renders the result for terminal output.
+func (r Result) String() string {
+	s := fmt.Sprintf("== %s — %s ==\n%s", r.ID, r.Title, r.Body)
+	if r.Notes != "" {
+		s += "\n" + r.Notes + "\n"
+	}
+	return s
+}
+
+// Options tunes a run.
+type Options struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Quick shrinks campaign sizes for tests and benchmarks.
+	Quick bool
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Runner regenerates one artifact.
+type Runner func(Options) (Result, error)
+
+var registry = map[string]Runner{
+	"table1":            Table1,
+	"fig1":              Figure1,
+	"fig2":              Figure2,
+	"fig3":              Figure3,
+	"fig4":              Figure4,
+	"fig6":              Figure6,
+	"fig7":              Figure7,
+	"fig7-analytic":     Figure7Analytic,
+	"costs":             Costs,
+	"ablation-delta":    AblationDelta,
+	"ablation-ndc":      AblationNdc,
+	"ablation-repair":   AblationRepair,
+	"ablation-blocking": AblationBlocking,
+}
+
+// IDs lists the available experiments in stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by ID.
+func Run(id string, opts Options) (Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Result{}, fmt.Errorf("experiment: unknown id %q (have %v)", id, IDs())
+	}
+	return r(opts)
+}

@@ -1,0 +1,196 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, id string) Result {
+	t.Helper()
+	r, err := Run(id, Options{Quick: true})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if r.ID != id || r.Title == "" || r.Body == "" {
+		t.Fatalf("%s: incomplete result %+v", id, r)
+	}
+	return r
+}
+
+func TestIDsStableAndComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(registry) {
+		t.Fatalf("IDs() returned %d, registry has %d", len(ids), len(registry))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("IDs not sorted: %v", ids)
+		}
+	}
+}
+
+func TestUnknownID(t *testing.T) {
+	if _, err := Run("fig99", Options{}); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r := run(t, "table1")
+	for _, want := range []string{"Blocking period", "Checkpoint contents", "Messages blocked", "Purpose of blocking"} {
+		if !strings.Contains(r.Body, want) {
+			t.Fatalf("table1 missing row %q:\n%s", want, r.Body)
+		}
+	}
+	if r.Values["adapted_dirty_ms"] <= r.Values["adapted_clean_ms"] {
+		t.Fatal("τ(1) must exceed τ(0)")
+	}
+	if r.Values["orig_blocking_ms"] != r.Values["adapted_clean_ms"] {
+		t.Fatal("τ(0) must coincide with the original blocking period")
+	}
+	if r.Values["measured_coordinated_ms"] <= 0 || r.Values["measured_original_ms"] <= 0 {
+		t.Fatalf("measured blocking means missing: %v", r.Values)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	r := run(t, "fig1")
+	if r.Values["act_ckpts"] != 0 {
+		t.Fatal("original-mode P1act must be exempt from checkpointing")
+	}
+	if r.Values["sdw_type1"] == 0 || r.Values["sdw_type2"] == 0 {
+		t.Fatalf("shadow should establish Type-1 and Type-2 checkpoints: %v", r.Values)
+	}
+	if r.Values["p2_type1"] == 0 || r.Values["p2_type2"] == 0 {
+		t.Fatalf("P2 should establish Type-1 and Type-2 checkpoints: %v", r.Values)
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	r := run(t, "fig2")
+	if r.Values["noblock_orphans"] == 0 {
+		t.Fatal("disabling blocking should produce consistency violations")
+	}
+	if r.Values["block_orphans"] != 0 || r.Values["block_lost"] != 0 {
+		t.Fatalf("blocking-enabled run must be violation-free: %v", r.Values)
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	r := run(t, "fig3")
+	if r.Values["act_pseudo"] == 0 {
+		t.Fatal("modified protocol should establish pseudo checkpoints")
+	}
+	if r.Values["type2_any"] != 0 {
+		t.Fatal("modified protocol eliminates Type-2 establishment")
+	}
+	if r.Values["stable_ndc"] < 2 {
+		t.Fatalf("expected at least two stable rounds in view: %v", r.Values)
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	r := run(t, "fig4")
+	if r.Values["naive_dirty"] == 0 {
+		t.Fatal("naive combination should save contaminated stable contents (Fig 4a)")
+	}
+	if r.Values["strawman_knowledge"] == 0 {
+		t.Fatal("content-only strawman should lose in-transit validation knowledge (Fig 4b)")
+	}
+	if r.Values["coordinated_total"] != 0 {
+		t.Fatalf("full coordination must be violation-free, got %v", r.Values["coordinated_total"])
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	r := run(t, "fig6")
+	if r.Values["p2_replaces"] != 1 {
+		t.Fatalf("scripted scenario should produce exactly one abort-and-replace, got %v", r.Values["p2_replaces"])
+	}
+	for _, want := range []string{"round 1", "round 2", "stable-write trace"} {
+		if !strings.Contains(r.Body, want) {
+			t.Fatalf("fig6 body missing %q", want)
+		}
+	}
+}
+
+func TestFigure7HeadlineShape(t *testing.T) {
+	r := run(t, "fig7")
+	if got := r.Values["min_ratio"]; got < 5 {
+		t.Fatalf("E[Dwt]/E[Dco] = %.1f at worst point, want ≥5 (paper: orders of magnitude)", got)
+	}
+	// Coordination's rollback distance stays near the checkpoint interval.
+	for _, x := range []string{"60", "120", "200"} {
+		if co := r.Values["co_"+x]; co <= 0 || co > 30 {
+			t.Fatalf("E[Dco] at %s = %v, want small (Δ-scale)", x, co)
+		}
+	}
+}
+
+func TestFigure7AnalyticAgreement(t *testing.T) {
+	r := run(t, "fig7-analytic")
+	// The write-through side is a documented lower bound (genesis
+	// rollbacks excluded), so a small factor of disagreement is expected.
+	if got := r.Values["worst_factor"]; got > 4 {
+		t.Fatalf("model vs simulation disagree by ×%.2f", got)
+	}
+}
+
+func TestAblationDelta(t *testing.T) {
+	r := run(t, "ablation-delta")
+	if r.Values["dist_first"] >= r.Values["dist_last"] {
+		t.Fatalf("rollback distance should grow with Δ: %v", r.Values)
+	}
+	if r.Values["writes_first"] <= r.Values["writes_last"] {
+		t.Fatalf("write rate should fall with Δ: %v", r.Values)
+	}
+}
+
+func TestAblationNdc(t *testing.T) {
+	r := run(t, "ablation-ndc")
+	if r.Values["gated_violations"] != 0 {
+		t.Fatalf("gated run must be violation-free: %v", r.Values)
+	}
+	if r.Values["ungated_violations"] == 0 {
+		t.Fatal("disabling the gate should produce violations")
+	}
+	if r.Values["gate_rejections"] == 0 {
+		t.Fatal("the gate should actually fire under wide skew")
+	}
+}
+
+func TestAblationBlocking(t *testing.T) {
+	r := run(t, "ablation-blocking")
+	if r.Values["enabled"] != 0 {
+		t.Fatalf("blocking-enabled run must be violation-free: %v", r.Values)
+	}
+	if r.Values["disabled"] == 0 {
+		t.Fatal("disabling blocking should produce violations")
+	}
+}
+
+func TestCosts(t *testing.T) {
+	r := run(t, "costs")
+	// MDCD alone writes nothing to stable storage; the coordinated
+	// scheme's stable-write rate is the periodic 3-per-Δ.
+	if r.Values["mdcd-only_stable"] != 0 {
+		t.Fatalf("mdcd-only stable rate = %v", r.Values["mdcd-only_stable"])
+	}
+	if got := r.Values["coordinated_stable"]; got < 25 || got > 35 {
+		t.Fatalf("coordinated stable rate = %v, want ≈30/100s (3 per Δ=10s)", got)
+	}
+	if r.Values["write-through_blocking_ms"] != 0 {
+		t.Fatal("write-through has no blocking periods")
+	}
+}
+
+func TestAblationRepair(t *testing.T) {
+	r := run(t, "ablation-repair")
+	if r.Values["dist_first"] >= r.Values["dist_last"] {
+		t.Fatalf("rollback distance should grow with repair delay: %v", r.Values)
+	}
+	// E[D] at the largest swept delay is dominated by the downtime.
+	if r.Values["dist_last"] < r.Values["last_repair"]*0.8 {
+		t.Fatalf("E[D]=%v at repair=%v — downtime not reflected", r.Values["dist_last"], r.Values["last_repair"])
+	}
+}

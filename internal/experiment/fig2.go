@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/app"
+	"github.com/synergy-ft/synergy/internal/coord"
+	"github.com/synergy-ft/synergy/internal/invariant"
+	"github.com/synergy-ft/synergy/internal/simnet"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// Figure2 reproduces the TB protocol's motivation: without blocking periods,
+// imperfect timer synchronization lets messages cross the checkpoint line —
+// a message read before the receiver's checkpoint but sent after the
+// sender's destroys consistency (the figure's m1). With the
+// blocking-for-consistency period restored, the violations disappear;
+// recoverability never relies on blocking because unacknowledged messages
+// are saved with the next checkpoint (the figure's m2).
+func Figure2(opts Options) (Result, error) {
+	rounds := 150
+	if opts.Quick {
+		rounds = 40
+	}
+	run := func(disableBlocking bool) (orphans, lost, checked int, err error) {
+		cfg := coord.DefaultConfig(coord.TBOnly, opts.seed())
+		// A visibly skewed system: timers deviate by up to 400ms while
+		// messages fly for 5–50ms, and traffic is brisk, so an
+		// unprotected checkpoint line is crossed regularly.
+		cfg.Clock = vtime.ClockConfig{MaxDeviation: 400 * time.Millisecond, DriftRate: 1e-4}
+		cfg.Net = simnet.Config{MinDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+		cfg.CheckpointInterval = 5 * time.Second
+		cfg.Workload1 = app.Workload{InternalRate: 20}
+		cfg.Workload2 = app.Workload{InternalRate: 20}
+		cfg.DisableBlocking = disableBlocking
+		sys, err := coord.NewSystem(cfg)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		sys.Start()
+		for r := 0; r < rounds; r++ {
+			sys.RunFor(cfg.CheckpointInterval.Seconds())
+			line, err := sys.StableLine()
+			if err != nil {
+				continue
+			}
+			vs := line.Check()
+			orphans += invariant.Count(vs, invariant.OrphanMessage)
+			lost += invariant.Count(vs, invariant.LostMessage)
+			checked++
+		}
+		return orphans, lost, checked, nil
+	}
+
+	noBlockOrphans, noBlockLost, n1, err := run(true)
+	if err != nil {
+		return Result{}, err
+	}
+	blockOrphans, blockLost, n2, err := run(false)
+	if err != nil {
+		return Result{}, err
+	}
+
+	body := fmt.Sprintf(
+		"configuration            rounds  consistency-violations  recoverability-violations\n"+
+			"no blocking period       %6d  %22d  %25d\n"+
+			"with blocking period     %6d  %22d  %25d\n",
+		n1, noBlockOrphans, noBlockLost,
+		n2, blockOrphans, blockLost)
+	return Result{
+		Values: map[string]float64{
+			"noblock_orphans": float64(noBlockOrphans),
+			"noblock_lost":    float64(noBlockLost),
+			"block_orphans":   float64(blockOrphans),
+			"block_lost":      float64(blockLost),
+		},
+		ID:    "fig2",
+		Title: "Global State Consistency and Recoverability under the TB protocol",
+		Body:  body,
+		Notes: "Blocking eliminates consistency violations; recoverability is covered by unacknowledged-message logging in both configurations.",
+	}, nil
+}

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/app"
+	"github.com/synergy-ft/synergy/internal/coord"
+	"github.com/synergy-ft/synergy/internal/invariant"
+	"github.com/synergy-ft/synergy/internal/simnet"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// Figure4 reproduces the consequences of simply combining the MDCD and TB
+// protocols, as randomized campaigns counting property violations on the
+// recovery line:
+//
+//	(a) the naive combination (unmodified TB beside MDCD) saves current —
+//	    potentially contaminated — states to stable storage, losing the
+//	    most recent non-contaminated state;
+//	(b) the content-only strawman (contents chosen by the dirty bit, but
+//	    writes unresponsive during blocking) violates validity-concerned
+//	    recoverability when a passed-AT notification is in transit across
+//	    checkpoint establishment;
+//	(c,d per Figure 6) the full coordination exhibits neither.
+func Figure4(opts Options) (Result, error) {
+	rounds := 200
+	if opts.Quick {
+		rounds = 50
+	}
+	type row struct {
+		name                string
+		scheme              coord.Scheme
+		contentOnly         bool
+		dirty, lost, orphan int
+		checked             int
+	}
+	rows := []row{
+		{name: "naive combination", scheme: coord.Naive},
+		{name: "content-only strawman", scheme: coord.Coordinated, contentOnly: true},
+		{name: "full coordination", scheme: coord.Coordinated},
+	}
+	for i := range rows {
+		cfg := coord.DefaultConfig(rows[i].scheme, opts.seed())
+		// Wide timer skew widens the in-transit window Figure 4(b)
+		// depends on; busy guarded traffic with regular validations
+		// keeps dirty intervals and passed-AT notifications flowing.
+		cfg.Clock = vtime.ClockConfig{MaxDeviation: 500 * time.Millisecond, DriftRate: 1e-4}
+		cfg.Net = simnet.Config{MinDelay: 5 * time.Millisecond, MaxDelay: 60 * time.Millisecond}
+		cfg.CheckpointInterval = 5 * time.Second
+		cfg.Workload1 = app.Workload{InternalRate: 4, ExternalRate: 0.8}
+		cfg.Workload2 = app.Workload{InternalRate: 4, ExternalRate: 0.8}
+		cfg.ContentOnlyCoordination = rows[i].contentOnly
+		sys, err := coord.NewSystem(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		sys.Start()
+		for r := 0; r < rounds; r++ {
+			sys.RunFor(cfg.CheckpointInterval.Seconds())
+			line, err := sys.StableLine()
+			if err != nil {
+				continue
+			}
+			vs := line.Check()
+			rows[i].dirty += invariant.Count(vs, invariant.DirtyStableContent)
+			rows[i].lost += invariant.Count(vs, invariant.LostMessage)
+			rows[i].orphan += invariant.Count(vs, invariant.OrphanMessage)
+			rows[i].checked++
+		}
+	}
+
+	body := fmt.Sprintf("%-24s %7s %28s %32s\n", "scheme", "rounds",
+		"(a) contaminated-state saves", "(b) in-transit knowledge losses")
+	for _, r := range rows {
+		body += fmt.Sprintf("%-24s %7d %28d %32d\n", r.name, r.checked, r.dirty, r.lost+r.orphan)
+	}
+	return Result{
+		Values: map[string]float64{
+			"naive_dirty":        float64(rows[0].dirty),
+			"strawman_knowledge": float64(rows[1].lost + rows[1].orphan),
+			"coordinated_total":  float64(rows[2].dirty + rows[2].lost + rows[2].orphan),
+		},
+		ID:    "fig4",
+		Title: "Consequence of Simple Combination (violations on the recovery line)",
+		Body:  body,
+		Notes: "The naive combination saves potentially contaminated states (a). The content-only strawman ignores confidence changes during blocking, so an in-transit passed-AT leaves one side's checkpoint stale relative to the other's (b) — with durability-honest acknowledgements this surfaces as orphan/lost messages on the line. The full coordination eliminates both.",
+	}, nil
+}

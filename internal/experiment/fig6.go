@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/coord"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/simnet"
+	"github.com/synergy-ft/synergy/internal/trace"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// Figure6 reproduces the four stable-storage checkpoint establishment cases
+// of the adapted TB algorithm (Figures 5 and 6) in one scripted run over two
+// checkpoint rounds with perfect timers:
+//
+//	(a) a clean process saves its current state; a dirty one copies its
+//	    most recent volatile checkpoint;
+//	(b) a dirty process whose dirty bit is reset by a passed-AT arriving
+//	    within the blocking period aborts the copy and replaces the
+//	    contents with its current state;
+//	(c) P1act with pseudo dirty bit 0 saves its current state;
+//	(d) P1act with pseudo dirty bit 1 saves its pseudo checkpoint.
+func Figure6(opts Options) (Result, error) {
+	cfg := coord.DefaultConfig(coord.Coordinated, opts.seed())
+	cfg.Workload1, cfg.Workload2 = zeroWorkload(), zeroWorkload()
+	cfg.TraceEnabled = true
+	cfg.Clock = vtime.ClockConfig{} // perfect timers make the script exact
+	cfg.Net = simnet.Config{MinDelay: 60 * time.Millisecond, MaxDelay: 200 * time.Millisecond}
+	cfg.CheckpointInterval = 10 * time.Second
+	sys, err := coord.NewSystem(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	sys.Start()
+	eng := sys.Engine()
+	at := func(sec float64, fn func()) { eng.Schedule(vtime.FromSeconds(sec), fn) }
+	// Round 1: P2 is contaminated early; P1act passes an AT just before
+	// the timers expire, so the notification lands inside P2's blocking
+	// period (sent before the sender's timer — the situation the extended
+	// τ(1) blocking is sized for).
+	at(1.0, sys.EmitC1Internal)
+	at(9.95, sys.EmitC1External)
+	// Round 2: fresh contamination, no validation before the timers.
+	at(15.0, sys.EmitC1Internal)
+	sys.RunUntil(vtime.FromSeconds(21))
+
+	var b strings.Builder
+	round := func(r uint64) {
+		fmt.Fprintf(&b, "round %d:\n", r)
+		for _, id := range msg.Processes() {
+			cp := sys.Checkpointer(id)
+			c, err := cp.StableAtRound(r)
+			if err != nil {
+				fmt.Fprintf(&b, "  %-6s: %v\n", id, err)
+				continue
+			}
+			age := c.TakenAt.Seconds()
+			fmt.Fprintf(&b, "  %-6s: content captured at t=%.2fs (state step %d, dirty=%v)\n",
+				id, age, c.State.Step, c.Dirty)
+		}
+	}
+	round(1)
+	round(2)
+	replaces := sys.Checkpointer(msg.P2).Stats().Replaces
+	fmt.Fprintf(&b, "\nP2 abort-and-replace events during blocking: %d\n", replaces)
+	b.WriteString("\nstable-write trace:\n")
+	for _, e := range sys.Recorder().Events() {
+		switch e.Kind {
+		case trace.StableBegun, trace.StableReplaced, trace.StableCommitted:
+			fmt.Fprintf(&b, "  %s\n", e)
+		}
+	}
+	return Result{
+		Values: map[string]float64{"p2_replaces": float64(replaces)},
+		ID:     "fig6",
+		Title:  "Stable-Storage Checkpoint Establishment based on Protocol Coordination",
+		Body:   b.String(),
+		Notes:  "Round 1: P1sdw saves current state (a/clean), P1act saves current state (c), P2 begins with its volatile copy and replaces it when the in-blocking passed-AT resets its dirty bit (b). Round 2: P2 keeps the volatile copy (a/dirty), P1act saves its pseudo checkpoint (d).",
+	}, nil
+}

@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/analytic"
+	"github.com/synergy-ft/synergy/internal/coord"
+	"github.com/synergy-ft/synergy/internal/stats"
+)
+
+// Figure7Analytic cross-validates the closed-form renewal model of
+// internal/analytic against the simulation campaign behind Figure 7: the
+// paper's study was model-based, so the reproduction provides both a model
+// and measurements and demands they agree on the shape.
+func Figure7Analytic(opts Options) (Result, error) {
+	rates := []float64{60, 120, 200}
+	trials, faults := 8, 6
+	warmup, gap := 900.0, 180.0
+	if opts.Quick {
+		trials, faults = 2, 3
+		warmup, gap = 400, 90
+	}
+
+	var (
+		predCo, measCo stats.Series
+		predWt, measWt stats.Series
+		worst          float64
+	)
+	predCo.Label = "model E[Dco]"
+	measCo.Label = "sim E[Dco]"
+	predWt.Label = "model E[Dwt]"
+	measWt.Label = "sim E[Dwt]"
+	maxErr := func(pred, meas float64) float64 {
+		r := pred / meas
+		if r < 1 {
+			r = 1 / r
+		}
+		return r
+	}
+	for _, r := range rates {
+		pred, err := analytic.Evaluate(analytic.Params{
+			InternalRate:     r / 100,
+			ActExternalRate:  0.5,
+			PeerExternalRate: 1.0 / 300,
+			Interval:         10 * time.Second,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		co, err := rollbackCampaign(coord.Coordinated, r, trials, faults, warmup, gap, opts.seed())
+		if err != nil {
+			return Result{}, err
+		}
+		wt, err := rollbackCampaign(coord.WriteThrough, r, trials, faults, warmup, gap, opts.seed())
+		if err != nil {
+			return Result{}, err
+		}
+		predCo.Add(r, pred.Dco, 0)
+		measCo.Add(r, co.Mean(), co.CI95())
+		predWt.Add(r, pred.Dwt, 0)
+		measWt.Add(r, wt.Mean(), wt.CI95())
+		for _, e := range []float64{maxErr(pred.Dco, co.Mean()), maxErr(pred.Dwt, wt.Mean())} {
+			if e > worst {
+				worst = e
+			}
+		}
+	}
+	body := stats.FormatTable("internal rate", predCo, measCo, predWt, measWt)
+	return Result{
+		Values: map[string]float64{"worst_factor": worst},
+		ID:     "fig7-analytic",
+		Title:  "Rollback distance: renewal model vs simulation",
+		Body:   body,
+		Notes:  fmt.Sprintf("Model and simulation agree within a factor of %.2f at every point (the write-through model is a documented lower bound: it excludes genesis rollbacks) — the orders-of-magnitude E[Dco]/E[Dwt] gap is structural, not an artifact of either method.", worst),
+	}, nil
+}

@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/coord"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// Table1 reproduces Table 1: the comparison of the original and adapted TB
+// protocols — blocking period formulae (with concrete values under the
+// default parameters), checkpoint contents, messages blocked and purpose of
+// blocking — and validates the formulae against measured blocking behaviour
+// from simulation runs of both variants.
+func Table1(opts Options) (Result, error) {
+	cfg := coord.DefaultConfig(coord.Coordinated, opts.seed())
+	tbCfg := cfg // for parameter reporting
+	var (
+		delta = tbCfg.Clock.MaxDeviation
+		rho   = tbCfg.Clock.DriftRate
+		tmin  = tbCfg.Net.MinDelay
+		tmax  = tbCfg.Net.MaxDelay
+		ival  = tbCfg.CheckpointInterval
+	)
+	elapsed := ival // τ one interval after a resync
+	skew := delta + time.Duration(2*rho*float64(elapsed))
+	origBlock := skew - tmin
+	adaptClean := skew - tmin
+	adaptDirty := skew + tmax
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "parameters: δ=%v  ρ=%.0e  tmin=%v  tmax=%v  Δ=%v  (τ=Δ)\n\n", delta, rho, tmin, tmax, ival)
+	rows := [][3]string{
+		{"Attribute", "Original TB", "Adapted TB"},
+		{"Blocking period", fmt.Sprintf("δ+2ρτ−tmin = %v", origBlock),
+			fmt.Sprintf("τ(0)=%v, τ(1)=δ+2ρτ+tmax=%v", adaptClean, adaptDirty)},
+		{"Checkpoint contents", "Current state", "Current state or most recent volatile ckpt"},
+		{"Messages blocked", "All", "All but passed-AT notifications"},
+		{"Purpose of blocking", "Consistency", "Consistency and recoverability"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s | %-34s | %s\n", r[0], r[1], r[2])
+	}
+
+	// Measured validation: run both variants and confirm the blocking
+	// behaviour matches the table.
+	horizon := 600.0
+	if opts.Quick {
+		horizon = 120
+	}
+	measure := func(scheme coord.Scheme) (meanBlock float64, commits uint64, err error) {
+		c := coord.DefaultConfig(scheme, opts.seed())
+		sys, err := coord.NewSystem(c)
+		if err != nil {
+			return 0, 0, err
+		}
+		sys.Start()
+		sys.RunUntil(vtime.FromSeconds(horizon))
+		var total time.Duration
+		var n uint64
+		for _, id := range msg.Processes() {
+			cp := sys.Checkpointer(id)
+			if cp == nil {
+				continue
+			}
+			total += cp.Stats().BlockingTotal
+			n += cp.Stats().Commits
+			commits += cp.Stats().Commits
+		}
+		if n == 0 {
+			return 0, commits, nil
+		}
+		return (total / time.Duration(n)).Seconds() * 1000, commits, nil
+	}
+	coMean, coCommits, err := measure(coord.Coordinated)
+	if err != nil {
+		return Result{}, err
+	}
+	tbMean, tbCommits, err := measure(coord.TBOnly)
+	if err != nil {
+		return Result{}, err
+	}
+	fmt.Fprintf(&b, "\nmeasured over %.0fs: adapted mean blocking %.3fms over %d commits; original (TB-only) %.3fms over %d commits\n",
+		horizon, coMean, coCommits, tbMean, tbCommits)
+
+	return Result{
+		Values: map[string]float64{
+			"orig_blocking_ms":        origBlock.Seconds() * 1000,
+			"adapted_dirty_ms":        adaptDirty.Seconds() * 1000,
+			"adapted_clean_ms":        adaptClean.Seconds() * 1000,
+			"measured_coordinated_ms": coMean,
+			"measured_original_ms":    tbMean,
+		},
+		ID:    "table1",
+		Title: "Comparison of Original and Adapted TB Protocols",
+		Body:  b.String(),
+		Notes: "Adapted blocking exceeds the original when dirty (Tm(1)=+tmax vs Tm(0)=−tmin), buying validity-concerned recoverability.",
+	}, nil
+}

@@ -1,0 +1,134 @@
+// Package fault schedules fault injection over a running system: hardware
+// faults (node crashes) arriving as a Poisson process across the nodes, and
+// software design-fault activations in the low-confidence version. The
+// experiment harness composes it with coord.System for the randomized
+// campaigns behind the paper's quantitative results.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/coord"
+	"github.com/synergy-ft/synergy/internal/msg"
+)
+
+// Config parameterizes an injection campaign.
+type Config struct {
+	// HardwareMTBF is the mean time between hardware faults across the
+	// system (exponential inter-arrivals). Zero disables hardware faults.
+	HardwareMTBF time.Duration
+	// Nodes lists the crash candidates; each fault picks one uniformly.
+	// Empty defaults to the three standard nodes.
+	Nodes []msg.NodeID
+	// RepairTime is how long a crashed node stays down before recovery
+	// runs (0 = crash-restart).
+	RepairTime time.Duration
+	// SoftwareActivateAfter, when positive, activates the design fault in
+	// the low-confidence version that long after Start.
+	SoftwareActivateAfter time.Duration
+	// MaxHardwareFaults caps the number of injected crashes (0 = no cap).
+	MaxHardwareFaults int
+}
+
+// Validate reports whether the campaign parameters are usable.
+func (c Config) Validate() error {
+	if c.HardwareMTBF < 0 {
+		return fmt.Errorf("fault: negative MTBF %v", c.HardwareMTBF)
+	}
+	if c.RepairTime < 0 {
+		return fmt.Errorf("fault: negative repair time %v", c.RepairTime)
+	}
+	if c.SoftwareActivateAfter < 0 {
+		return fmt.Errorf("fault: negative activation delay %v", c.SoftwareActivateAfter)
+	}
+	if c.MaxHardwareFaults < 0 {
+		return fmt.Errorf("fault: negative fault cap %d", c.MaxHardwareFaults)
+	}
+	return nil
+}
+
+// Injector drives fault injection on one system.
+type Injector struct {
+	cfg      Config
+	sys      *coord.System
+	nodes    []msg.NodeID
+	injected int
+	stopped  bool
+}
+
+// New creates an injector for the system.
+func New(sys *coord.System, cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := cfg.Nodes
+	if len(nodes) == 0 {
+		nodes = []msg.NodeID{1, 2, 3}
+	}
+	return &Injector{cfg: cfg, sys: sys, nodes: nodes}, nil
+}
+
+// Start arms the fault schedules on the system's virtual clock.
+func (i *Injector) Start() {
+	if i.cfg.SoftwareActivateAfter > 0 {
+		i.sys.Engine().After(i.cfg.SoftwareActivateAfter, func() {
+			if !i.stopped {
+				i.sys.ActivateSoftwareFault()
+			}
+		})
+	}
+	if i.cfg.HardwareMTBF > 0 {
+		i.armNextCrash()
+	}
+}
+
+// Stop halts further injections (already-scheduled ones are skipped).
+func (i *Injector) Stop() { i.stopped = true }
+
+// Injected returns the number of hardware faults injected so far.
+func (i *Injector) Injected() int { return i.injected }
+
+func (i *Injector) armNextCrash() {
+	if i.capped() {
+		return
+	}
+	d := expDuration(i.cfg.HardwareMTBF, i.sys.Engine().Rand())
+	i.sys.Engine().After(d, func() {
+		if i.stopped || i.capped() {
+			return
+		}
+		if failed, _ := i.sys.Failed(); failed {
+			return
+		}
+		node := i.nodes[i.sys.Engine().Rand().Intn(len(i.nodes))]
+		if i.cfg.RepairTime <= 0 {
+			if err := i.sys.InjectHardwareFault(node); err == nil {
+				i.injected++
+			}
+			i.armNextCrash()
+			return
+		}
+		i.sys.CrashNode(node)
+		i.sys.Engine().After(i.cfg.RepairTime, func() {
+			if err := i.sys.RepairNode(node); err == nil {
+				i.injected++
+			}
+			i.armNextCrash()
+		})
+	})
+}
+
+func (i *Injector) capped() bool {
+	return i.cfg.MaxHardwareFaults > 0 && i.injected >= i.cfg.MaxHardwareFaults
+}
+
+func expDuration(mean time.Duration, rng *rand.Rand) time.Duration {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return time.Duration(-float64(mean) * math.Log(u))
+}

@@ -1,0 +1,121 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/coord"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+func newSys(t *testing.T, seed int64) *coord.System {
+	t.Helper()
+	s, err := coord.NewSystem(coord.DefaultConfig(coord.Coordinated, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    Config
+		wantErr bool
+	}{
+		{name: "ok", give: Config{HardwareMTBF: time.Minute}},
+		{name: "zero is fine", give: Config{}},
+		{name: "negative mtbf", give: Config{HardwareMTBF: -1}, wantErr: true},
+		{name: "negative activation", give: Config{SoftwareActivateAfter: -1}, wantErr: true},
+		{name: "negative cap", give: Config{MaxHardwareFaults: -1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.give.Validate(); (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() = %v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestHardwareCampaignInjectsAtConfiguredRate(t *testing.T) {
+	sys := newSys(t, 3)
+	inj, err := New(sys, Config{HardwareMTBF: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	inj.Start()
+	sys.RunUntil(vtime.FromSeconds(3600))
+	if failed, why := sys.Failed(); failed {
+		t.Fatalf("system failed: %s", why)
+	}
+	// Expect roughly 60 faults in an hour at one per minute.
+	if n := inj.Injected(); n < 35 || n > 90 {
+		t.Fatalf("injected %d faults in 1h at MTBF 60s", n)
+	}
+	if got := sys.Metrics().HWFaults; got != inj.Injected() {
+		t.Fatalf("metrics HWFaults %d != injected %d", got, inj.Injected())
+	}
+}
+
+func TestMaxHardwareFaultsCap(t *testing.T) {
+	sys := newSys(t, 5)
+	inj, err := New(sys, Config{HardwareMTBF: 30 * time.Second, MaxHardwareFaults: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	inj.Start()
+	sys.RunUntil(vtime.FromSeconds(3600))
+	if inj.Injected() != 3 {
+		t.Fatalf("injected %d, want 3 (capped)", inj.Injected())
+	}
+}
+
+func TestSoftwareActivationLeadsToTakeover(t *testing.T) {
+	sys := newSys(t, 7)
+	inj, err := New(sys, Config{SoftwareActivateAfter: 40 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	inj.Start()
+	sys.RunUntil(vtime.FromSeconds(600))
+	if !sys.Process(msg.P1Sdw).Promoted() {
+		t.Fatal("software fault should eventually trigger a takeover")
+	}
+}
+
+func TestStopHaltsInjection(t *testing.T) {
+	sys := newSys(t, 9)
+	inj, err := New(sys, Config{HardwareMTBF: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	inj.Start()
+	inj.Stop()
+	sys.RunUntil(vtime.FromSeconds(600))
+	if inj.Injected() != 0 {
+		t.Fatalf("stopped injector injected %d faults", inj.Injected())
+	}
+}
+
+func TestNodeSelectionRestricted(t *testing.T) {
+	sys := newSys(t, 11)
+	inj, err := New(sys, Config{HardwareMTBF: 40 * time.Second, Nodes: []msg.NodeID{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	inj.Start()
+	sys.RunUntil(vtime.FromSeconds(1200))
+	if inj.Injected() == 0 {
+		t.Fatal("no faults injected")
+	}
+	if failed, why := sys.Failed(); failed {
+		t.Fatalf("system failed: %s", why)
+	}
+}

@@ -1,0 +1,285 @@
+package gmdcd
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/at"
+)
+
+// chainTopology builds C1 → C2 → … → Cn (each sends to the next; the last
+// sends back to the first so influence circulates), with the given guarded
+// set.
+func chainTopology(n int, guarded map[int]bool, test at.Test) Topology {
+	topo := Topology{Test: test}
+	for i := 1; i <= n; i++ {
+		peer := ComponentID(i%n + 1)
+		topo.Components = append(topo.Components, ComponentSpec{
+			ID:           ComponentID(i),
+			Guarded:      guarded[i],
+			Peers:        []ComponentID{peer},
+			InternalRate: 2,
+			ExternalRate: 0.5,
+		})
+	}
+	return topo
+}
+
+func newSys(t *testing.T, topo Topology, seed int64) *System {
+	t.Helper()
+	s, err := New(Config{
+		Topology: topo,
+		Seed:     seed,
+		MinDelay: time.Millisecond,
+		MaxDelay: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTopologyValidate(t *testing.T) {
+	ok := chainTopology(3, map[int]bool{1: true}, at.Perfect())
+	tests := []struct {
+		name    string
+		mutate  func(*Topology)
+		wantErr bool
+	}{
+		{name: "ok", mutate: func(*Topology) {}},
+		{name: "too few", mutate: func(tp *Topology) { tp.Components = tp.Components[:1] }, wantErr: true},
+		{name: "nil test", mutate: func(tp *Topology) { tp.Test = nil }, wantErr: true},
+		{name: "duplicate id", mutate: func(tp *Topology) { tp.Components[1].ID = 1 }, wantErr: true},
+		{name: "unknown peer", mutate: func(tp *Topology) { tp.Components[0].Peers = []ComponentID{9} }, wantErr: true},
+		{name: "self peer", mutate: func(tp *Topology) { tp.Components[0].Peers = []ComponentID{1} }, wantErr: true},
+		{name: "no guarded", mutate: func(tp *Topology) { tp.Components[0].Guarded = false }, wantErr: true},
+		{name: "negative rate", mutate: func(tp *Topology) { tp.Components[2].InternalRate = -1 }, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			topo := chainTopology(3, map[int]bool{1: true}, at.Perfect())
+			tt.mutate(&topo)
+			err := topo.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate = %v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInfluencePropagatesTransitively(t *testing.T) {
+	// C1 (guarded) → C2 → C3 → C1: C3 never hears from C1 directly, yet
+	// must accumulate C1-influence through C2.
+	topo := chainTopology(3, map[int]bool{1: true}, at.Perfect())
+	s := newSys(t, topo, 1)
+	s.Start()
+	s.RunFor(30)
+	if got := s.Active(3).Influence(1); got == 0 {
+		t.Fatal("C1's influence never reached C3 transitively")
+	}
+	// Validations (C1's ATs) cover the influence; C3 ends mostly clean.
+	s.Quiesce()
+	if s.Active(3).Influence(1) > s.Active(3).Valid(1)+50 {
+		t.Fatalf("validation knowledge not propagating: influence %d valid %d",
+			s.Active(3).Influence(1), s.Active(3).Valid(1))
+	}
+}
+
+func TestType1CheckpointsAtContaminationBoundaries(t *testing.T) {
+	topo := chainTopology(3, map[int]bool{1: true}, at.Perfect())
+	s := newSys(t, topo, 2)
+	s.Start()
+	s.RunFor(60)
+	if got := s.Active(2).Checkpoints(); got == 0 {
+		t.Fatal("C2 (direct receiver of the guarded stream) never checkpointed")
+	}
+	if got := s.Active(3).Checkpoints(); got == 0 {
+		t.Fatal("C3 (transitive receiver) never checkpointed")
+	}
+}
+
+func TestSingleGuardedRecoveryAndTakeover(t *testing.T) {
+	topo := chainTopology(4, map[int]bool{2: true}, at.Perfect())
+	s := newSys(t, topo, 3)
+	s.Start()
+	s.RunFor(20)
+	s.CorruptActive(2)
+	s.RunFor(120)
+	s.Quiesce()
+
+	if !s.Active(2).Promoted() {
+		t.Fatal("shadow of C2 did not take over")
+	}
+	if s.Stats().Recoveries == 0 || s.Stats().Takeovers != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+	// No surviving state is ground-truth corrupted.
+	for i := 1; i <= 4; i++ {
+		r := s.Active(ComponentID(i))
+		if r.Failed() {
+			continue
+		}
+		if r.Corrupted() {
+			t.Fatalf("C%d corrupted after recovery", i)
+		}
+	}
+}
+
+func TestTwoGuardedComponentsIndependentFaults(t *testing.T) {
+	// C1 and C3 guarded in a 4-chain; C1's fault must demote only C1.
+	// The unguarded components run no externals, so detection happens at
+	// the faulty active's own acceptance test — the precise-blame path.
+	topo := chainTopology(4, map[int]bool{1: true, 3: true}, at.Perfect())
+	for i := range topo.Components {
+		if !topo.Components[i].Guarded {
+			topo.Components[i].ExternalRate = 0
+		}
+	}
+	s := newSys(t, topo, 5)
+	s.Start()
+	s.RunFor(20)
+	s.CorruptActive(1)
+	s.RunFor(120)
+	if !s.Active(1).Promoted() {
+		t.Fatal("C1's shadow did not take over")
+	}
+	if s.Active(3).Promoted() {
+		t.Fatal("C3 was wrongly demoted by C1's fault")
+	}
+	// C3's guarded operation continues: a later fault there recovers too.
+	s.CorruptActive(3)
+	s.RunFor(120)
+	s.Quiesce()
+	if !s.Active(3).Promoted() {
+		t.Fatal("C3's shadow did not take over after its own fault")
+	}
+	for i := 1; i <= 4; i++ {
+		if r := s.Active(ComponentID(i)); !r.Failed() && r.Corrupted() {
+			t.Fatalf("C%d corrupted at quiesce", i)
+		}
+	}
+}
+
+func TestShadowReplicaConvergence(t *testing.T) {
+	topo := chainTopology(3, map[int]bool{1: true}, at.Perfect())
+	s := newSys(t, topo, 7)
+	s.Start()
+	s.RunFor(40)
+	s.Quiesce()
+	act, sdw := s.Active(1), s.Shadow(1)
+	if !sdw.Exists() {
+		t.Fatal("guarded component should have a shadow")
+	}
+	if act.Digest() != sdw.Digest() {
+		t.Fatalf("replicas diverged: %x vs %x", act.Digest(), sdw.Digest())
+	}
+}
+
+func TestUnguardedComponentHasNoShadow(t *testing.T) {
+	topo := chainTopology(3, map[int]bool{1: true}, at.Perfect())
+	s := newSys(t, topo, 8)
+	if s.Shadow(2).Exists() {
+		t.Fatal("unguarded component should have no shadow")
+	}
+}
+
+// Property: across random topologies (3–7 components, 1–3 guarded, random
+// edges) with a fault in every guarded component, recovery always yields
+// uncorrupted survivors and a takeover per fault.
+func TestRandomTopologyCampaign(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		rng := rand.New(rand.NewSource(seed * 101))
+		n := 3 + rng.Intn(5)
+		topo := Topology{Test: at.Perfect()}
+		guarded := map[int]bool{1 + rng.Intn(n): true}
+		for len(guarded) < 1+rng.Intn(3) {
+			guarded[1+rng.Intn(n)] = true
+		}
+		for i := 1; i <= n; i++ {
+			// Ring edge for connectivity plus a random chord.
+			peers := map[ComponentID]bool{ComponentID(i%n + 1): true}
+			if extra := ComponentID(1 + rng.Intn(n)); int(extra) != i {
+				peers[extra] = true
+			}
+			var ps []ComponentID
+			for p := range peers {
+				ps = append(ps, p)
+			}
+			topo.Components = append(topo.Components, ComponentSpec{
+				ID: ComponentID(i), Guarded: guarded[i], Peers: ps,
+				InternalRate: 1 + 2*rng.Float64(), ExternalRate: 0.3 + rng.Float64(),
+			})
+		}
+		s := newSys(t, topo, seed)
+		s.Start()
+		s.RunFor(20)
+		faults := 0
+		for g := range guarded {
+			s.CorruptActive(ComponentID(g))
+			s.RunFor(150)
+			faults++
+		}
+		s.RunFor(60)
+		s.Quiesce()
+		if got := s.Stats().Takeovers; got < faults {
+			t.Fatalf("seed %d: %d takeovers for %d faults", seed, got, faults)
+		}
+		for i := 1; i <= n; i++ {
+			if r := s.Active(ComponentID(i)); !r.Failed() && r.Corrupted() {
+				t.Fatalf("seed %d: C%d corrupted at quiesce (takeovers=%d)", seed, i, s.Stats().Takeovers)
+			}
+		}
+	}
+}
+
+func TestAcceptEndsGuardedOperation(t *testing.T) {
+	topo := chainTopology(3, map[int]bool{1: true}, at.Perfect())
+	s := newSys(t, topo, 9)
+	s.Start()
+	s.RunFor(30)
+	if !s.Accept(1) {
+		t.Fatal("Accept returned false during guarded operation")
+	}
+	if s.Accept(1) {
+		t.Fatal("second Accept should be a no-op")
+	}
+	if s.Shadow(1).Exists() {
+		t.Fatal("shadow should be retired")
+	}
+	ck2 := s.Active(2).Checkpoints()
+	s.RunFor(60)
+	s.Quiesce()
+	// The accepted component's emissions no longer contaminate anyone:
+	// downstream processes stop establishing Type-1 checkpoints and end
+	// the run clean.
+	if got := s.Active(2).Checkpoints(); got != ck2 {
+		t.Fatalf("C2 kept checkpointing after acceptance: %d → %d", ck2, got)
+	}
+	for i := 1; i <= 3; i++ {
+		if s.Active(ComponentID(i)).Dirty() {
+			t.Fatalf("C%d still contaminated after acceptance", i)
+		}
+	}
+	if s.Stats().Accepted != 1 {
+		t.Fatalf("Accepted = %d", s.Stats().Accepted)
+	}
+}
+
+func TestAcceptAfterTakeoverIsNoop(t *testing.T) {
+	topo := chainTopology(3, map[int]bool{1: true}, at.Perfect())
+	s := newSys(t, topo, 10)
+	s.Start()
+	s.RunFor(20)
+	s.CorruptActive(1)
+	s.RunFor(120)
+	if !s.Active(1).Promoted() {
+		t.Skip("takeover did not complete for this seed")
+	}
+	if s.Accept(1) {
+		t.Fatal("Accept after takeover should be a no-op")
+	}
+}

@@ -1,0 +1,284 @@
+package gmdcd
+
+import (
+	"github.com/synergy-ft/synergy/internal/app"
+	"github.com/synergy-ft/synergy/internal/msg"
+)
+
+// Influence-tracking rules of the generalized protocol. Every process owns a
+// message stream (ownSN counts its emissions). An emission is stamped with
+// the sender's own stream position when — and only when — the sender's state
+// is potentially contaminated at that moment: a guarded active is suspect by
+// definition and stamps always; any other process stamps while it reflects
+// unvalidated influence. The stamp is what makes suspicion hop-by-hop
+// traceable: content relayed through an intermediary is cleared only by a
+// validation that covers the INTERMEDIARY's stream position, not merely the
+// original origin's — a validator that saw the origin's messages through a
+// different, clean path proves nothing about the intermediary's state. (The
+// DSN paper's three-process architecture has no multi-hop paths, so its
+// single piggybacked dirty bit suffices; this is the generalization that
+// makes arbitrary topologies sound.)
+type snapshot struct {
+	state     *app.State
+	influence map[ComponentID]uint64
+	valid     map[ComponentID]uint64
+	sentSeq   map[ComponentID]uint64
+	recvSeq   map[ComponentID]uint64
+	ownSN     uint64
+}
+
+// process is one replica (active or shadow) of one component.
+type process struct {
+	sys    *System
+	comp   ComponentID
+	spec   ComponentSpec
+	shadow bool
+
+	state *app.State
+	// influence[c] is the highest suspect stream position of component c
+	// this state reflects; valid[c] the highest verified correct. The
+	// process's own stream never appears in its own influence map.
+	influence map[ComponentID]uint64
+	valid     map[ComponentID]uint64
+	ownSN     uint64
+
+	sentSeq map[ComponentID]uint64 // per-destination channel sequence
+	recvSeq map[ComponentID]uint64 // per-origin channel high-water
+
+	volatileCkpt *snapshot
+	ckptCount    int
+	log          []message // shadow: suppressed outgoing messages
+
+	failed   bool
+	promoted bool
+}
+
+func newProcess(sys *System, spec ComponentSpec, shadow bool) *process {
+	return &process{
+		sys:       sys,
+		comp:      spec.ID,
+		spec:      spec,
+		shadow:    shadow,
+		state:     app.NewState(),
+		influence: make(map[ComponentID]uint64),
+		valid:     make(map[ComponentID]uint64),
+		sentSeq:   make(map[ComponentID]uint64),
+		recvSeq:   make(map[ComponentID]uint64),
+	}
+}
+
+// guardedActive reports whether this replica is the suspect version itself.
+func (p *process) guardedActive() bool { return p.spec.Guarded && !p.shadow && !p.promoted }
+
+// foreignDirty reports unvalidated influence the replica would roll back
+// from. A guarded active skips back-propagated positions of its own stream
+// (it cannot escape itself by rolling back); every other replica — shadows
+// included — treats all entries as foreign.
+func (p *process) foreignDirty() bool {
+	for c, inf := range p.influence {
+		if c == p.comp && p.guardedActive() {
+			continue
+		}
+		if inf > p.valid[c] {
+			return true
+		}
+	}
+	return false
+}
+
+// suspect reports whether the replica's outgoing content is potentially
+// contaminated: the acceptance-test trigger and the stamping rule.
+func (p *process) suspect() bool { return p.guardedActive() || p.foreignDirty() }
+
+// outVector builds the influence vector an emission carries.
+func (p *process) outVector() map[ComponentID]uint64 {
+	vec := cloneVec(p.influence)
+	if p.suspect() {
+		vec[p.comp] = p.ownSN
+	}
+	return vec
+}
+
+// transmitting reports whether this replica's sends reach the network.
+func (p *process) transmitting() bool {
+	return !p.failed && (!p.shadow || p.promoted)
+}
+
+// emitInternal sends one internal message to every peer.
+func (p *process) emitInternal() {
+	if p.failed {
+		return
+	}
+	p.ownSN++
+	if p.shadow && !p.promoted {
+		// Lockstep counters (the stream positions parallel the
+		// active's numbering); outputs suppressed and logged. The
+		// shadow's own computation is trusted, so the logged copies
+		// carry no own-stream stamp.
+		for _, peer := range p.spec.Peers {
+			p.sentSeq[peer]++
+			p.log = append(p.log, message{
+				from: p.comp, to: peer, fromSdw: true,
+				seq:       p.sentSeq[peer],
+				selfSN:    p.ownSN,
+				influence: cloneVec(p.influence),
+				corrupted: p.state.Corrupted,
+			})
+		}
+		return
+	}
+	vec := p.outVector()
+	for _, peer := range p.spec.Peers {
+		p.sentSeq[peer]++
+		p.sys.send(message{
+			from: p.comp, to: peer, fromSdw: p.shadow,
+			seq:       p.sentSeq[peer],
+			selfSN:    p.ownSN,
+			influence: vec,
+			corrupted: p.state.Corrupted,
+		})
+	}
+}
+
+// emitExternal sends one external message, running an acceptance test when
+// the state is potentially contaminated. A pass validates everything the
+// state reflects — the full influence vector plus the sender's own stream —
+// and broadcasts that knowledge.
+func (p *process) emitExternal() {
+	if p.failed || (p.shadow && !p.promoted) {
+		return
+	}
+	if !p.suspect() {
+		return // clean external: no AT needed, leaves the system
+	}
+	payload := msg.Payload{Value: p.state.Acc, Seq: p.state.Step, Corrupted: p.state.Corrupted}
+	if !p.sys.topo.Topology.Test.Check(payload, p.sys.eng.Rand()) {
+		p.sys.recover(p)
+		return
+	}
+	validated := cloneVec(p.influence)
+	if p.ownSN > validated[p.comp] {
+		validated[p.comp] = p.ownSN
+	}
+	mergeVec(p.valid, validated)
+	p.sys.broadcast(notification{from: p.comp, validated: validated})
+	p.sys.stats.ATsPassed++
+}
+
+// receive applies one delivered internal message.
+func (p *process) receive(m message) {
+	if p.failed {
+		return
+	}
+	if m.seq <= p.recvSeq[m.from] {
+		return // duplicate from a post-recovery re-send
+	}
+	// Type-1: capture the last non-contaminated state immediately before
+	// it reflects unvalidated influence.
+	if !p.foreignDirty() && p.contaminates(m) {
+		p.saveVolatile()
+	}
+	p.recvSeq[m.from] = m.seq
+	mergeVec(p.influence, m.influence)
+	p.state.ApplyMessage(msg.Payload{Seq: m.seq, Value: int64(m.from)<<32 ^ int64(m.seq), Corrupted: m.corrupted})
+}
+
+// contaminates reports whether applying m would introduce unvalidated
+// influence (own-stream back-propagation excepted for a guarded active, as
+// in foreignDirty).
+func (p *process) contaminates(m message) bool {
+	for c, inf := range m.influence {
+		if c == p.comp && p.guardedActive() {
+			continue
+		}
+		if inf > p.valid[c] {
+			return true
+		}
+	}
+	return false
+}
+
+// onNotification merges broadcast validation knowledge; the shadow reclaims
+// log entries whose own-stream positions are now covered.
+func (p *process) onNotification(n notification) {
+	if p.failed {
+		return
+	}
+	mergeVec(p.valid, n.validated)
+	if p.shadow && !p.promoted {
+		kept := p.log[:0]
+		horizon := p.valid[p.comp]
+		for _, m := range p.log {
+			if m.selfSN > horizon {
+				kept = append(kept, m)
+			}
+		}
+		p.log = kept
+	}
+}
+
+// saveVolatile establishes a Type-1 volatile checkpoint.
+func (p *process) saveVolatile() {
+	p.volatileCkpt = &snapshot{
+		state:     p.state.Clone(),
+		influence: cloneVec(p.influence),
+		valid:     cloneVec(p.valid),
+		sentSeq:   cloneVec(p.sentSeq),
+		recvSeq:   cloneVec(p.recvSeq),
+		ownSN:     p.ownSN,
+	}
+	p.ckptCount++
+}
+
+// recoverLocal is the confidence-adaptive local decision: roll back iff the
+// state reflects unvalidated foreign influence and a checkpoint exists.
+func (p *process) recoverLocal() (rolledBack bool) {
+	if !p.foreignDirty() {
+		return false
+	}
+	p.restore(p.volatileCkpt)
+	return true
+}
+
+// restore rewinds to a snapshot (nil means genesis: contaminated before ever
+// being clean-checkpointed, or forced all the way back by reconciliation).
+func (p *process) restore(c *snapshot) {
+	if c == nil {
+		c = &snapshot{state: app.NewState(),
+			influence: map[ComponentID]uint64{}, valid: map[ComponentID]uint64{},
+			sentSeq: map[ComponentID]uint64{}, recvSeq: map[ComponentID]uint64{}}
+	}
+	p.state = c.state.Clone()
+	p.influence = cloneVec(c.influence)
+	p.valid = cloneVec(c.valid)
+	p.sentSeq = cloneVec(c.sentSeq)
+	p.recvSeq = cloneVec(c.recvSeq)
+	p.ownSN = c.ownSN
+	if p.shadow {
+		kept := p.log[:0]
+		for _, m := range p.log {
+			if m.seq <= p.sentSeq[m.to] {
+				kept = append(kept, m)
+			}
+		}
+		p.log = kept
+	}
+}
+
+// takeOver promotes the shadow: unvalidated logged messages the restored
+// state has produced are re-sent (receivers deduplicate). The shadow's
+// computation is trusted, so the re-sends carry no own-stream suspicion —
+// rolled-back receivers apply them as clean replacements for the demoted
+// active's discarded messages.
+func (p *process) takeOver() {
+	p.promoted = true
+	for _, m := range p.log {
+		if m.seq > p.sentSeq[m.to] {
+			continue
+		}
+		m.influence = cloneVec(m.influence)
+		delete(m.influence, p.comp)
+		p.sys.send(m)
+	}
+	p.log = nil
+}

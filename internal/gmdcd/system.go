@@ -1,0 +1,407 @@
+package gmdcd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/sim"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// Config assembles a generalized guarded-operation system.
+type Config struct {
+	// Topology declares the components and who talks to whom.
+	Topology Topology
+	// Seed drives all randomness.
+	Seed int64
+	// MinDelay and MaxDelay bound message delivery.
+	MinDelay, MaxDelay time.Duration
+}
+
+// Stats aggregates run outcomes.
+type Stats struct {
+	// ATsPassed counts successful acceptance tests.
+	ATsPassed int
+	// Recoveries counts software error recoveries.
+	Recoveries int
+	// Takeovers counts shadow promotions.
+	Takeovers int
+	// Rollbacks and RollForwards count the local recovery decisions.
+	Rollbacks, RollForwards int
+	// ForcedRollbacks counts reconciliation-pass rollbacks (multi-guarded
+	// topologies only; see System.reconcile).
+	ForcedRollbacks int
+	// Accepted counts upgrades committed via Accept.
+	Accepted int
+}
+
+// System runs the generalized protocol over the discrete-event engine.
+type System struct {
+	topo Config
+	eng  *sim.Engine
+
+	// actives and shadows are keyed by component; only guarded components
+	// have shadows.
+	actives map[ComponentID]*process
+	shadows map[ComponentID]*process
+	order   []ComponentID
+
+	lastArrival map[busKey]vtime.Time
+	epoch       uint64
+	workloadOn  bool
+	stats       Stats
+}
+
+type busKey struct {
+	from, to ComponentID
+	toShadow bool
+}
+
+// New assembles a system.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MinDelay < 0 || cfg.MaxDelay < cfg.MinDelay {
+		return nil, fmt.Errorf("gmdcd: invalid delay bounds [%v, %v]", cfg.MinDelay, cfg.MaxDelay)
+	}
+	s := &System{
+		topo:        Config{Topology: cfg.Topology, Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay},
+		eng:         sim.New(cfg.Seed),
+		actives:     make(map[ComponentID]*process),
+		shadows:     make(map[ComponentID]*process),
+		lastArrival: make(map[busKey]vtime.Time),
+	}
+	for _, spec := range cfg.Topology.Components {
+		s.order = append(s.order, spec.ID)
+		s.actives[spec.ID] = newProcess(s, spec, false)
+		if spec.Guarded {
+			s.shadows[spec.ID] = newProcess(s, spec, true)
+		}
+	}
+	return s, nil
+}
+
+// topoOf finds a component's spec.
+func (s *System) topoOf(id ComponentID) ComponentSpec { return s.actives[id].spec }
+
+// Engine exposes the discrete-event engine.
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Stats returns the run outcomes.
+func (s *System) Stats() Stats { return s.stats }
+
+// Active returns a component's live embodiment: the promoted shadow after a
+// takeover, the active otherwise.
+func (s *System) Active(id ComponentID) Replica {
+	if sdw, ok := s.shadows[id]; ok && sdw.promoted {
+		return Replica{p: sdw}
+	}
+	return Replica{p: s.actives[id]}
+}
+
+// Shadow returns a guarded component's shadow replica (zero Replica if the
+// component is unguarded).
+func (s *System) Shadow(id ComponentID) Replica {
+	if sdw, ok := s.shadows[id]; ok {
+		return Replica{p: sdw}
+	}
+	return Replica{}
+}
+
+// Replica is a read-only view of one process for tests and demos.
+type Replica struct{ p *process }
+
+// Exists reports whether the replica is present.
+func (r Replica) Exists() bool { return r.p != nil }
+
+// Dirty reports whether the replica's state is potentially contaminated
+// (the acceptance-test trigger: a guarded active is suspect by definition).
+func (r Replica) Dirty() bool { return r.p.suspect() }
+
+// Corrupted reports the ground-truth contamination of the state.
+func (r Replica) Corrupted() bool { return r.p.state.Corrupted }
+
+// Promoted reports whether a shadow took over.
+func (r Replica) Promoted() bool { return r.p.promoted }
+
+// Failed reports a demoted active.
+func (r Replica) Failed() bool { return r.p.failed }
+
+// Digest returns the application-state fingerprint.
+func (r Replica) Digest() uint64 { return r.p.state.Hash }
+
+// Checkpoints returns the number of Type-1 volatile checkpoints established.
+func (r Replica) Checkpoints() int { return r.p.ckptCount }
+
+// Influence returns the replica's influence high-water for origin g.
+func (r Replica) Influence(g ComponentID) uint64 { return r.p.influence[g] }
+
+// Valid returns the replica's validity view for origin g.
+func (r Replica) Valid(g ComponentID) uint64 { return r.p.valid[g] }
+
+// Start arms the workload streams.
+func (s *System) Start() {
+	s.workloadOn = true
+	for _, id := range s.order {
+		spec := s.topoOf(id)
+		s.armStream(id, spec.InternalRate, func(id ComponentID) { s.emitEvent(id, true) })
+		s.armStream(id, spec.ExternalRate, func(id ComponentID) { s.emitEvent(id, false) })
+	}
+}
+
+// StopWorkload stops generating application events.
+func (s *System) StopWorkload() { s.workloadOn = false }
+
+// RunFor advances virtual time.
+func (s *System) RunFor(seconds float64) {
+	s.eng.RunUntil(s.eng.Now().Add(vtime.FromSeconds(seconds).Sub(vtime.Zero)))
+}
+
+// Quiesce stops the workload and drains the bus.
+func (s *System) Quiesce() {
+	s.workloadOn = false
+	s.eng.Run()
+}
+
+// CorruptActive activates the design fault in a guarded component's active.
+func (s *System) CorruptActive(id ComponentID) {
+	p := s.actives[id]
+	if p.spec.Guarded && !p.failed {
+		p.state.Corrupt()
+	}
+}
+
+// Accept ends guarded operation for one component with its upgrade accepted
+// (the generalized form of the paper's seamless disengagement): the shadow
+// retires, the active becomes high-confidence — its emissions stop carrying
+// own-stream suspicion — and its outstanding stream positions are declared
+// valid system-wide so downstream contamination bookkeeping clears. It
+// reports false if the component is not under guarded operation.
+func (s *System) Accept(id ComponentID) bool {
+	act := s.actives[id]
+	sdw := s.shadows[id]
+	if act == nil || sdw == nil || act.failed || sdw.promoted {
+		return false
+	}
+	sdw.failed = true
+	sdw.log = nil
+	act.spec.Guarded = false
+	delete(s.shadows, id)
+	// Everything the accepted version has emitted is now trusted.
+	s.broadcast(notification{from: id, validated: map[ComponentID]uint64{id: act.ownSN}})
+	mergeVec(act.valid, map[ComponentID]uint64{id: act.ownSN})
+	s.stats.Accepted++
+	return true
+}
+
+func (s *System) armStream(id ComponentID, rate float64, fire func(ComponentID)) {
+	if rate <= 0 {
+		return
+	}
+	var schedule func()
+	schedule = func() {
+		s.eng.After(expInterval(rate, s.eng.Rand()), func() {
+			if !s.workloadOn {
+				return
+			}
+			fire(id)
+			schedule()
+		})
+	}
+	schedule()
+}
+
+// emitEvent drives one application event on both replicas of a component.
+func (s *System) emitEvent(id ComponentID, internal bool) {
+	reps := []*process{s.actives[id]}
+	if sdw, ok := s.shadows[id]; ok {
+		reps = append(reps, sdw)
+	}
+	for _, p := range reps {
+		if internal {
+			p.emitInternal()
+		} else {
+			p.emitExternal()
+		}
+	}
+}
+
+// send delivers one logical message to the destination component's replicas
+// with bounded delay and per-channel FIFO.
+func (s *System) send(m message) {
+	delay := s.topo.MinDelay
+	if span := int64(s.topo.MaxDelay - s.topo.MinDelay); span > 0 {
+		delay += time.Duration(s.eng.Rand().Int63n(span + 1))
+	}
+	epoch := s.epoch
+	targets := []busKey{{from: m.from, to: m.to}}
+	if _, ok := s.shadows[m.to]; ok {
+		targets = append(targets, busKey{from: m.from, to: m.to, toShadow: true})
+	}
+	for _, k := range targets {
+		arrival := s.eng.Now().Add(delay)
+		if last := s.lastArrival[k]; !arrival.After(last) {
+			arrival = last + 1
+		}
+		s.lastArrival[k] = arrival
+		k := k
+		s.eng.Schedule(arrival, func() {
+			if epoch != s.epoch {
+				return
+			}
+			dst := s.actives[k.to]
+			if k.toShadow {
+				// The shadow may have retired (Accept) while the
+				// delivery was in flight.
+				dst = s.shadows[k.to]
+			}
+			if dst != nil {
+				dst.receive(m)
+			}
+		})
+	}
+}
+
+// broadcast distributes a passed-AT notification to every replica.
+func (s *System) broadcast(n notification) {
+	delay := s.topo.MaxDelay
+	epoch := s.epoch
+	s.eng.After(delay, func() {
+		if epoch != s.epoch {
+			return
+		}
+		for _, id := range s.order {
+			if id != n.from {
+				s.actives[id].onNotification(n)
+			}
+			if sdw, ok := s.shadows[id]; ok {
+				sdw.onNotification(n)
+			}
+		}
+	})
+}
+
+// recover runs system-wide software error recovery after a failed AT at
+// detector: the guarded components with unvalidated influence in the failed
+// state are demoted (their shadows take over), every process locally rolls
+// back or forward, and the bus is flushed.
+func (s *System) recover(detector *process) {
+	s.stats.Recoveries++
+	s.epoch++ // flush in-flight traffic from discarded states
+	for k := range s.lastArrival {
+		delete(s.lastArrival, k)
+	}
+	// Blame attribution: a guarded active failing its own acceptance test
+	// indicts exactly itself; an unguarded (or shadow) detector cannot
+	// discriminate among the unvalidated guarded influences its state
+	// reflects, so all of them are demoted — conservative, and the reason
+	// operational practice runs guarded upgrades one component at a time.
+	blamed := make(map[ComponentID]bool)
+	if detector.guardedActive() {
+		blamed[detector.comp] = true
+	} else {
+		for g, inf := range detector.influence {
+			if inf > detector.valid[g] {
+				blamed[g] = true
+			}
+		}
+	}
+	for g := range blamed {
+		act := s.actives[g]
+		sdw := s.shadows[g]
+		if act == nil || sdw == nil || act.failed {
+			continue
+		}
+		act.failed = true
+		s.stats.Takeovers++
+		// The shadow first makes its own local decision, then assumes
+		// the active role.
+		if sdw.recoverLocal() {
+			s.stats.Rollbacks++
+		} else {
+			s.stats.RollForwards++
+		}
+		sdw.takeOver()
+	}
+	// Everyone else decides locally.
+	for _, id := range s.order {
+		for _, p := range []*process{s.actives[id], s.shadows[id]} {
+			if p == nil || p.failed || p.promoted {
+				continue
+			}
+			if p.recoverLocal() {
+				s.stats.Rollbacks++
+			} else {
+				s.stats.RollForwards++
+			}
+		}
+	}
+	s.reconcile()
+}
+
+// reconcile eliminates orphan messages from the post-decision global state.
+// With a single suspect stream (the DSN architecture) the paper's theorem
+// makes the locally-decided states consistent by construction; with several
+// guarded components a process can remain continuously contaminated across
+// validations of the individual streams, so its rollback baseline may
+// predate messages a forward-rolled receiver has already consumed. Such a
+// receiver is rolled back too — to its own baseline, or all the way to
+// genesis — until no channel reflects a reception its live sender has not
+// produced. The cascade terminates because every forced rollback strictly
+// lowers the offending counters toward zero.
+func (s *System) reconcile() {
+	replicasOf := func(id ComponentID) []*process {
+		var out []*process
+		if a := s.actives[id]; a != nil && !a.failed {
+			out = append(out, a)
+		}
+		if sd := s.shadows[id]; sd != nil && !sd.failed {
+			out = append(out, sd)
+		}
+		return out
+	}
+	live := func(id ComponentID) *process {
+		if sd := s.shadows[id]; sd != nil && sd.promoted {
+			return sd
+		}
+		if a := s.actives[id]; a != nil && !a.failed {
+			return a
+		}
+		return nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, from := range s.order {
+			sender := live(from)
+			if sender == nil {
+				continue
+			}
+			for _, to := range sender.spec.Peers {
+				for _, r := range replicasOf(to) {
+					if r.recvSeq[from] <= sender.sentSeq[to] {
+						continue
+					}
+					// Orphan reception: force the receiver back.
+					target := r.volatileCkpt
+					if target != nil && target.recvSeq[from] > sender.sentSeq[to] {
+						target = nil // baseline still orphaned: genesis
+					}
+					r.restore(target)
+					s.stats.ForcedRollbacks++
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func expInterval(rate float64, rng *rand.Rand) time.Duration {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return time.Duration(-math.Log(u) / rate * float64(time.Second))
+}

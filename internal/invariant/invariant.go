@@ -1,0 +1,188 @@
+// Package invariant checks the paper's two global-state properties over a
+// recovery line (the set of stable checkpoints hardware error recovery would
+// restore):
+//
+//   - Consistency: a message reflected as received must be reflected as sent,
+//     with consistent views on its validity.
+//   - Recoverability: a message reflected as sent must be reflected as
+//     received, or the recovery algorithm must be able to restore it (from
+//     the sender's saved unacknowledged-message log).
+//
+// It additionally checks the software-recoverability property the
+// coordination preserves: stable checkpoint contents must capture
+// non-contaminated states, so a software error detected after a hardware
+// rollback remains recoverable. The naive combination violates it (Figure
+// 4(a)); the content-only strawman violates recoverability (Figure 4(b)).
+package invariant
+
+import (
+	"fmt"
+
+	"github.com/synergy-ft/synergy/internal/checkpoint"
+	"github.com/synergy-ft/synergy/internal/msg"
+)
+
+// Kind classifies violations.
+type Kind uint8
+
+// Violation kinds.
+const (
+	// OrphanMessage: a checkpoint reflects receiving a message no sender
+	// checkpoint reflects sending (consistency violation).
+	OrphanMessage Kind = iota + 1
+	// LostMessage: a checkpoint reflects sending a message the receiver
+	// does not reflect, and the sender's unacknowledged log cannot
+	// restore it (recoverability violation — Figure 4(b)).
+	LostMessage
+	// DirtyStableContent: a stable checkpoint captures a potentially
+	// contaminated state, losing the most recent non-contaminated state
+	// (Figure 4(a)).
+	DirtyStableContent
+	// CorruptedStableContent: a stable checkpoint captures a state that
+	// is corrupted in ground truth (detectable only by the oracle).
+	CorruptedStableContent
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case OrphanMessage:
+		return "orphan-message"
+	case LostMessage:
+		return "lost-message"
+	case DirtyStableContent:
+		return "dirty-stable-content"
+	case CorruptedStableContent:
+		return "corrupted-stable-content"
+	default:
+		return fmt.Sprintf("violation(%d)", uint8(k))
+	}
+}
+
+// Violation is one detected property breach.
+type Violation struct {
+	// Kind classifies the breach.
+	Kind Kind
+	// Proc is the process whose checkpoint exhibits it.
+	Proc msg.ProcID
+	// Detail describes the breach.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%v@%v: %s", v.Kind, v.Proc, v.Detail)
+}
+
+// Line is a recovery line: the stable checkpoint each live process would
+// restore, plus the identity of the process currently embodying the active
+// side of component 1 (P1act, or the promoted shadow after a takeover).
+type Line struct {
+	// Ckpts maps each live process to its restorable checkpoint.
+	Ckpts map[msg.ProcID]*checkpoint.Checkpoint
+	// ActiveC1 is the live sender of the component-1 stream.
+	ActiveC1 msg.ProcID
+}
+
+// channel is a directed application-message flow whose counters the
+// checkpoints record.
+type channel struct {
+	sender, receiver msg.ProcID
+	// streamKey is the component key the receiver's counters use.
+	streamKey msg.ProcID
+}
+
+func (l Line) channels() []channel {
+	var out []channel
+	add := func(s, r msg.ProcID) {
+		if l.Ckpts[s] == nil || l.Ckpts[r] == nil {
+			return
+		}
+		out = append(out, channel{sender: s, receiver: r, streamKey: msg.Component(s)})
+	}
+	// Component-1 stream: only the active embodiment transmits.
+	add(l.ActiveC1, msg.P2)
+	// Component-2 stream: P2 broadcasts to both component-1 processes.
+	add(msg.P2, msg.P1Act)
+	add(msg.P2, msg.P1Sdw)
+	return out
+}
+
+// Check evaluates the line and returns every violation found.
+func (l Line) Check() []Violation {
+	var out []Violation
+	out = append(out, l.checkChannels()...)
+	out = append(out, l.checkContents()...)
+	return out
+}
+
+// checkChannels verifies message-count consistency and unacked-log
+// recoverability per channel.
+func (l Line) checkChannels() []Violation {
+	var out []Violation
+	for _, ch := range l.channels() {
+		sent := l.Ckpts[ch.sender].SentTo[ch.receiver]
+		recv := l.Ckpts[ch.receiver].RecvFrom[ch.streamKey]
+		if recv > sent {
+			out = append(out, Violation{
+				Kind: OrphanMessage,
+				Proc: ch.receiver,
+				Detail: fmt.Sprintf("reflects %d messages from %v but %v reflects only %d sent",
+					recv, ch.sender, ch.sender, sent),
+			})
+			continue
+		}
+		// Every message in the gap (recv, sent] must be restorable
+		// from the sender's saved unacknowledged log.
+		stored := make(map[uint64]bool)
+		for _, m := range l.Ckpts[ch.sender].UnackedTo(ch.receiver) {
+			stored[m.ChanSeq] = true
+		}
+		for seq := recv + 1; seq <= sent; seq++ {
+			if !stored[seq] {
+				out = append(out, Violation{
+					Kind: LostMessage,
+					Proc: ch.sender,
+					Detail: fmt.Sprintf("message #%d to %v is reflected as sent, not received, and absent from the unacknowledged log",
+						seq, ch.receiver),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// checkContents verifies the stable contents capture non-contaminated
+// states: the dirty flag must be clear, and (oracle check) the state must
+// not be corrupted in ground truth.
+func (l Line) checkContents() []Violation {
+	var out []Violation
+	for id, c := range l.Ckpts {
+		if c.Dirty {
+			out = append(out, Violation{
+				Kind:   DirtyStableContent,
+				Proc:   id,
+				Detail: "stable checkpoint captures a potentially contaminated state",
+			})
+		}
+		if c.State.Corrupted {
+			out = append(out, Violation{
+				Kind:   CorruptedStableContent,
+				Proc:   id,
+				Detail: "stable checkpoint captures a ground-truth corrupted state",
+			})
+		}
+	}
+	return out
+}
+
+// Count tallies violations of one kind.
+func Count(vs []Violation, k Kind) int {
+	n := 0
+	for _, v := range vs {
+		if v.Kind == k {
+			n++
+		}
+	}
+	return n
+}

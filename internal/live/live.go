@@ -1,0 +1,202 @@
+// Package live is the prototype middleware (the paper's "GSU Middleware")
+// that runs the coordinated protocols in real time: each process is driven
+// by real goroutines, messages travel over timer-delayed channels, and the
+// TB checkpointers fire on wall-clock timers. The protocol core — the
+// mdcd.Process state machines and tb.Checkpointer — is exactly the code the
+// discrete-event simulator runs; this package only provides the concurrent
+// environment, so races and ordering assumptions are exercised for real
+// (run the tests with -race).
+//
+// Concurrency model: one mutex per node serializes that node's protocol
+// actions (message delivery, timer callbacks, application events); network
+// and trace state have their own locks; system-wide recovery acquires every
+// node lock in process-ID order.
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/app"
+	"github.com/synergy-ft/synergy/internal/at"
+	"github.com/synergy-ft/synergy/internal/mdcd"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/tb"
+	"github.com/synergy-ft/synergy/internal/trace"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// Config assembles a live middleware instance. Durations are wall-clock;
+// tests use milliseconds where the paper's deployment would use seconds.
+type Config struct {
+	// Seed drives workload and AT randomness.
+	Seed int64
+	// Clock bounds the simulated clock error layered over the wall clock
+	// (the middleware's nodes share one host clock, so δ/ρ model the
+	// deployment's timer quality).
+	Clock vtime.ClockConfig
+	// MinDelay and MaxDelay bound message delivery.
+	MinDelay, MaxDelay time.Duration
+	// CheckpointInterval is the TB interval Δ.
+	CheckpointInterval time.Duration
+	// Workload1 and Workload2 drive the two components.
+	Workload1, Workload2 app.Workload
+	// Test is the acceptance test for external messages.
+	Test at.Test
+	// Net selects the interconnect implementation (default: in-process
+	// channels; TCPTransport runs loopback sockets).
+	Net Transport
+}
+
+// DefaultConfig returns a millisecond-scale configuration suitable for tests
+// and demos.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:               seed,
+		Clock:              vtime.ClockConfig{MaxDeviation: 2 * time.Millisecond, DriftRate: 1e-4},
+		MinDelay:           200 * time.Microsecond,
+		MaxDelay:           2 * time.Millisecond,
+		CheckpointInterval: 100 * time.Millisecond,
+		Workload1:          app.Workload{InternalRate: 50, ExternalRate: 5},
+		Workload2:          app.Workload{InternalRate: 50, ExternalRate: 5},
+		Test:               at.Perfect(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Clock.Validate(); err != nil {
+		return err
+	}
+	if c.MinDelay < 0 || c.MaxDelay < c.MinDelay {
+		return fmt.Errorf("live: invalid delay bounds [%v, %v]", c.MinDelay, c.MaxDelay)
+	}
+	if c.CheckpointInterval <= 0 {
+		return fmt.Errorf("live: non-positive checkpoint interval")
+	}
+	if c.Clock.MaxDeviation+c.MaxDelay >= c.CheckpointInterval {
+		return fmt.Errorf("live: blocking bound must fit inside the interval")
+	}
+	if c.Test == nil {
+		return fmt.Errorf("live: nil acceptance test")
+	}
+	if err := c.Workload1.Validate(); err != nil {
+		return fmt.Errorf("workload1: %w", err)
+	}
+	if err := c.Workload2.Validate(); err != nil {
+		return fmt.Errorf("workload2: %w", err)
+	}
+	return nil
+}
+
+// Middleware hosts the three processes on three virtual nodes.
+type Middleware struct {
+	cfg   Config
+	start time.Time
+	rec   *lockedRecorder
+	net   transport
+
+	nodes map[msg.ProcID]*node
+
+	mu          sync.Mutex
+	actDemoted  bool
+	upgradeDone bool
+	recovering  bool
+	failure     string
+	metrics     Metrics
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// node is one hosted process with its checkpointer and serialization lock.
+type node struct {
+	id msg.ProcID
+	mu sync.Mutex
+
+	proc *mdcd.Process
+	cp   *tb.Checkpointer
+	rng  *rand.Rand
+
+	timers *timerSet
+}
+
+// withLock runs fn under the node's protocol lock.
+func (n *node) withLock(fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	fn()
+}
+
+// lockedRecorder makes trace.Recorder safe for concurrent use.
+type lockedRecorder struct {
+	mu sync.Mutex
+	r  *trace.Recorder
+}
+
+func (l *lockedRecorder) Record(e trace.Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.r.Record(e)
+}
+
+func (l *lockedRecorder) Count(p msg.ProcID, k trace.Kind) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Count(p, k)
+}
+
+// timerSet tracks outstanding wall-clock timers so Stop can cancel them.
+type timerSet struct {
+	mu      sync.Mutex
+	stopped bool
+	timers  map[int]*time.Timer
+	next    int
+}
+
+func newTimerSet() *timerSet {
+	return &timerSet{timers: make(map[int]*time.Timer)}
+}
+
+// after schedules fn, returning a cancel func. After stopAll, scheduling is
+// a no-op and fn never fires.
+func (s *timerSet) after(d time.Duration, fn func()) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return func() {}
+	}
+	id := s.next
+	s.next++
+	t := time.AfterFunc(d, func() {
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		delete(s.timers, id)
+		s.mu.Unlock()
+		fn()
+	})
+	s.timers[id] = t
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if t, ok := s.timers[id]; ok {
+			t.Stop()
+			delete(s.timers, id)
+		}
+	}
+}
+
+func (s *timerSet) stopAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+	for id, t := range s.timers {
+		t.Stop()
+		delete(s.timers, id)
+	}
+}

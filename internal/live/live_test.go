@@ -1,0 +1,268 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/mdcd"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/tb"
+	"github.com/synergy-ft/synergy/internal/trace"
+)
+
+func mustHealthy(t *testing.T, mw *Middleware) {
+	t.Helper()
+	if failed, why := mw.Failure(); failed {
+		t.Fatalf("middleware failed: %s", why)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr bool
+	}{
+		{name: "ok", mutate: func(*Config) {}},
+		{name: "bad delays", mutate: func(c *Config) { c.MinDelay = 5; c.MaxDelay = 1 }, wantErr: true},
+		{name: "zero interval", mutate: func(c *Config) { c.CheckpointInterval = 0 }, wantErr: true},
+		{name: "nil test", mutate: func(c *Config) { c.Test = nil }, wantErr: true},
+		{name: "blocking too large", mutate: func(c *Config) { c.MaxDelay = c.CheckpointInterval }, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig(1)
+			tt.mutate(&cfg)
+			_, err := New(cfg)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("New() err = %v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSteadyStateRealTime(t *testing.T) {
+	mw, err := New(DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw.Run(900 * time.Millisecond)
+	mustHealthy(t, mw)
+
+	// TB timers fired repeatedly on every node.
+	for _, id := range msg.Processes() {
+		var ndc uint64
+		if err := mw.Inspect(id, func(_ *mdcd.Process, cp *tb.Checkpointer) { ndc = cp.Ndc() }); err != nil {
+			t.Fatal(err)
+		}
+		if ndc < 4 {
+			t.Fatalf("%v committed only %d stable rounds in 900ms (Δ=100ms)", id, ndc)
+		}
+	}
+	sent, delivered := mw.NetworkStats()
+	if sent == 0 || delivered == 0 {
+		t.Fatalf("no traffic flowed: sent=%d delivered=%d", sent, delivered)
+	}
+	// The shadow suppressed its outgoing messages.
+	var suppressed uint64
+	_ = mw.Inspect(msg.P1Sdw, func(p *mdcd.Process, _ *tb.Checkpointer) { suppressed = p.Stats().Suppressed })
+	if suppressed == 0 {
+		t.Fatal("shadow suppressed nothing")
+	}
+}
+
+func TestSoftwareFaultRecoveryRealTime(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.Workload1.ExternalRate = 40 // frequent ATs for a fast test
+	mw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw.Start()
+	time.Sleep(200 * time.Millisecond)
+	mw.ActivateSoftwareFault()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		var promoted bool
+		_ = mw.Inspect(msg.P1Sdw, func(p *mdcd.Process, _ *tb.Checkpointer) { promoted = p.Promoted() })
+		if promoted {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mw.Stop()
+	mustHealthy(t, mw)
+
+	var promoted, corrupted bool
+	_ = mw.Inspect(msg.P1Sdw, func(p *mdcd.Process, _ *tb.Checkpointer) {
+		promoted = p.Promoted()
+		corrupted = p.State.Corrupted
+	})
+	if !promoted {
+		t.Fatal("shadow did not take over within 3s")
+	}
+	if corrupted {
+		t.Fatal("promoted shadow state is corrupted")
+	}
+	var p2Corrupted bool
+	_ = mw.Inspect(msg.P2, func(p *mdcd.Process, _ *tb.Checkpointer) { p2Corrupted = p.State.Corrupted })
+	if p2Corrupted {
+		t.Fatal("P2 state is corrupted after recovery")
+	}
+	if mw.Metrics().SWRecoveries != 1 {
+		t.Fatalf("SWRecoveries = %d", mw.Metrics().SWRecoveries)
+	}
+}
+
+func TestHardwareFaultRecoveryRealTime(t *testing.T) {
+	mw, err := New(DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw.Start()
+	time.Sleep(400 * time.Millisecond) // past the first complete round
+	if err := mw.InjectHardwareFault(msg.P2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(400 * time.Millisecond) // keep running after recovery
+	mw.Stop()
+	mustHealthy(t, mw)
+
+	m := mw.Metrics()
+	if m.HWFaults != 1 {
+		t.Fatalf("HWFaults = %d", m.HWFaults)
+	}
+	if m.RollbackDistance.N() != 3 {
+		t.Fatalf("rollback samples = %d, want 3", m.RollbackDistance.N())
+	}
+	// Rollback distances are bounded by the interval plus an epoch.
+	if max := m.RollbackDistance.Max(); max > 1.0 {
+		t.Fatalf("rollback distance %vs too large for Δ=100ms", max)
+	}
+	// The system kept checkpointing after recovery.
+	var ndc uint64
+	_ = mw.Inspect(msg.P1Act, func(_ *mdcd.Process, cp *tb.Checkpointer) { ndc = cp.Ndc() })
+	if ndc < 4 {
+		t.Fatalf("Ndc = %d after 800ms", ndc)
+	}
+	if mw.Trace().Count(msg.P2, trace.RolledBack) == 0 {
+		t.Fatal("no rollback event recorded")
+	}
+}
+
+func TestCombinedFaultsRealTime(t *testing.T) {
+	cfg := DefaultConfig(9)
+	cfg.Workload1.ExternalRate = 40
+	mw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw.Start()
+	time.Sleep(350 * time.Millisecond)
+	if err := mw.InjectHardwareFault(msg.P1Sdw); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	mw.ActivateSoftwareFault()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		var promoted bool
+		_ = mw.Inspect(msg.P1Sdw, func(p *mdcd.Process, _ *tb.Checkpointer) { promoted = p.Promoted() })
+		if promoted {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mw.Stop()
+	mustHealthy(t, mw)
+	var promoted bool
+	_ = mw.Inspect(msg.P1Sdw, func(p *mdcd.Process, _ *tb.Checkpointer) { promoted = p.Promoted() })
+	if !promoted {
+		t.Fatal("software error after hardware rollback was not recovered")
+	}
+}
+
+func TestStopIsIdempotentAndQuiets(t *testing.T) {
+	mw, err := New(DefaultConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw.Start()
+	time.Sleep(150 * time.Millisecond)
+	mw.Stop()
+	mw.Stop() // idempotent
+	sent1, _ := mw.NetworkStats()
+	time.Sleep(150 * time.Millisecond)
+	sent2, _ := mw.NetworkStats()
+	if sent2 != sent1 {
+		t.Fatalf("traffic continued after Stop: %d → %d", sent1, sent2)
+	}
+}
+
+func TestTCPTransportSteadyState(t *testing.T) {
+	cfg := DefaultConfig(21)
+	cfg.Net = TCPTransport
+	mw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw.Run(900 * time.Millisecond)
+	mustHealthy(t, mw)
+	for _, id := range msg.Processes() {
+		var ndc uint64
+		_ = mw.Inspect(id, func(_ *mdcd.Process, cp *tb.Checkpointer) { ndc = cp.Ndc() })
+		if ndc < 4 {
+			t.Fatalf("%v committed only %d stable rounds over TCP", id, ndc)
+		}
+	}
+	sent, delivered := mw.NetworkStats()
+	if sent == 0 || delivered == 0 {
+		t.Fatalf("no socket traffic: sent=%d delivered=%d", sent, delivered)
+	}
+}
+
+func TestTCPTransportFaultRecovery(t *testing.T) {
+	cfg := DefaultConfig(23)
+	cfg.Net = TCPTransport
+	cfg.Workload1.ExternalRate = 40
+	mw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw.Start()
+	time.Sleep(400 * time.Millisecond)
+	if err := mw.InjectHardwareFault(msg.P2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	mw.ActivateSoftwareFault()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		var promoted bool
+		_ = mw.Inspect(msg.P1Sdw, func(p *mdcd.Process, _ *tb.Checkpointer) { promoted = p.Promoted() })
+		if promoted {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mw.Stop()
+	mustHealthy(t, mw)
+	r := mw.Metrics()
+	if r.HWFaults != 1 {
+		t.Fatalf("HWFaults = %d", r.HWFaults)
+	}
+	var promoted bool
+	_ = mw.Inspect(msg.P1Sdw, func(p *mdcd.Process, _ *tb.Checkpointer) { promoted = p.Promoted() })
+	if !promoted {
+		t.Fatal("software recovery over TCP did not complete")
+	}
+}
+
+func TestTransportString(t *testing.T) {
+	if ChannelTransport.String() != "channel" || TCPTransport.String() != "tcp" {
+		t.Fatal("transport names wrong")
+	}
+	if Transport(9).String() != "transport(9)" {
+		t.Fatal("unknown transport name wrong")
+	}
+}

@@ -1,0 +1,248 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/checkpoint"
+	"github.com/synergy-ft/synergy/internal/mdcd"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/stats"
+	"github.com/synergy-ft/synergy/internal/tb"
+	"github.com/synergy-ft/synergy/internal/trace"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// New assembles a middleware instance running the coordinated scheme
+// (modified MDCD + adapted TB).
+func New(cfg Config) (*Middleware, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mw := &Middleware{
+		cfg:   cfg,
+		start: time.Now(),
+		rec:   &lockedRecorder{r: trace.New()},
+		nodes: make(map[msg.ProcID]*node),
+		stop:  make(chan struct{}),
+	}
+	switch cfg.Net {
+	case TCPTransport:
+		tn, err := newTCPNet(mw, cfg.Seed^0x6e657477)
+		if err != nil {
+			return nil, err
+		}
+		mw.net = tn
+	default:
+		mw.net = newRealNet(mw, cfg.Seed^0x6e657477)
+	}
+	mw.metrics.RollbackByProc = make(map[msg.ProcID]*stats.Sample)
+
+	buildRng := rand.New(rand.NewSource(cfg.Seed))
+	roles := map[msg.ProcID]mdcd.Role{
+		msg.P1Act: mdcd.RoleActive,
+		msg.P1Sdw: mdcd.RoleShadow,
+		msg.P2:    mdcd.RolePeer,
+	}
+	for _, id := range msg.Processes() {
+		id := id
+		n := &node{
+			id:     id,
+			rng:    rand.New(rand.NewSource(cfg.Seed ^ int64(id)<<32)),
+			timers: newTimerSet(),
+		}
+		env := &liveEnv{mw: mw, n: n}
+		n.proc = mdcd.NewProcess(id, roles[id], mdcd.Config{
+			Mode:      mdcd.ModeModified,
+			GateOnNdc: true,
+			Test:      cfg.Test,
+		}, env)
+		clock := vtime.NewClock(cfg.Clock, buildRng)
+		cp, err := tb.NewCheckpointer(id, tb.Config{
+			Variant:  tb.Adapted,
+			Interval: cfg.CheckpointInterval,
+			Clock:    cfg.Clock,
+			MinDelay: cfg.MinDelay,
+			MaxDelay: cfg.MaxDelay,
+		}, clock, &liveRuntime{mw: mw, n: n}, liveHost{n: n}, mw.rec.Record)
+		if err != nil {
+			return nil, err
+		}
+		n.cp = cp
+		n.proc.DirtyChanged = cp.NotifyDirtyChanged
+		n.proc.UnackedProvider = cp.UnackedSnapshot
+		mw.nodes[id] = n
+	}
+	return mw, nil
+}
+
+// Metrics aggregates the run's dependability outcomes.
+type Metrics struct {
+	HWFaults, SWRecoveries int
+	RollbackDistance       stats.Sample
+	RollbackByProc         map[msg.ProcID]*stats.Sample
+}
+
+// Metrics returns a snapshot of the outcome counters.
+func (mw *Middleware) Metrics() Metrics {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	out := Metrics{
+		HWFaults:       mw.metrics.HWFaults,
+		SWRecoveries:   mw.metrics.SWRecoveries,
+		RollbackByProc: make(map[msg.ProcID]*stats.Sample, len(mw.metrics.RollbackByProc)),
+	}
+	out.RollbackDistance.Merge(&mw.metrics.RollbackDistance)
+	for id, s := range mw.metrics.RollbackByProc {
+		cp := &stats.Sample{}
+		cp.Merge(s)
+		out.RollbackByProc[id] = cp
+	}
+	return out
+}
+
+// now returns middleware-relative virtual time (the wall clock).
+func (mw *Middleware) now() vtime.Time { return vtime.Time(time.Since(mw.start)) }
+
+// Start launches the checkpoint timers and the workload generators.
+func (mw *Middleware) Start() {
+	for _, n := range mw.nodes {
+		n := n
+		n.withLock(func() { n.cp.Start() })
+	}
+	mw.startWorkload()
+}
+
+// Stop halts workload, timers and deliveries. It is idempotent.
+func (mw *Middleware) Stop() {
+	mw.mu.Lock()
+	select {
+	case <-mw.stop:
+		mw.mu.Unlock()
+		return
+	default:
+		close(mw.stop)
+	}
+	mw.mu.Unlock()
+	mw.wg.Wait()
+	mw.net.close()
+	for _, n := range mw.nodes {
+		n := n
+		n.withLock(func() { n.cp.Stop() })
+		n.timers.stopAll()
+	}
+}
+
+// Run drives the middleware for the given wall duration, then stops it.
+func (mw *Middleware) Run(d time.Duration) {
+	mw.Start()
+	time.Sleep(d)
+	mw.Stop()
+}
+
+// route delivers a message to its destination node.
+func (mw *Middleware) route(m msg.Message) {
+	mw.mu.Lock()
+	demoted := mw.actDemoted
+	mw.mu.Unlock()
+	if demoted && m.From == msg.P1Act {
+		return
+	}
+	n, ok := mw.nodes[m.To]
+	if !ok {
+		return
+	}
+	n.withLock(func() {
+		if m.Kind == msg.Ack {
+			n.cp.OnAck(m)
+			return
+		}
+		n.proc.Receive(m)
+	})
+}
+
+// liveEnv adapts the middleware to mdcd.Env for one node. Its methods are
+// only invoked while the node's lock is held.
+type liveEnv struct {
+	mw *Middleware
+	n  *node
+}
+
+var _ mdcd.Env = (*liveEnv)(nil)
+
+func (e *liveEnv) Now() vtime.Time       { return e.mw.now() }
+func (e *liveEnv) Rand() *rand.Rand      { return e.n.rng }
+func (e *liveEnv) InBlocking() bool      { return e.n.cp.InBlocking() }
+func (e *liveEnv) Ndc() uint64           { return e.n.cp.Ndc() }
+func (e *liveEnv) Record(ev trace.Event) { e.mw.rec.Record(ev) }
+
+func (e *liveEnv) Send(m msg.Message) {
+	e.n.cp.OnSend(m)
+	e.mw.net.send(m)
+}
+
+func (e *liveEnv) RequestErrorRecovery(detector msg.ProcID) {
+	// Recovery locks every node; it must run outside the caller's lock.
+	go e.mw.softwareRecovery(detector)
+}
+
+// liveRuntime adapts wall-clock timers to tb.Runtime, serializing callbacks
+// under the node lock.
+type liveRuntime struct {
+	mw *Middleware
+	n  *node
+}
+
+var _ tb.Runtime = (*liveRuntime)(nil)
+
+func (r *liveRuntime) Now() vtime.Time { return r.mw.now() }
+
+func (r *liveRuntime) After(d time.Duration, fn func()) func() {
+	return r.n.timers.after(d, func() { r.n.withLock(fn) })
+}
+
+// liveHost adapts the process to tb.Host (called under the node lock).
+type liveHost struct{ n *node }
+
+var _ tb.Host = liveHost{}
+
+func (h liveHost) EffectiveDirty() bool { return h.n.proc.EffectiveDirty() }
+
+func (h liveHost) Snapshot(kind checkpoint.Kind) *checkpoint.Checkpoint {
+	return h.n.proc.Snapshot(kind)
+}
+
+func (h liveHost) LatestVolatile() (*checkpoint.Checkpoint, bool) {
+	return h.n.proc.Volatile.Latest()
+}
+
+func (h liveHost) ReleaseHeld() { h.n.proc.ReleaseHeld() }
+
+// Failure reports an unrecoverable condition, if any.
+func (mw *Middleware) Failure() (bool, string) {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	return mw.failure != "", mw.failure
+}
+
+// Trace exposes the locked trace recorder.
+func (mw *Middleware) Trace() interface {
+	Count(p msg.ProcID, k trace.Kind) int
+} {
+	return mw.rec
+}
+
+// NetworkStats returns total sent and delivered message counts.
+func (mw *Middleware) NetworkStats() (sent, delivered uint64) { return mw.net.stats() }
+
+// Inspect runs fn with the node's process and checkpointer under the node
+// lock, for tests and demos.
+func (mw *Middleware) Inspect(id msg.ProcID, fn func(p *mdcd.Process, cp *tb.Checkpointer)) error {
+	n, ok := mw.nodes[id]
+	if !ok {
+		return fmt.Errorf("live: unknown process %v", id)
+	}
+	n.withLock(func() { fn(n.proc, n.cp) })
+	return nil
+}

@@ -1,0 +1,94 @@
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/msg"
+)
+
+// realNet delivers messages between nodes with bounded random delay and
+// per-channel FIFO ordering, using real timers.
+type realNet struct {
+	mw *Middleware
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	lastArrival map[pair]time.Time
+	epoch       uint64
+	timers      *timerSet
+
+	sent, delivered uint64
+}
+
+type pair struct{ from, to msg.ProcID }
+
+func newRealNet(mw *Middleware, seed int64) *realNet {
+	return &realNet{
+		mw:          mw,
+		rng:         rand.New(rand.NewSource(seed)),
+		lastArrival: make(map[pair]time.Time),
+		timers:      newTimerSet(),
+	}
+}
+
+var _ transport = (*realNet)(nil)
+
+// close stops pending deliveries.
+func (n *realNet) close() { n.timers.stopAll() }
+
+// send schedules delivery of m. Safe for concurrent use.
+func (n *realNet) send(m msg.Message) {
+	if m.To == msg.Device {
+		n.mu.Lock()
+		n.sent++
+		n.mu.Unlock()
+		return // external messages leave the system
+	}
+	n.mu.Lock()
+	n.sent++
+	d := n.mw.cfg.MinDelay
+	if span := int64(n.mw.cfg.MaxDelay - n.mw.cfg.MinDelay); span > 0 {
+		d += time.Duration(n.rng.Int63n(span + 1))
+	}
+	// Per-channel FIFO: never deliver before an earlier send's arrival.
+	ch := pair{from: m.From, to: m.To}
+	arrival := time.Now().Add(d)
+	if last := n.lastArrival[ch]; !arrival.After(last) {
+		arrival = last.Add(time.Microsecond)
+	}
+	n.lastArrival[ch] = arrival
+	epoch := n.epoch
+	wait := time.Until(arrival)
+	n.mu.Unlock()
+
+	n.timers.after(wait, func() { n.deliver(m, epoch) })
+}
+
+func (n *realNet) deliver(m msg.Message, epoch uint64) {
+	n.mu.Lock()
+	if epoch != n.epoch {
+		n.mu.Unlock()
+		return // flushed by a recovery
+	}
+	n.delivered++
+	n.mu.Unlock()
+	n.mw.route(m)
+}
+
+// flush invalidates all in-flight messages (system-wide rollback).
+func (n *realNet) flush() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.epoch++
+	for ch := range n.lastArrival {
+		delete(n.lastArrival, ch)
+	}
+}
+
+func (n *realNet) stats() (sent, delivered uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.delivered
+}

@@ -1,0 +1,186 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/stats"
+	"github.com/synergy-ft/synergy/internal/tb"
+	"github.com/synergy-ft/synergy/internal/trace"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// lockAll acquires every node lock in process-ID order (system-wide recovery
+// must see a quiescent protocol state) and returns the unlock function.
+func (mw *Middleware) lockAll() func() {
+	ids := make([]msg.ProcID, 0, len(mw.nodes))
+	for id := range mw.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		mw.nodes[id].mu.Lock()
+	}
+	return func() {
+		for i := len(ids) - 1; i >= 0; i-- {
+			mw.nodes[ids[i]].mu.Unlock()
+		}
+	}
+}
+
+// softwareRecovery runs the MDCD error recovery procedure; it is triggered
+// asynchronously by a failed acceptance test.
+func (mw *Middleware) softwareRecovery(detector msg.ProcID) {
+	mw.mu.Lock()
+	if mw.actDemoted || mw.recovering || mw.failure != "" {
+		mw.mu.Unlock()
+		return
+	}
+	mw.recovering = true
+	mw.mu.Unlock()
+
+	unlock := mw.lockAll()
+	defer unlock()
+	mw.rec.Record(trace.Event{At: mw.now(), Proc: detector, Kind: trace.ATFailed, Note: "software error recovery initiated"})
+
+	act, sdw, p2 := mw.nodes[msg.P1Act], mw.nodes[msg.P1Sdw], mw.nodes[msg.P2]
+	act.proc.Demote()
+	act.cp.Stop()
+	p2.proc.StopSendingTo(msg.P1Act)
+	p2.proc.IgnoreFrom(msg.P1Act)
+	sdw.proc.IgnoreFrom(msg.P1Act)
+	// Discard in-flight traffic produced from discarded states; survivors
+	// re-send from their unacknowledged sets below.
+	mw.net.flush()
+
+	for _, n := range []*node{sdw, p2} {
+		n.cp.AbortCycle()
+		n.cp.DropUnacked(msg.P1Act)
+		rolled, restored, err := n.proc.RecoverSoftware()
+		if err != nil {
+			mw.failf("software recovery: %v", err)
+			return
+		}
+		if rolled {
+			n.cp.AdoptUnacked(restored.Unacked)
+			n.cp.DropUnacked(msg.P1Act)
+		} else {
+			n.proc.ReleaseHeld()
+		}
+		for _, m := range n.cp.UnackedSnapshot() {
+			mw.net.send(m)
+		}
+	}
+	sdw.proc.TakeOver()
+
+	mw.mu.Lock()
+	mw.actDemoted = true
+	mw.recovering = false
+	mw.metrics.SWRecoveries++
+	mw.mu.Unlock()
+}
+
+// CommitUpgrade ends guarded operation with the upgraded version accepted
+// (see coord.System.CommitUpgrade). It reports false if guarded operation
+// already ended.
+func (mw *Middleware) CommitUpgrade() bool {
+	mw.mu.Lock()
+	if mw.actDemoted || mw.upgradeDone {
+		mw.mu.Unlock()
+		return false
+	}
+	mw.upgradeDone = true
+	mw.mu.Unlock()
+
+	unlock := mw.lockAll()
+	defer unlock()
+	mw.nodes[msg.P1Act].proc.CommitUpgrade()
+	mw.nodes[msg.P1Sdw].proc.CommitUpgrade()
+	mw.nodes[msg.P1Sdw].cp.Stop()
+	mw.nodes[msg.P2].proc.CommitUpgrade()
+	mw.nodes[msg.P2].proc.StopSendingTo(msg.P1Sdw)
+	mw.nodes[msg.P2].cp.DropUnacked(msg.P1Sdw)
+	return true
+}
+
+// InjectHardwareFault crashes the node hosting proc and performs hardware
+// error recovery: every live process rolls back to the highest checkpoint
+// round all of them have committed, and saved unacknowledged messages are
+// re-sent.
+func (mw *Middleware) InjectHardwareFault(victim msg.ProcID) error {
+	if failed, why := mw.Failure(); failed {
+		return fmt.Errorf("live: system already failed: %s", why)
+	}
+	unlock := mw.lockAll()
+	defer unlock()
+
+	now := mw.now()
+	if n, ok := mw.nodes[victim]; ok {
+		n.proc.Volatile.Crash()
+		mw.rec.Record(trace.Event{At: now, Proc: victim, Kind: trace.NodeCrashed})
+	}
+	mw.net.flush()
+
+	round := ^uint64(0)
+	for _, n := range mw.nodes {
+		if n.proc.Failed() {
+			continue
+		}
+		if r := n.cp.Ndc(); r < round {
+			round = r
+		}
+	}
+
+	mw.mu.Lock()
+	mw.metrics.HWFaults++
+	mw.mu.Unlock()
+
+	for id, n := range mw.nodes {
+		if n.proc.Failed() {
+			continue
+		}
+		restored, err := n.cp.PrepareRecoveryAt(round)
+		if errors.Is(err, tb.ErrNoStableCheckpoint) {
+			return fmt.Errorf("live: fault before the first complete round")
+		}
+		if err != nil {
+			mw.failf("hardware recovery for %v: %v", id, err)
+			return err
+		}
+		n.proc.RestoreFrom(restored)
+		n.proc.Volatile.Crash()
+		dist := now.Sub(restored.TakenAt).Seconds()
+		mw.mu.Lock()
+		mw.metrics.RollbackDistance.Add(dist)
+		s, ok := mw.metrics.RollbackByProc[id]
+		if !ok {
+			s = &stats.Sample{}
+			mw.metrics.RollbackByProc[id] = s
+		}
+		s.Add(dist)
+		mw.mu.Unlock()
+		mw.rec.Record(trace.Event{At: now, Proc: id, Kind: trace.RolledBack, Note: "hardware recovery"})
+	}
+	ival := int64(mw.cfg.CheckpointInterval)
+	target := vtime.Time((int64(now)/ival + 2) * ival)
+	for _, n := range mw.nodes {
+		if n.proc.Failed() {
+			continue
+		}
+		for _, m := range n.cp.UnackedSnapshot() {
+			mw.net.send(m)
+		}
+		// Restart on a common tick so the round numbering stays aligned.
+		n.cp.StartAt(target)
+	}
+	return nil
+}
+
+func (mw *Middleware) failf(format string, args ...any) {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	mw.failure = fmt.Sprintf(format, args...)
+	mw.recovering = false
+}

@@ -1,0 +1,217 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/msg"
+)
+
+// tcpNet runs the interconnect over loopback TCP: one listener per node, one
+// connection per directed process pair (TCP's byte-stream ordering then
+// gives per-channel FIFO for free), and a per-pair writer goroutine that
+// injects the configured delivery delay before writing. Frames carry the
+// sender's epoch; a recovery flush bumps the epoch so queued and in-flight
+// frames are discarded at the receiver.
+type tcpNet struct {
+	mw *Middleware
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	epoch     uint64
+	listeners map[msg.ProcID]net.Listener
+	addrs     map[msg.ProcID]string
+	writers   map[pair]chan frame
+	conns     []net.Conn
+	closed    bool
+	sent      uint64
+	delivered uint64
+
+	wg sync.WaitGroup
+}
+
+type frame struct {
+	epoch   uint64
+	sendAt  time.Time
+	message msg.Message
+}
+
+// frameSize is the wire size of one frame: epoch + encoded message.
+const frameSize = 8 + msg.EncodedSize
+
+func newTCPNet(mw *Middleware, seed int64) (*tcpNet, error) {
+	n := &tcpNet{
+		mw:        mw,
+		rng:       rand.New(rand.NewSource(seed)),
+		listeners: make(map[msg.ProcID]net.Listener),
+		addrs:     make(map[msg.ProcID]string),
+		writers:   make(map[pair]chan frame),
+	}
+	for _, id := range msg.Processes() {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			n.close()
+			return nil, fmt.Errorf("live: listen for %v: %w", id, err)
+		}
+		n.listeners[id] = l
+		n.addrs[id] = l.Addr().String()
+		n.wg.Add(1)
+		go n.acceptLoop(l)
+	}
+	return n, nil
+}
+
+var _ transport = (*tcpNet)(nil)
+
+func (n *tcpNet) send(m msg.Message) {
+	if m.To == msg.Device {
+		n.mu.Lock()
+		n.sent++
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.sent++
+	d := n.mw.cfg.MinDelay
+	if span := int64(n.mw.cfg.MaxDelay - n.mw.cfg.MinDelay); span > 0 {
+		d += time.Duration(n.rng.Int63n(span + 1))
+	}
+	f := frame{epoch: n.epoch, sendAt: time.Now().Add(d), message: m}
+	ch := pair{from: m.From, to: m.To}
+	w, ok := n.writers[ch]
+	if !ok {
+		w = make(chan frame, 1024)
+		n.writers[ch] = w
+		n.wg.Add(1)
+		go n.writeLoop(ch, w)
+	}
+	// Enqueue while still holding the lock: close() also holds it when
+	// closing writer channels, so a send can never race a close.
+	select {
+	case w <- f:
+	default:
+		// A full writer queue means the peer stopped draining (shutdown
+		// in progress); dropping is safe — unacknowledged-message logs
+		// cover retransmission.
+	}
+	n.mu.Unlock()
+}
+
+// writeLoop owns the connection for one directed channel: it dials lazily,
+// sleeps out each frame's artificial delay (single writer per channel keeps
+// FIFO), and writes length-fixed frames.
+func (n *tcpNet) writeLoop(ch pair, in <-chan frame) {
+	defer n.wg.Done()
+	var conn net.Conn
+	buf := make([]byte, 0, frameSize)
+	for f := range in {
+		if wait := time.Until(f.sendAt); wait > 0 {
+			time.Sleep(wait)
+		}
+		if conn == nil {
+			n.mu.Lock()
+			addr, closed := n.addrs[ch.to], n.closed
+			n.mu.Unlock()
+			if closed {
+				return
+			}
+			c, err := net.DialTimeout("tcp", addr, time.Second)
+			if err != nil {
+				continue // receiver gone; unacked logs re-cover
+			}
+			conn = c
+			n.mu.Lock()
+			n.conns = append(n.conns, c)
+			n.mu.Unlock()
+		}
+		buf = buf[:0]
+		buf = binary.LittleEndian.AppendUint64(buf, f.epoch)
+		buf = msg.Encode(buf, f.message)
+		if _, err := conn.Write(buf); err != nil {
+			return // connection torn down (shutdown)
+		}
+	}
+}
+
+func (n *tcpNet) acceptLoop(l net.Listener) {
+	defer n.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		n.conns = append(n.conns, conn)
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *tcpNet) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	buf := make([]byte, frameSize)
+	for {
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		epoch := binary.LittleEndian.Uint64(buf)
+		m, _, err := msg.Decode(buf[8:])
+		if err != nil {
+			return // framing broken; drop the connection
+		}
+		n.mu.Lock()
+		stale := epoch != n.epoch || n.closed
+		if !stale {
+			n.delivered++
+		}
+		n.mu.Unlock()
+		if stale {
+			continue
+		}
+		n.mw.route(m)
+	}
+}
+
+func (n *tcpNet) flush() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.epoch++
+	// Queued-but-unsent frames carry the old epoch and will be discarded
+	// at the receivers; nothing else to do.
+}
+
+func (n *tcpNet) stats() (uint64, uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.delivered
+}
+
+func (n *tcpNet) close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	for _, l := range n.listeners {
+		l.Close()
+	}
+	for _, c := range n.conns {
+		c.Close()
+	}
+	for _, w := range n.writers {
+		close(w)
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}

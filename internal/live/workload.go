@@ -1,0 +1,116 @@
+package live
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/app"
+	"github.com/synergy-ft/synergy/internal/mdcd"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/trace"
+)
+
+// startWorkload launches one goroutine per event stream. Component-1 events
+// drive the active process and its shadow with identical inputs, the
+// middleware's replica-feeding duty.
+func (mw *Middleware) startWorkload() {
+	c1 := []msg.ProcID{msg.P1Act, msg.P1Sdw}
+	c2 := []msg.ProcID{msg.P2}
+	streams := []struct {
+		rate  func() float64
+		seed  int64
+		event func(rng *rand.Rand)
+	}{
+		{rate: func() float64 { return mw.cfg.Workload1.InternalRate }, seed: 11,
+			event: func(*rand.Rand) { mw.appEvent(c1, (*mdcd.Process).EmitInternal) }},
+		{rate: func() float64 { return mw.cfg.Workload1.ExternalRate }, seed: 13,
+			event: func(*rand.Rand) { mw.appEvent(c1, (*mdcd.Process).EmitExternal) }},
+		{rate: func() float64 { return mw.cfg.Workload1.LocalStepRate }, seed: 17,
+			event: func(rng *rand.Rand) {
+				v := rng.Int63n(1_000_000)
+				mw.appEvent(c1, func(p *mdcd.Process) { p.State.LocalStep(v) })
+			}},
+		{rate: func() float64 { return mw.cfg.Workload2.InternalRate }, seed: 19,
+			event: func(*rand.Rand) { mw.appEvent(c2, (*mdcd.Process).EmitInternal) }},
+		{rate: func() float64 { return mw.cfg.Workload2.ExternalRate }, seed: 23,
+			event: func(*rand.Rand) { mw.appEvent(c2, (*mdcd.Process).EmitExternal) }},
+		{rate: func() float64 { return mw.cfg.Workload2.LocalStepRate }, seed: 29,
+			event: func(rng *rand.Rand) {
+				v := rng.Int63n(1_000_000)
+				mw.appEvent(c2, func(p *mdcd.Process) { p.State.LocalStep(v) })
+			}},
+	}
+	for _, s := range streams {
+		if s.rate() <= 0 {
+			continue
+		}
+		s := s
+		mw.wg.Add(1)
+		go func() {
+			defer mw.wg.Done()
+			rng := rand.New(rand.NewSource(mw.cfg.Seed ^ s.seed<<17))
+			w := app.Workload{InternalRate: s.rate()}
+			for {
+				t := time.NewTimer(w.NextInternal(rng))
+				select {
+				case <-mw.stop:
+					t.Stop()
+					return
+				case <-t.C:
+					s.event(rng)
+				}
+			}
+		}()
+	}
+}
+
+// appEvent applies one application event to every replica of a component,
+// deferring it when the node is inside a TB blocking period (a blocked
+// process neither computes nor communicates; here the deferral is a short
+// spin on the blocking flag, bounded by the millisecond-scale blocking
+// period).
+func (mw *Middleware) appEvent(ids []msg.ProcID, fn func(p *mdcd.Process)) {
+	for _, id := range ids {
+		n := mw.nodes[id]
+		n.withLock(func() {
+			if n.proc.Failed() {
+				return
+			}
+			if n.cp.InBlocking() {
+				// Defer past the blocking period with a timer
+				// instead of holding the lock.
+				mw.deferEvent(n, fn)
+				return
+			}
+			fn(n.proc)
+		})
+	}
+}
+
+// deferEvent retries an application event after the blocking period.
+func (mw *Middleware) deferEvent(n *node, fn func(p *mdcd.Process)) {
+	n.timers.after(mw.cfg.MaxDelay+mw.cfg.Clock.MaxDeviation, func() {
+		n.withLock(func() {
+			if n.proc.Failed() {
+				return
+			}
+			if n.cp.InBlocking() {
+				mw.deferEvent(n, fn)
+				return
+			}
+			fn(n.proc)
+		})
+	})
+}
+
+// ActivateSoftwareFault corrupts the active process's state.
+func (mw *Middleware) ActivateSoftwareFault() {
+	n := mw.nodes[msg.P1Act]
+	n.withLock(func() {
+		if n.proc.Failed() {
+			return
+		}
+		n.proc.State.Corrupt()
+	})
+	mw.rec.Record(trace.Event{At: mw.now(), Proc: msg.P1Act, Kind: trace.FaultActivated})
+}

@@ -1,0 +1,48 @@
+package msg
+
+import "testing"
+
+func benchMessage() Message {
+	return Message{
+		Kind:     Internal,
+		From:     P1Act,
+		To:       P2,
+		SN:       123456,
+		ChanSeq:  123450,
+		DirtyBit: true,
+		Ndc:      42,
+		ValidSN:  123000,
+		Payload:  Payload{Seq: 99, Value: -987654321, Digest: 0xfeedface},
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	m := benchMessage()
+	buf := make([]byte, 0, EncodedSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], m)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	buf := Encode(nil, benchMessage())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeSlice(b *testing.B) {
+	ms := make([]Message, 32)
+	for i := range ms {
+		ms[i] = benchMessage()
+	}
+	buf := make([]byte, 0, 8+32*EncodedSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = EncodeSlice(buf[:0], ms)
+	}
+}

@@ -1,0 +1,133 @@
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The binary codec serializes messages for inclusion in stable-storage
+// checkpoints (the TB protocol saves unacknowledged messages as part of the
+// next checkpoint). The format is a fixed-width little-endian record with a
+// leading version byte, so stored checkpoints remain decodable across
+// revisions.
+
+const (
+	codecVersion = 1
+	// EncodedSize is the exact wire size of one encoded message.
+	EncodedSize = 1 + // version
+		1 + 1 + 1 + // kind, from, to
+		8 + 8 + // SN, ChanSeq
+		1 + // flags (dirty bit, corrupted)
+		8 + 8 + 8 + // Ndc, ValidSN, AckSN
+		8 + 8 + 8 // payload seq, value, digest
+)
+
+// Codec errors.
+var (
+	// ErrShortBuffer indicates the input is too small to hold a message.
+	ErrShortBuffer = errors.New("msg: short buffer")
+	// ErrBadVersion indicates an unknown codec version byte.
+	ErrBadVersion = errors.New("msg: unknown codec version")
+)
+
+const (
+	flagDirty byte = 1 << iota
+	flagCorrupted
+)
+
+// Encode appends the wire form of m to dst and returns the extended slice.
+func Encode(dst []byte, m Message) []byte {
+	var rec [EncodedSize]byte
+	rec[0] = codecVersion
+	rec[1] = byte(m.Kind)
+	rec[2] = byte(m.From)
+	rec[3] = byte(m.To)
+	binary.LittleEndian.PutUint64(rec[4:], m.SN)
+	binary.LittleEndian.PutUint64(rec[12:], m.ChanSeq)
+	var flags byte
+	if m.DirtyBit {
+		flags |= flagDirty
+	}
+	if m.Payload.Corrupted {
+		flags |= flagCorrupted
+	}
+	rec[20] = flags
+	binary.LittleEndian.PutUint64(rec[21:], m.Ndc)
+	binary.LittleEndian.PutUint64(rec[29:], m.ValidSN)
+	binary.LittleEndian.PutUint64(rec[37:], m.AckSN)
+	binary.LittleEndian.PutUint64(rec[45:], m.Payload.Seq)
+	binary.LittleEndian.PutUint64(rec[53:], uint64(m.Payload.Value))
+	binary.LittleEndian.PutUint64(rec[61:], m.Payload.Digest)
+	return append(dst, rec[:]...)
+}
+
+// Decode parses one message from the front of src, returning the message and
+// the remaining bytes.
+func Decode(src []byte) (Message, []byte, error) {
+	if len(src) < EncodedSize {
+		return Message{}, src, ErrShortBuffer
+	}
+	if src[0] != codecVersion {
+		return Message{}, src, fmt.Errorf("%w: %d", ErrBadVersion, src[0])
+	}
+	flags := src[20]
+	m := Message{
+		Kind:    Kind(src[1]),
+		From:    ProcID(src[2]),
+		To:      ProcID(src[3]),
+		SN:      binary.LittleEndian.Uint64(src[4:]),
+		ChanSeq: binary.LittleEndian.Uint64(src[12:]),
+		Ndc:     binary.LittleEndian.Uint64(src[21:]),
+		ValidSN: binary.LittleEndian.Uint64(src[29:]),
+		AckSN:   binary.LittleEndian.Uint64(src[37:]),
+		Payload: Payload{
+			Seq:       binary.LittleEndian.Uint64(src[45:]),
+			Value:     int64(binary.LittleEndian.Uint64(src[53:])),
+			Digest:    binary.LittleEndian.Uint64(src[61:]),
+			Corrupted: flags&flagCorrupted != 0,
+		},
+		DirtyBit: flags&flagDirty != 0,
+	}
+	return m, src[EncodedSize:], nil
+}
+
+// EncodeSlice appends the wire form of every message in ms, prefixed by a
+// little-endian count.
+func EncodeSlice(dst []byte, ms []Message) []byte {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(ms)))
+	dst = append(dst, n[:]...)
+	for _, m := range ms {
+		dst = Encode(dst, m)
+	}
+	return dst
+}
+
+// DecodeSlice parses a count-prefixed message list from the front of src.
+func DecodeSlice(src []byte) ([]Message, []byte, error) {
+	if len(src) < 8 {
+		return nil, src, ErrShortBuffer
+	}
+	n := binary.LittleEndian.Uint64(src)
+	src = src[8:]
+	if n > uint64(len(src)/EncodedSize) {
+		return nil, src, ErrShortBuffer
+	}
+	var ms []Message
+	if n > 0 {
+		ms = make([]Message, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var (
+			m   Message
+			err error
+		)
+		m, src, err = Decode(src)
+		if err != nil {
+			return nil, src, err
+		}
+		ms = append(ms, m)
+	}
+	return ms, src, nil
+}

@@ -1,0 +1,176 @@
+// Package msg defines the message vocabulary shared by the MDCD and TB
+// protocols: application-purpose internal and external messages with the
+// piggybacked fields the modified MDCD algorithms require (dirty bit, message
+// sequence number, stable-checkpoint sequence number Ndc), the "passed AT"
+// notification, and delivery acknowledgements used by the TB protocol's
+// unacknowledged-message logging.
+package msg
+
+import "fmt"
+
+// ProcID identifies a protocol participant. The paper's architecture has
+// three interacting processes plus the external world (devices).
+type ProcID uint8
+
+// The fixed process roles of the guarded-operation architecture.
+const (
+	// P1Act is the active process of the low-confidence software version.
+	P1Act ProcID = iota + 1
+	// P1Sdw is the shadow process of the high-confidence version.
+	P1Sdw
+	// P2 is the active process of the second, high-confidence component.
+	P2
+	// Device stands for the external world receiving external messages.
+	Device
+)
+
+// String implements fmt.Stringer.
+func (p ProcID) String() string {
+	switch p {
+	case P1Act:
+		return "P1act"
+	case P1Sdw:
+		return "P1sdw"
+	case P2:
+		return "P2"
+	case Device:
+		return "device"
+	default:
+		return fmt.Sprintf("proc(%d)", uint8(p))
+	}
+}
+
+// Processes lists the three protocol participants (excluding the device).
+func Processes() []ProcID { return []ProcID{P1Act, P1Sdw, P2} }
+
+// Component maps a process to the application component whose message stream
+// it produces: P1act and P1sdw both embody component 1 (the shadow takes over
+// the active's stream after a takeover), P2 embodies component 2. Receive-side
+// bookkeeping is keyed by component so the stream stays continuous across a
+// takeover.
+func Component(p ProcID) ProcID {
+	if p == P1Sdw {
+		return P1Act
+	}
+	return p
+}
+
+// NodeID identifies a hardware node hosting a process. The paper maps each
+// of the three processes to its own computing node.
+type NodeID uint8
+
+// String implements fmt.Stringer.
+func (n NodeID) String() string { return fmt.Sprintf("N%d", uint8(n)) }
+
+// Kind discriminates the message categories of the coordinated protocols.
+type Kind uint8
+
+// Message kinds.
+const (
+	// Internal is an application-purpose message between processes. It
+	// carries the sender's dirty bit per the modified MDCD algorithms.
+	Internal Kind = iota + 1
+	// External is an application-purpose message to the external world,
+	// validated by an acceptance test when the sender is potentially
+	// contaminated.
+	External
+	// PassedAT is the broadcast notification that an acceptance test
+	// succeeded; it carries the last valid message SN and the sender's Ndc.
+	PassedAT
+	// Ack acknowledges receipt of an application-purpose message; the TB
+	// protocol saves unacknowledged messages into the next checkpoint.
+	Ack
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Internal:
+		return "internal"
+	case External:
+		return "external"
+	case PassedAT:
+		return "passed_AT"
+	case Ack:
+		return "ack"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Payload is the application content of a message. Corrupted is a
+// ground-truth marker set by the software fault injector when a design fault
+// has contaminated the value; acceptance tests observe it only through their
+// configured detection coverage, and invariant checkers use it as an oracle.
+type Payload struct {
+	// Seq is the application-level sequence of the computation step that
+	// produced this message.
+	Seq uint64
+	// Value is the computation result conveyed by the message.
+	Value int64
+	// Digest is a checksum of the sender's state when the message was
+	// produced, used by digest-based acceptance tests.
+	Digest uint64
+	// Corrupted marks ground-truth contamination (see above).
+	Corrupted bool
+}
+
+// Message is a unit of communication between processes.
+type Message struct {
+	// Kind is the message category.
+	Kind Kind
+	// From and To identify sender and receiver.
+	From, To ProcID
+	// SN is the sender's message sequence number (msg_SN in the paper). It
+	// increments on every application-purpose send, internal or external.
+	SN uint64
+	// ChanSeq is the per-channel (sender→receiver) sequence number of an
+	// application-purpose message. Receivers use it for FIFO duplicate
+	// suppression and the recoverability checker uses it to verify that
+	// every sent-but-unreceived message is restorable.
+	ChanSeq uint64
+	// DirtyBit is the sender's dirty bit, piggybacked on internal
+	// application-purpose messages.
+	DirtyBit bool
+	// Ndc is the sender's stable-storage checkpoint sequence number,
+	// piggybacked per the modified algorithms.
+	Ndc uint64
+	// ValidSN carries component-1 stream positions. On PassedAT messages
+	// it is the SN of the last valid message of P1act (m.msg_SN in the
+	// paper). On Internal messages it is the sender's component-1
+	// influence high-water: the highest P1act message SN reflected in the
+	// sender's state, which receivers accumulate so that a stale
+	// validation (one covering less than the receiver's influence) cannot
+	// wrongly reset a dirty bit.
+	ValidSN uint64
+	// AckSN is meaningful on Ack messages: the SN being acknowledged.
+	AckSN uint64
+	// Payload is the application content of Internal/External messages.
+	Payload Payload
+}
+
+// ID uniquely identifies an application-purpose message system-wide.
+type ID struct {
+	From ProcID
+	SN   uint64
+}
+
+// ID returns the message's unique identity.
+func (m Message) ID() ID { return ID{From: m.From, SN: m.SN} }
+
+// IsApp reports whether the message is application-purpose (internal or
+// external), as opposed to protocol control traffic.
+func (m Message) IsApp() bool { return m.Kind == Internal || m.Kind == External }
+
+// String renders a compact human-readable form used in traces.
+func (m Message) String() string {
+	switch m.Kind {
+	case PassedAT:
+		return fmt.Sprintf("%s→%s passed_AT(validSN=%d, Ndc=%d)", m.From, m.To, m.ValidSN, m.Ndc)
+	case Ack:
+		return fmt.Sprintf("%s→%s ack(SN=%d)", m.From, m.To, m.AckSN)
+	default:
+		return fmt.Sprintf("%s→%s %s(SN=%d, dirty=%v, val=%d)",
+			m.From, m.To, m.Kind, m.SN, m.DirtyBit, m.Payload.Value)
+	}
+}

@@ -1,0 +1,212 @@
+package msg
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcIDString(t *testing.T) {
+	tests := []struct {
+		give ProcID
+		want string
+	}{
+		{P1Act, "P1act"},
+		{P1Sdw, "P1sdw"},
+		{P2, "P2"},
+		{Device, "device"},
+		{ProcID(99), "proc(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		give Kind
+		want string
+	}{
+		{Internal, "internal"},
+		{External, "external"},
+		{PassedAT, "passed_AT"},
+		{Ack, "ack"},
+		{Kind(42), "kind(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestProcessesListsThree(t *testing.T) {
+	ps := Processes()
+	if len(ps) != 3 {
+		t.Fatalf("Processes() returned %d entries", len(ps))
+	}
+	want := map[ProcID]bool{P1Act: true, P1Sdw: true, P2: true}
+	for _, p := range ps {
+		if !want[p] {
+			t.Fatalf("unexpected process %v", p)
+		}
+	}
+}
+
+func TestIsApp(t *testing.T) {
+	tests := []struct {
+		give Kind
+		want bool
+	}{
+		{Internal, true},
+		{External, true},
+		{PassedAT, false},
+		{Ack, false},
+	}
+	for _, tt := range tests {
+		m := Message{Kind: tt.give}
+		if got := m.IsApp(); got != tt.want {
+			t.Errorf("IsApp(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestMessageID(t *testing.T) {
+	m := Message{From: P1Act, SN: 17}
+	if got := m.ID(); got != (ID{From: P1Act, SN: 17}) {
+		t.Fatalf("ID() = %+v", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	give := Message{
+		Kind:     Internal,
+		From:     P1Act,
+		To:       P2,
+		SN:       42,
+		ChanSeq:  41,
+		DirtyBit: true,
+		Ndc:      7,
+		ValidSN:  40,
+		AckSN:    3,
+		Payload:  Payload{Seq: 9, Value: -123456, Digest: 0xdeadbeef, Corrupted: true},
+	}
+	buf := Encode(nil, give)
+	if len(buf) != EncodedSize {
+		t.Fatalf("encoded size = %d, want %d", len(buf), EncodedSize)
+	}
+	got, rest, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("rest has %d bytes", len(rest))
+	}
+	if !reflect.DeepEqual(give, got) {
+		t.Fatalf("round trip mismatch:\n give %+v\n got  %+v", give, got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(make([]byte, EncodedSize-1)); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("short buffer: err = %v", err)
+	}
+	bad := Encode(nil, Message{})
+	bad[0] = 200
+	if _, _, err := Decode(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: err = %v", err)
+	}
+}
+
+func TestEncodeDecodeSlice(t *testing.T) {
+	give := []Message{
+		{Kind: Internal, From: P1Act, To: P2, SN: 1},
+		{Kind: PassedAT, From: P2, To: P1Sdw, ValidSN: 5, Ndc: 2},
+		{Kind: Ack, From: P2, To: P1Act, AckSN: 1},
+	}
+	buf := EncodeSlice(nil, give)
+	got, rest, err := DecodeSlice(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("rest has %d bytes", len(rest))
+	}
+	if !reflect.DeepEqual(give, got) {
+		t.Fatalf("slice round trip mismatch:\n give %+v\n got  %+v", give, got)
+	}
+}
+
+func TestDecodeSliceEmpty(t *testing.T) {
+	buf := EncodeSlice(nil, nil)
+	got, _, err := DecodeSlice(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("decoded %d messages from empty slice", len(got))
+	}
+}
+
+func TestDecodeSliceTruncated(t *testing.T) {
+	buf := EncodeSlice(nil, []Message{{Kind: Internal, From: P1Act, To: P2, SN: 1}})
+	if _, _, err := DecodeSlice(buf[:len(buf)-4]); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("truncated slice: err = %v", err)
+	}
+	if _, _, err := DecodeSlice(buf[:4]); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("truncated header: err = %v", err)
+	}
+}
+
+// Property: every randomly generated message survives an encode/decode round
+// trip, including when embedded in a longer buffer.
+func TestCodecRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	gen := func() Message {
+		return Message{
+			Kind:     Kind(1 + rng.Intn(4)),
+			From:     ProcID(1 + rng.Intn(4)),
+			To:       ProcID(1 + rng.Intn(4)),
+			SN:       rng.Uint64(),
+			ChanSeq:  rng.Uint64(),
+			DirtyBit: rng.Intn(2) == 0,
+			Ndc:      rng.Uint64(),
+			ValidSN:  rng.Uint64(),
+			AckSN:    rng.Uint64(),
+			Payload: Payload{
+				Seq:       rng.Uint64(),
+				Value:     rng.Int63() - rng.Int63(),
+				Digest:    rng.Uint64(),
+				Corrupted: rng.Intn(2) == 0,
+			},
+		}
+	}
+	f := func(n uint8) bool {
+		count := int(n % 16)
+		give := make([]Message, 0, count)
+		for i := 0; i < count; i++ {
+			give = append(give, gen())
+		}
+		buf := EncodeSlice([]byte("prefix"), give)
+		got, rest, err := DecodeSlice(buf[len("prefix"):])
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		if len(got) != len(give) {
+			return false
+		}
+		for i := range give {
+			if !reflect.DeepEqual(give[i], got[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+func TestRunExecutesInTimeOrder(t *testing.T) {
+	e := New(1)
+	var order []string
+	e.Schedule(vtime.FromSeconds(2), func() { order = append(order, "b") })
+	e.Schedule(vtime.FromSeconds(1), func() { order = append(order, "a") })
+	e.Schedule(vtime.FromSeconds(3), func() { order = append(order, "c") })
+	e.Run()
+	if got := len(order); got != 3 {
+		t.Fatalf("executed %d events, want 3", got)
+	}
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != vtime.FromSeconds(3) {
+		t.Fatalf("Now = %v, want 3s", e.Now())
+	}
+	if e.Steps() != 3 {
+		t.Fatalf("Steps = %d, want 3", e.Steps())
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := New(1)
+	var fired vtime.Time
+	e.Schedule(vtime.FromSeconds(5), func() {
+		e.After(2*time.Second, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != vtime.FromSeconds(7) {
+		t.Fatalf("fired at %v, want 7s", fired)
+	}
+}
+
+func TestPastEventsClampToPresent(t *testing.T) {
+	e := New(1)
+	var fired vtime.Time
+	e.Schedule(vtime.FromSeconds(5), func() {
+		e.Schedule(vtime.FromSeconds(1), func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != vtime.FromSeconds(5) {
+		t.Fatalf("past event fired at %v, want clamped to 5s", fired)
+	}
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	e := New(1)
+	fired := false
+	e.After(-time.Second, func() { fired = true })
+	e.Run()
+	if !fired || e.Now() != vtime.Zero {
+		t.Fatalf("fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	e := New(1)
+	var fired []vtime.Time
+	for _, s := range []float64{1, 2, 3, 4} {
+		s := s
+		e.Schedule(vtime.FromSeconds(s), func() { fired = append(fired, vtime.FromSeconds(s)) })
+	}
+	e.RunUntil(vtime.FromSeconds(2.5))
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if e.Now() != vtime.FromSeconds(2.5) {
+		t.Fatalf("Now = %v, want 2.5s", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.RunUntil(vtime.FromSeconds(10))
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events after second run, want 4", len(fired))
+	}
+}
+
+func TestRunUntilInclusiveOfBoundary(t *testing.T) {
+	e := New(1)
+	fired := false
+	e.Schedule(vtime.FromSeconds(2), func() { fired = true })
+	e.RunUntil(vtime.FromSeconds(2))
+	if !fired {
+		t.Fatal("event exactly at boundary should fire")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(vtime.FromSeconds(float64(i)), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("executed %d events, want 3 (stopped)", count)
+	}
+	e.Run()
+	if count != 10 {
+		t.Fatalf("resumed run executed %d total, want 10", count)
+	}
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	e := New(1)
+	fired := false
+	id := e.Schedule(vtime.FromSeconds(1), func() { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel returned false")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		e := New(42)
+		var draws []int64
+		var tick func()
+		tick = func() {
+			draws = append(draws, e.Rand().Int63n(1000))
+			if len(draws) < 20 {
+				e.After(time.Duration(e.Rand().Int63n(int64(time.Second))), tick)
+			}
+		}
+		e.After(0, tick)
+		e.Run()
+		return draws
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package simnet models the distributed system's interconnect on top of the
+// discrete-event engine: reliable FIFO-less message delivery with bounded
+// delay in [tmin, tmax] (the bounds the TB protocol's blocking periods are
+// derived from), per-node failure state, delivery acknowledgements, and
+// in-transit tracking used by the invariant checkers.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/sim"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// Config holds the delay bounds of the interconnect.
+type Config struct {
+	// MinDelay is tmin, the minimum message-delivery delay.
+	MinDelay time.Duration
+	// MaxDelay is tmax, the maximum message-delivery delay.
+	MaxDelay time.Duration
+}
+
+// Validate reports whether the delay bounds are usable.
+func (c Config) Validate() error {
+	if c.MinDelay < 0 || c.MaxDelay < c.MinDelay {
+		return fmt.Errorf("simnet: invalid delay bounds [%v, %v]", c.MinDelay, c.MaxDelay)
+	}
+	return nil
+}
+
+// Handler consumes a delivered message at its destination process.
+type Handler func(m msg.Message)
+
+// Stats aggregates interconnect activity.
+type Stats struct {
+	// Sent counts messages handed to the network.
+	Sent uint64
+	// Delivered counts messages that reached a live destination.
+	Delivered uint64
+	// DroppedDown counts messages lost because the destination node was
+	// down when they arrived.
+	DroppedDown uint64
+	// Flushed counts in-transit messages discarded by a recovery flush.
+	Flushed uint64
+}
+
+// Network delivers messages between registered processes.
+type Network struct {
+	eng   *sim.Engine
+	cfg   Config
+	procs map[msg.ProcID]*endpoint
+	down  map[msg.NodeID]bool
+	stats Stats
+
+	// epoch invalidates in-flight deliveries when recovery flushes the
+	// network (system-wide rollback acts as an incarnation change).
+	epoch uint64
+	// lastArrival enforces per-channel FIFO delivery, an assumption the
+	// MDCD algorithms rely on (a passed-AT notification must not overtake
+	// the application messages it covers).
+	lastArrival map[pair]vtime.Time
+	// inTransit counts live in-flight messages by kind.
+	inTransit map[msg.Kind]int
+	// observer, when set, sees every delivered message (tracing).
+	observer func(m msg.Message)
+}
+
+type endpoint struct {
+	node    msg.NodeID
+	handler Handler
+}
+
+type pair struct {
+	from, to msg.ProcID
+}
+
+// New creates a network over the engine. The configuration must be valid.
+func New(eng *sim.Engine, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		eng:         eng,
+		cfg:         cfg,
+		procs:       make(map[msg.ProcID]*endpoint),
+		down:        make(map[msg.NodeID]bool),
+		inTransit:   make(map[msg.Kind]int),
+		lastArrival: make(map[pair]vtime.Time),
+	}, nil
+}
+
+// Config returns the delay bounds.
+func (n *Network) Config() Config { return n.cfg }
+
+// Register attaches a process handler hosted on the given node. Registering
+// an already-registered process replaces its handler.
+func (n *Network) Register(p msg.ProcID, node msg.NodeID, h Handler) {
+	n.procs[p] = &endpoint{node: node, handler: h}
+}
+
+// Observe installs a delivery observer used for tracing. Pass nil to remove.
+func (n *Network) Observe(fn func(m msg.Message)) { n.observer = fn }
+
+// SetNodeDown marks a node as failed (true) or repaired (false). Messages
+// arriving at a down node are dropped; sends from processes on a down node
+// are suppressed.
+func (n *Network) SetNodeDown(node msg.NodeID, down bool) { n.down[node] = down }
+
+// NodeDown reports the failure state of a node.
+func (n *Network) NodeDown(node msg.NodeID) bool { return n.down[node] }
+
+// NodeOf returns the node hosting process p.
+func (n *Network) NodeOf(p msg.ProcID) (msg.NodeID, bool) {
+	ep, ok := n.procs[p]
+	if !ok {
+		return 0, false
+	}
+	return ep.node, true
+}
+
+// Send transmits m with a delay drawn uniformly from [tmin, tmax].
+func (n *Network) Send(m msg.Message) {
+	n.SendWithDelay(m, n.drawDelay())
+}
+
+// SendWithDelay transmits m with an explicit delay, used by scripted
+// scenarios that need exact timings. The delay is clamped into [tmin, tmax].
+func (n *Network) SendWithDelay(m msg.Message, d time.Duration) {
+	if d < n.cfg.MinDelay {
+		d = n.cfg.MinDelay
+	}
+	if d > n.cfg.MaxDelay {
+		d = n.cfg.MaxDelay
+	}
+	if src, ok := n.procs[m.From]; ok && n.down[src.node] {
+		return // a process on a failed node emits nothing
+	}
+	n.stats.Sent++
+	if m.To == msg.Device {
+		// External messages leave the system; nothing to deliver.
+		return
+	}
+	n.inTransit[m.Kind]++
+	epoch := n.epoch
+	// Per-channel FIFO: a later send never arrives before an earlier one.
+	ch := pair{from: m.From, to: m.To}
+	arrival := n.eng.Now().Add(d)
+	if last := n.lastArrival[ch]; !arrival.After(last) {
+		arrival = last + 1
+	}
+	n.lastArrival[ch] = arrival
+	n.eng.Schedule(arrival, func() { n.deliver(m, epoch) })
+}
+
+// Ack emits the delivery acknowledgement for an application-purpose message,
+// addressed to its sender. The TB protocol treats a message as acknowledged
+// only once this arrives.
+func (n *Network) Ack(m msg.Message) {
+	n.Send(msg.Message{Kind: msg.Ack, From: m.To, To: m.From, AckSN: m.SN})
+}
+
+// Flush discards every in-flight message. Recovery after a hardware fault
+// rolls every process back to its stable checkpoint; the flush plays the role
+// of the incarnation-number mechanism real systems use to reject messages
+// from before the rollback.
+func (n *Network) Flush() {
+	n.epoch++
+	for k, c := range n.inTransit {
+		n.stats.Flushed += uint64(c)
+		n.inTransit[k] = 0
+	}
+	for ch := range n.lastArrival {
+		delete(n.lastArrival, ch)
+	}
+}
+
+// InTransit returns the number of live in-flight messages of kind k.
+func (n *Network) InTransit(k msg.Kind) int { return n.inTransit[k] }
+
+// Stats returns a copy of the activity counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+func (n *Network) deliver(m msg.Message, epoch uint64) {
+	if epoch != n.epoch {
+		return // flushed while in flight
+	}
+	n.inTransit[m.Kind]--
+	ep, ok := n.procs[m.To]
+	if !ok {
+		return
+	}
+	if n.down[ep.node] {
+		n.stats.DroppedDown++
+		return
+	}
+	n.stats.Delivered++
+	if n.observer != nil {
+		n.observer(m)
+	}
+	ep.handler(m)
+}
+
+func (n *Network) drawDelay() time.Duration {
+	span := int64(n.cfg.MaxDelay - n.cfg.MinDelay)
+	if span == 0 {
+		return n.cfg.MinDelay
+	}
+	return n.cfg.MinDelay + time.Duration(n.eng.Rand().Int63n(span+1))
+}

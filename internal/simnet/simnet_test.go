@@ -1,0 +1,217 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/sim"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+func newNet(t *testing.T, cfg Config) (*sim.Engine, *Network) {
+	t.Helper()
+	eng := sim.New(1)
+	n, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, n
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    Config
+		wantErr bool
+	}{
+		{name: "ok", give: Config{MinDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}},
+		{name: "equal bounds", give: Config{MinDelay: time.Millisecond, MaxDelay: time.Millisecond}},
+		{name: "zero", give: Config{}},
+		{name: "inverted", give: Config{MinDelay: 2, MaxDelay: 1}, wantErr: true},
+		{name: "negative", give: Config{MinDelay: -1, MaxDelay: 1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(sim.New(1), tt.give)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("New() err = %v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDeliveryWithinBounds(t *testing.T) {
+	cfg := Config{MinDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	eng, n := newNet(t, cfg)
+	var deliveredAt []vtime.Time
+	n.Register(msg.P2, 3, func(m msg.Message) { deliveredAt = append(deliveredAt, eng.Now()) })
+	n.Register(msg.P1Act, 1, func(m msg.Message) {})
+	for i := 0; i < 100; i++ {
+		n.Send(msg.Message{Kind: msg.Internal, From: msg.P1Act, To: msg.P2, SN: uint64(i)})
+	}
+	eng.Run()
+	if len(deliveredAt) != 100 {
+		t.Fatalf("delivered %d, want 100", len(deliveredAt))
+	}
+	for _, at := range deliveredAt {
+		d := at.Sub(vtime.Zero)
+		if d < cfg.MinDelay || d > cfg.MaxDelay {
+			t.Fatalf("delivery delay %v outside [%v, %v]", d, cfg.MinDelay, cfg.MaxDelay)
+		}
+	}
+}
+
+func TestSendWithDelayClamped(t *testing.T) {
+	cfg := Config{MinDelay: 10 * time.Millisecond, MaxDelay: 20 * time.Millisecond}
+	eng, n := newNet(t, cfg)
+	var at vtime.Time
+	n.Register(msg.P2, 3, func(m msg.Message) { at = eng.Now() })
+	n.SendWithDelay(msg.Message{Kind: msg.Internal, From: msg.P1Act, To: msg.P2}, time.Hour)
+	eng.Run()
+	if at.Sub(vtime.Zero) != cfg.MaxDelay {
+		t.Fatalf("delay clamped to %v, want %v", at.Sub(vtime.Zero), cfg.MaxDelay)
+	}
+}
+
+func TestExternalMessagesLeaveSystem(t *testing.T) {
+	eng, n := newNet(t, Config{MaxDelay: time.Millisecond})
+	n.Send(msg.Message{Kind: msg.External, From: msg.P1Act, To: msg.Device})
+	eng.Run()
+	if got := n.Stats().Sent; got != 1 {
+		t.Fatalf("Sent = %d, want 1", got)
+	}
+	if got := n.Stats().Delivered; got != 0 {
+		t.Fatalf("Delivered = %d, want 0", got)
+	}
+}
+
+func TestDownNodeDropsArrivals(t *testing.T) {
+	eng, n := newNet(t, Config{MaxDelay: time.Millisecond})
+	delivered := 0
+	n.Register(msg.P2, 3, func(m msg.Message) { delivered++ })
+	n.Send(msg.Message{Kind: msg.Internal, From: msg.P1Act, To: msg.P2})
+	n.SetNodeDown(3, true)
+	eng.Run()
+	if delivered != 0 {
+		t.Fatal("message delivered to down node")
+	}
+	if n.Stats().DroppedDown != 1 {
+		t.Fatalf("DroppedDown = %d", n.Stats().DroppedDown)
+	}
+	n.SetNodeDown(3, false)
+	n.Send(msg.Message{Kind: msg.Internal, From: msg.P1Act, To: msg.P2})
+	eng.Run()
+	if delivered != 1 {
+		t.Fatal("message not delivered after repair")
+	}
+}
+
+func TestDownNodeSuppressesSends(t *testing.T) {
+	eng, n := newNet(t, Config{MaxDelay: time.Millisecond})
+	delivered := 0
+	n.Register(msg.P1Act, 1, func(m msg.Message) {})
+	n.Register(msg.P2, 3, func(m msg.Message) { delivered++ })
+	n.SetNodeDown(1, true)
+	n.Send(msg.Message{Kind: msg.Internal, From: msg.P1Act, To: msg.P2})
+	eng.Run()
+	if delivered != 0 || n.Stats().Sent != 0 {
+		t.Fatalf("send from down node not suppressed: delivered=%d sent=%d", delivered, n.Stats().Sent)
+	}
+}
+
+func TestAckAddressing(t *testing.T) {
+	eng, n := newNet(t, Config{MaxDelay: time.Millisecond})
+	var got msg.Message
+	n.Register(msg.P1Act, 1, func(m msg.Message) { got = m })
+	n.Register(msg.P2, 3, func(m msg.Message) {})
+	orig := msg.Message{Kind: msg.Internal, From: msg.P1Act, To: msg.P2, SN: 7}
+	n.Ack(orig)
+	eng.Run()
+	if got.Kind != msg.Ack || got.From != msg.P2 || got.To != msg.P1Act || got.AckSN != 7 {
+		t.Fatalf("ack = %+v", got)
+	}
+}
+
+func TestFlushDiscardsInTransit(t *testing.T) {
+	eng, n := newNet(t, Config{MinDelay: time.Second, MaxDelay: time.Second})
+	delivered := 0
+	n.Register(msg.P2, 3, func(m msg.Message) { delivered++ })
+	n.Send(msg.Message{Kind: msg.Internal, From: msg.P1Act, To: msg.P2})
+	if n.InTransit(msg.Internal) != 1 {
+		t.Fatalf("InTransit = %d, want 1", n.InTransit(msg.Internal))
+	}
+	n.Flush()
+	eng.Run()
+	if delivered != 0 {
+		t.Fatal("flushed message was delivered")
+	}
+	if n.InTransit(msg.Internal) != 0 {
+		t.Fatalf("InTransit after flush = %d", n.InTransit(msg.Internal))
+	}
+	if n.Stats().Flushed != 1 {
+		t.Fatalf("Flushed = %d", n.Stats().Flushed)
+	}
+	// Traffic after the flush flows normally.
+	n.Send(msg.Message{Kind: msg.Internal, From: msg.P1Act, To: msg.P2})
+	eng.Run()
+	if delivered != 1 {
+		t.Fatal("post-flush message not delivered")
+	}
+}
+
+func TestInTransitTracking(t *testing.T) {
+	eng, n := newNet(t, Config{MinDelay: time.Second, MaxDelay: time.Second})
+	n.Register(msg.P1Sdw, 2, func(m msg.Message) {})
+	n.Send(msg.Message{Kind: msg.PassedAT, From: msg.P2, To: msg.P1Sdw})
+	n.Send(msg.Message{Kind: msg.PassedAT, From: msg.P2, To: msg.P1Sdw})
+	if n.InTransit(msg.PassedAT) != 2 {
+		t.Fatalf("InTransit = %d, want 2", n.InTransit(msg.PassedAT))
+	}
+	eng.Run()
+	if n.InTransit(msg.PassedAT) != 0 {
+		t.Fatalf("InTransit after delivery = %d", n.InTransit(msg.PassedAT))
+	}
+}
+
+func TestObserverSeesDeliveries(t *testing.T) {
+	eng, n := newNet(t, Config{MaxDelay: time.Millisecond})
+	var seen []msg.Message
+	n.Observe(func(m msg.Message) { seen = append(seen, m) })
+	n.Register(msg.P2, 3, func(m msg.Message) {})
+	n.Send(msg.Message{Kind: msg.Internal, From: msg.P1Act, To: msg.P2, SN: 4})
+	eng.Run()
+	if len(seen) != 1 || seen[0].SN != 4 {
+		t.Fatalf("observer saw %+v", seen)
+	}
+}
+
+func TestPerChannelFIFO(t *testing.T) {
+	eng, n := newNet(t, Config{MinDelay: time.Millisecond, MaxDelay: 100 * time.Millisecond})
+	var got []uint64
+	n.Register(msg.P2, 3, func(m msg.Message) { got = append(got, m.SN) })
+	for i := uint64(0); i < 200; i++ {
+		n.Send(msg.Message{Kind: msg.Internal, From: msg.P1Act, To: msg.P2, SN: i})
+	}
+	eng.Run()
+	if len(got) != 200 {
+		t.Fatalf("delivered %d, want 200", len(got))
+	}
+	for i, sn := range got {
+		if sn != uint64(i) {
+			t.Fatalf("FIFO violated at %d: got SN %d", i, sn)
+		}
+	}
+}
+
+func TestNodeOf(t *testing.T) {
+	_, n := newNet(t, Config{MaxDelay: time.Millisecond})
+	n.Register(msg.P2, 3, func(m msg.Message) {})
+	node, ok := n.NodeOf(msg.P2)
+	if !ok || node != 3 {
+		t.Fatalf("NodeOf = %v,%v", node, ok)
+	}
+	if _, ok := n.NodeOf(msg.P1Act); ok {
+		t.Fatal("NodeOf unknown process should be !ok")
+	}
+}

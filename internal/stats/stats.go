@@ -1,0 +1,166 @@
+// Package stats provides the summary statistics the experiment harness
+// reports: means with confidence intervals, percentiles, and labelled series
+// formatting for table/figure regeneration.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample accumulates observations of one scalar metric.
+type Sample struct {
+	values []float64
+	sum    float64
+	sumSq  float64
+}
+
+// Add records an observation.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Merge folds another sample's observations into s.
+func (s *Sample) Merge(o *Sample) {
+	for _, v := range o.values {
+		s.Add(v)
+	}
+}
+
+// Values returns a copy of the observations.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.values))
+	copy(out, s.values)
+	return out
+}
+
+// Mean returns the sample mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.values))
+}
+
+// Variance returns the unbiased sample variance.
+func (s *Sample) Variance() float64 {
+	n := float64(len(s.values))
+	if n < 2 {
+		return 0
+	}
+	v := (s.sumSq - s.sum*s.sum/n) / (n - 1)
+	if v < 0 {
+		return 0 // numerical noise
+	}
+	return v
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func (s *Sample) CI95() float64 {
+	n := float64(len(s.values))
+	if n < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(n)
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) by nearest-rank.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(s.values))
+	copy(sorted, s.values)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Max returns the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 {
+	max := 0.0
+	for i, v := range s.values {
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Point is one (x, y) entry of a plotted series, with the y confidence
+// half-width when available.
+type Point struct {
+	X, Y, CI float64
+}
+
+// Series is a labelled sequence of points, one curve of a figure.
+type Series struct {
+	// Label names the curve (e.g. "E[Dco]").
+	Label string
+	// Points holds the curve in x order.
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y, ci float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y, CI: ci})
+}
+
+// FormatTable renders one or more series as an aligned text table with a
+// shared x column, in the row form the paper's figures plot.
+func FormatTable(xLabel string, series ...Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %16s", s.Label)
+	}
+	b.WriteString("\n")
+	rows := 0
+	for _, s := range series {
+		if len(s.Points) > rows {
+			rows = len(s.Points)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		wroteX := false
+		for _, s := range series {
+			if i < len(s.Points) && !wroteX {
+				fmt.Fprintf(&b, "%-14.6g", s.Points[i].X)
+				wroteX = true
+				break
+			}
+		}
+		if !wroteX {
+			fmt.Fprintf(&b, "%-14s", "")
+		}
+		for _, s := range series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, " %16.6g", s.Points[i].Y)
+			} else {
+				fmt.Fprintf(&b, " %16s", "")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 || s.CI95() != 0 ||
+		s.Percentile(50) != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestMeanAndVariance(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	// Unbiased variance of this classic data set is 32/7.
+	if got, want := s.Variance(), 32.0/7.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+	if got := s.StdDev(); math.Abs(got-math.Sqrt(32.0/7.0)) > 1e-9 {
+		t.Fatalf("StdDev = %v", got)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	var small, large Sample
+	for i := 0; i < 10; i++ {
+		small.Add(float64(i % 2))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(float64(i % 2))
+	}
+	if small.CI95() <= large.CI95() {
+		t.Fatalf("CI should shrink with sample size: %v vs %v", small.CI95(), large.CI95())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	tests := []struct {
+		give float64
+		want float64
+	}{
+		{0, 1}, {50, 50}, {95, 95}, {100, 100},
+	}
+	for _, tt := range tests {
+		if got := s.Percentile(tt.give); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestMax(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{-5, -2, -9} {
+		s.Add(v)
+	}
+	if got := s.Max(); got != -2 {
+		t.Fatalf("Max = %v, want -2", got)
+	}
+}
+
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	f := func(vs []float64) bool {
+		var s Sample
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Keep magnitudes sane to avoid float overflow in sumSq.
+			s.Add(math.Mod(v, 1e6))
+		}
+		return s.Variance() >= 0 && s.CI95() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesAndFormatTable(t *testing.T) {
+	var co, wt Series
+	co.Label = "E[Dco]"
+	wt.Label = "E[Dwt]"
+	co.Add(60, 5.1, 0.2)
+	co.Add(80, 5.3, 0.2)
+	wt.Add(60, 181, 9)
+	wt.Add(80, 240, 12)
+	out := FormatTable("rate", co, wt)
+	for _, want := range []string{"rate", "E[Dco]", "E[Dwt]", "60", "181", "240"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines, want 3:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatTableUnevenSeries(t *testing.T) {
+	var a, b Series
+	a.Label = "a"
+	b.Label = "b"
+	a.Add(1, 10, 0)
+	a.Add(2, 20, 0)
+	b.Add(1, 30, 0)
+	out := FormatTable("x", a, b)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines, want 3:\n%s", len(lines), out)
+	}
+}

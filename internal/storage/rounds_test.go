@@ -1,0 +1,127 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/synergy-ft/synergy/internal/checkpoint"
+	"github.com/synergy-ft/synergy/internal/msg"
+)
+
+func commitRound(t *testing.T, s *Stable, round uint64, step uint64) {
+	t.Helper()
+	if err := s.Begin(ckpt(step)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(round); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistoryRetainsTwoRounds(t *testing.T) {
+	var s Stable
+	commitRound(t, &s, 1, 10)
+	commitRound(t, &s, 2, 20)
+	commitRound(t, &s, 3, 30)
+
+	if got := s.LatestRound(); got != 3 {
+		t.Fatalf("LatestRound = %d", got)
+	}
+	if _, ok, _ := s.Round(1); ok {
+		t.Fatal("round 1 should have been evicted (history depth 2)")
+	}
+	for round, step := range map[uint64]uint64{2: 20, 3: 30} {
+		c, ok, err := s.Round(round)
+		if err != nil || !ok || c.State.Step != step {
+			t.Fatalf("Round(%d) = %+v, %v, %v", round, c, ok, err)
+		}
+	}
+}
+
+func TestCommitRoundsMustIncrease(t *testing.T) {
+	var s Stable
+	commitRound(t, &s, 5, 1)
+	if err := s.Begin(ckpt(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(5); err == nil {
+		t.Fatal("repeating a round must fail")
+	}
+	s.Abandon()
+	if err := s.Begin(ckpt(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(4); err == nil {
+		t.Fatal("regressing a round must fail")
+	}
+}
+
+func TestTruncateAbove(t *testing.T) {
+	var s Stable
+	commitRound(t, &s, 1, 10)
+	commitRound(t, &s, 2, 20)
+	s.TruncateAbove(1)
+	if got := s.LatestRound(); got != 1 {
+		t.Fatalf("LatestRound after truncate = %d", got)
+	}
+	if _, ok, _ := s.Round(2); ok {
+		t.Fatal("round 2 should be gone")
+	}
+	// After truncation, round 2 can be committed again.
+	commitRound(t, &s, 2, 21)
+	c, ok, err := s.Round(2)
+	if err != nil || !ok || c.State.Step != 21 {
+		t.Fatalf("recommitted round 2 = %+v, %v, %v", c, ok, err)
+	}
+}
+
+func TestTruncateAboveZeroClearsEverything(t *testing.T) {
+	var s Stable
+	commitRound(t, &s, 1, 10)
+	s.TruncateAbove(0)
+	if s.LatestRound() != 0 {
+		t.Fatal("all rounds should be gone")
+	}
+	if _, ok, _ := s.Latest(); ok {
+		t.Fatal("Latest should report nothing")
+	}
+}
+
+func TestBytesAccountsRetainedRounds(t *testing.T) {
+	var s Stable
+	if s.Bytes() != 0 {
+		t.Fatal("empty store should occupy no bytes")
+	}
+	commitRound(t, &s, 1, 10)
+	one := s.Bytes()
+	commitRound(t, &s, 2, 20)
+	if s.Bytes() <= one {
+		t.Fatal("second round should add bytes")
+	}
+}
+
+func TestLatestDecodesCorruptionError(t *testing.T) {
+	var s Stable
+	if err := s.Begin(checkpoint.New(checkpoint.Stable, msg.P2)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the pending bytes before commit by replacing with garbage
+	// via Replace on a checkpoint, then smash the committed copy.
+	if err := s.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	s.committed[0].data[0] = 0xff // simulated media corruption
+	if _, _, err := s.Latest(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Latest over corrupt media: err = %v", err)
+	}
+	if _, _, err := s.Round(1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Round over corrupt media: err = %v", err)
+	}
+}
+
+func TestRoundMissing(t *testing.T) {
+	var s Stable
+	if _, ok, err := s.Round(7); ok || err != nil {
+		t.Fatalf("missing round: ok=%v err=%v", ok, err)
+	}
+}

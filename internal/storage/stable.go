@@ -1,0 +1,181 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/synergy-ft/synergy/internal/checkpoint"
+)
+
+// Stable storage errors.
+var (
+	// ErrWriteInProgress is returned by Begin when a previous write has not
+	// been committed; the TB protocol never overlaps checkpoint writes.
+	ErrWriteInProgress = errors.New("storage: stable write already in progress")
+	// ErrNoWrite is returned by Replace/Commit without a pending write.
+	ErrNoWrite = errors.New("storage: no stable write in progress")
+	// ErrCorrupt is returned when the stored bytes fail to decode.
+	ErrCorrupt = errors.New("storage: stored checkpoint is corrupt")
+)
+
+// Stable is a process's stable-storage checkpoint area. Contents are held in
+// encoded form — exactly the bytes a disk would hold — and survive node
+// crashes. Writes follow the adapted TB protocol's write_disk semantics: a
+// write begins with initial contents, may be replaced while still in progress
+// (when the dirty bit flips during the blocking period), and becomes durable
+// only at commit.
+//
+// The two most recent committed rounds are retained (time-based protocols
+// keep the previous checkpoint until every process has established the new
+// one): recovery restores the highest round every live process has
+// committed, which may be one behind a process's own latest.
+type Stable struct {
+	committed []committedRound
+	pending   []byte
+	inFlight  bool
+	retention int
+
+	commits  uint64
+	replaces uint64
+}
+
+type committedRound struct {
+	round uint64
+	data  []byte
+}
+
+// defaultHistoryDepth is how many committed rounds are retained unless
+// SetRetention raises it (longer repair windows need deeper history: the
+// recovery round is the highest one every live process has committed, and a
+// node can be down for several intervals).
+const defaultHistoryDepth = 2
+
+// SetRetention raises the number of committed rounds retained (values below
+// the default are ignored).
+func (s *Stable) SetRetention(rounds int) {
+	if rounds > s.retention {
+		s.retention = rounds
+	}
+}
+
+func (s *Stable) historyDepth() int {
+	if s.retention > defaultHistoryDepth {
+		return s.retention
+	}
+	return defaultHistoryDepth
+}
+
+// Begin starts a stable write with the given initial contents.
+func (s *Stable) Begin(c *checkpoint.Checkpoint) error {
+	if s.inFlight {
+		return ErrWriteInProgress
+	}
+	s.pending = checkpoint.Encode(c)
+	s.inFlight = true
+	return nil
+}
+
+// Replace aborts the in-progress write and restarts it with new contents
+// (the adapted TB algorithm's response to a dirty-bit change during the
+// blocking period).
+func (s *Stable) Replace(c *checkpoint.Checkpoint) error {
+	if !s.inFlight {
+		return ErrNoWrite
+	}
+	s.pending = checkpoint.Encode(c)
+	s.replaces++
+	return nil
+}
+
+// Commit makes the pending write durable as the given round. Rounds must be
+// committed in increasing order.
+func (s *Stable) Commit(round uint64) error {
+	if !s.inFlight {
+		return ErrNoWrite
+	}
+	if n := len(s.committed); n > 0 && s.committed[n-1].round >= round {
+		return fmt.Errorf("storage: commit round %d not above %d", round, s.committed[n-1].round)
+	}
+	s.committed = append(s.committed, committedRound{round: round, data: s.pending})
+	if d := s.historyDepth(); len(s.committed) > d {
+		s.committed = s.committed[len(s.committed)-d:]
+	}
+	s.pending = nil
+	s.inFlight = false
+	s.commits++
+	return nil
+}
+
+// Abandon drops an in-progress write without committing (used when a crash
+// interrupts checkpoint establishment; the previous committed checkpoint
+// remains intact).
+func (s *Stable) Abandon() {
+	s.pending = nil
+	s.inFlight = false
+}
+
+// InFlight reports whether a write is in progress.
+func (s *Stable) InFlight() bool { return s.inFlight }
+
+// Latest decodes and returns the most recent committed checkpoint. The
+// boolean is false if nothing has ever been committed.
+func (s *Stable) Latest() (*checkpoint.Checkpoint, bool, error) {
+	if len(s.committed) == 0 {
+		return nil, false, nil
+	}
+	return s.decode(s.committed[len(s.committed)-1].data)
+}
+
+// Round decodes the checkpoint committed as the given round, if retained.
+func (s *Stable) Round(round uint64) (*checkpoint.Checkpoint, bool, error) {
+	for _, c := range s.committed {
+		if c.round == round {
+			return s.decode(c.data)
+		}
+	}
+	return nil, false, nil
+}
+
+// LatestRound returns the highest committed round number (0 if none).
+func (s *Stable) LatestRound() uint64 {
+	if len(s.committed) == 0 {
+		return 0
+	}
+	return s.committed[len(s.committed)-1].round
+}
+
+// TruncateAbove discards committed rounds newer than round: recovery to an
+// older round invalidates everything after it.
+func (s *Stable) TruncateAbove(round uint64) {
+	kept := s.committed[:0]
+	for _, c := range s.committed {
+		if c.round <= round {
+			kept = append(kept, c)
+		}
+	}
+	s.committed = kept
+}
+
+func (s *Stable) decode(data []byte) (*checkpoint.Checkpoint, bool, error) {
+	c, err := checkpoint.Decode(data)
+	if err != nil {
+		return nil, false, errors.Join(ErrCorrupt, err)
+	}
+	return c, true, nil
+}
+
+// Bytes returns the total size of the retained checkpoints, an overhead
+// metric.
+func (s *Stable) Bytes() int {
+	n := 0
+	for _, c := range s.committed {
+		n += len(c.data)
+	}
+	return n
+}
+
+// Commits returns the number of committed stable checkpoints.
+func (s *Stable) Commits() uint64 { return s.commits }
+
+// Replaces returns how many times an in-progress write was replaced.
+func (s *Stable) Replaces() uint64 { return s.replaces }

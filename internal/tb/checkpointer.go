@@ -1,0 +1,273 @@
+package tb
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/checkpoint"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/storage"
+	"github.com/synergy-ft/synergy/internal/trace"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// Checkpointer runs the TB protocol for one process: it fires createCKPT on
+// the local clock every Δ, manages the blocking period and the stable write
+// lifecycle, tracks unacknowledged messages, and exposes the state the
+// modified MDCD algorithms consult (InBlocking, Ndc).
+type Checkpointer struct {
+	proc  msg.ProcID
+	cfg   Config
+	clock *vtime.Clock
+	rt    Runtime
+	host  Host
+	rec   Recorder
+
+	// Stable is the process's stable-storage slot.
+	Stable storage.Stable
+
+	// OnResyncRequest, when set, is invoked when the worst-case clock
+	// deviation grows past the configured fraction of Δ; the coordinator
+	// resynchronizes every node's clock and calls NoteResynced.
+	OnResyncRequest func()
+
+	ndc         uint64 // committed stable checkpoints (local Ndc)
+	ndcAtResync uint64
+	nextLocal   vtime.Time // dCKPT_time: next expiry on the local clock
+	inBlocking  bool
+	expectDirty bool // the dirty-bit value the in-flight write matches
+	running     bool
+	cancelTimer func()
+	cancelBlock func()
+
+	unacked []msg.Message // sent, not yet acknowledged, in send order
+
+	stats CheckpointerStats
+}
+
+// CheckpointerStats aggregates protocol activity for overhead reporting.
+type CheckpointerStats struct {
+	// Commits counts committed stable checkpoints.
+	Commits uint64
+	// Replaces counts abort-and-replace adjustments during blocking.
+	Replaces uint64
+	// SkippedBusy counts timer expiries ignored because a write was still
+	// in flight (configuration pathology; Validate prevents it).
+	SkippedBusy uint64
+	// ResyncRequests counts resynchronization requests issued.
+	ResyncRequests uint64
+	// BlockingTotal accumulates time spent in blocking periods.
+	BlockingTotal time.Duration
+}
+
+// NewCheckpointer creates a checkpointer for proc. The clock models the
+// node's local timer; cfg must validate.
+func NewCheckpointer(proc msg.ProcID, cfg Config, clock *vtime.Clock, rt Runtime, host Host, rec Recorder) (*Checkpointer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rec == nil {
+		rec = func(trace.Event) {}
+	}
+	return &Checkpointer{proc: proc, cfg: cfg, clock: clock, rt: rt, host: host, rec: rec}, nil
+}
+
+// Ndc returns the stable-storage checkpoint sequence number the MDCD
+// algorithms gate on: the count of committed stable checkpoints.
+func (c *Checkpointer) Ndc() uint64 { return c.ndc }
+
+// InBlocking reports whether a blocking period is in progress.
+func (c *Checkpointer) InBlocking() bool { return c.inBlocking }
+
+// Stats returns the activity counters.
+func (c *Checkpointer) Stats() CheckpointerStats { return c.stats }
+
+// Clock exposes the node's local clock (the coordinator resynchronizes it).
+func (c *Checkpointer) Clock() *vtime.Clock { return c.clock }
+
+// Start arms the checkpoint timer at the next multiple of Δ on the local
+// clock. Safe at system start (all clocks read ≈0, so every process lands in
+// the same tick bucket); after a recovery use StartAt with a common target —
+// recomputing the bucket from each node's own skewed clock near a tick
+// boundary would misalign the round numbering permanently.
+func (c *Checkpointer) Start() {
+	local := c.clock.Read(c.rt.Now())
+	k := int64(local)/int64(c.cfg.Interval) + 1
+	c.StartAt(vtime.Time(k * int64(c.cfg.Interval)))
+}
+
+// StartAt arms the checkpoint timer at an explicit local-clock instant. The
+// recovery orchestrator passes the same target to every node, keeping the
+// tick schedule — and hence the checkpoint round numbering — globally
+// aligned across the restart.
+func (c *Checkpointer) StartAt(localTarget vtime.Time) {
+	c.running = true
+	c.nextLocal = localTarget
+	c.armTimer()
+}
+
+// Stop cancels timers and abandons any in-flight write.
+func (c *Checkpointer) Stop() {
+	c.running = false
+	if c.cancelTimer != nil {
+		c.cancelTimer()
+		c.cancelTimer = nil
+	}
+	if c.cancelBlock != nil {
+		c.cancelBlock()
+		c.cancelBlock = nil
+	}
+	if c.Stable.InFlight() {
+		c.Stable.Abandon()
+	}
+	c.inBlocking = false
+}
+
+func (c *Checkpointer) armTimer() {
+	fireAt := c.clock.WhenReads(c.nextLocal, c.rt.Now())
+	c.cancelTimer = c.rt.After(fireAt.Sub(c.rt.Now()), c.createCKPT)
+}
+
+// createCKPT implements Figure 5. The dirty bit selects the contents: a
+// clean process saves its current state, a potentially contaminated one
+// copies its most recent volatile checkpoint (which captured its most recent
+// non-contaminated state). The write then rides through a blocking period
+// during which the process reads no application messages.
+func (c *Checkpointer) createCKPT() {
+	if !c.running {
+		return
+	}
+	defer func() {
+		// dCKPT_time += Δ; set_timer(createCKPT, dCKPT_time)
+		c.nextLocal = c.nextLocal.Add(c.cfg.Interval)
+		c.armTimer()
+	}()
+	if c.Stable.InFlight() {
+		c.stats.SkippedBusy++
+		return
+	}
+
+	dirty := c.host.EffectiveDirty()
+	// The contents carry the unacknowledged-message set captured with
+	// them: the host's Snapshot embeds the live set, and a copied
+	// volatile checkpoint retains the set stored at its establishment —
+	// re-sending is always relative to the restored state.
+	contents := c.chooseContents(dirty)
+	if err := c.Stable.Begin(contents); err != nil {
+		// Unreachable given the InFlight guard; surface loudly in traces.
+		c.rec(trace.Event{At: c.rt.Now(), Proc: c.proc, Kind: trace.StableBegun, Note: "begin failed: " + err.Error()})
+		return
+	}
+	c.expectDirty = dirty
+	c.rec(trace.Event{At: c.rt.Now(), Proc: c.proc, Kind: trace.StableBegun, Ckpt: contents.Kind,
+		Note: fmt.Sprintf("dirty=%v", dirty)})
+
+	blocking := c.cfg.BlockingPeriod(c.host.EffectiveDirty(), c.elapsedSinceResync())
+	c.inBlocking = true
+	c.stats.BlockingTotal += blocking
+	c.rec(trace.Event{At: c.rt.Now(), Proc: c.proc, Kind: trace.BlockStarted,
+		Note: fmt.Sprintf("τ(b)=%v", blocking)})
+	c.cancelBlock = c.rt.After(blocking, c.endBlocking)
+
+	c.maybeRequestResync()
+}
+
+// chooseContents builds the initial write_disk contents. The original
+// protocol always saves the current state — even a potentially contaminated
+// one, which is exactly the Figure 4(a) failure of the naive combination; the
+// checkpoint's Dirty flag records that honestly. The adapted protocol copies
+// the most recent volatile checkpoint instead when the process is dirty.
+func (c *Checkpointer) chooseContents(dirty bool) *checkpoint.Checkpoint {
+	if c.cfg.Variant == Original || !dirty {
+		return c.host.Snapshot(checkpoint.Stable)
+	}
+	v, ok := c.host.LatestVolatile()
+	if !ok {
+		// A dirty process always has a volatile checkpoint (Type-1 or
+		// pseudo, taken before contamination); if the protocol is run
+		// degenerately without one, fall back to the current state.
+		s := c.host.Snapshot(checkpoint.Stable)
+		return s
+	}
+	cp := v.Clone()
+	cp.Kind = checkpoint.Stable
+	cp.Dirty = false // the volatile checkpoint captured a clean state
+	return cp
+}
+
+// NotifyDirtyChanged is the write_disk monitoring hook: if the dirty bit
+// changes while the write is in flight (a passed-AT arrived during the
+// blocking period), the adapted protocol aborts the copy and replaces the
+// checkpoint contents with the current process state.
+func (c *Checkpointer) NotifyDirtyChanged(dirty bool) {
+	if c.cfg.Variant != Adapted || c.cfg.DisableContentAdjust || !c.inBlocking || !c.Stable.InFlight() {
+		return
+	}
+	if dirty == c.expectDirty {
+		return
+	}
+	replacement := c.host.Snapshot(checkpoint.Stable)
+	if err := c.Stable.Replace(replacement); err != nil {
+		c.rec(trace.Event{At: c.rt.Now(), Proc: c.proc, Kind: trace.StableReplaced, Note: "replace failed: " + err.Error()})
+		return
+	}
+	c.expectDirty = dirty
+	c.stats.Replaces++
+	c.rec(trace.Event{At: c.rt.Now(), Proc: c.proc, Kind: trace.StableReplaced, Ckpt: checkpoint.Stable,
+		Note: fmt.Sprintf("dirty bit flipped to %v", dirty)})
+}
+
+// endBlocking commits the write, increments Ndc, and releases held messages.
+func (c *Checkpointer) endBlocking() {
+	c.cancelBlock = nil
+	if c.Stable.InFlight() {
+		if err := c.Stable.Commit(c.ndc + 1); err != nil {
+			c.rec(trace.Event{At: c.rt.Now(), Proc: c.proc, Kind: trace.StableCommitted, Note: "commit failed: " + err.Error()})
+		} else {
+			c.ndc++
+			c.stats.Commits++
+			c.rec(trace.Event{At: c.rt.Now(), Proc: c.proc, Kind: trace.StableCommitted, Ckpt: checkpoint.Stable,
+				Note: fmt.Sprintf("Ndc=%d", c.ndc)})
+		}
+	}
+	c.inBlocking = false
+	c.rec(trace.Event{At: c.rt.Now(), Proc: c.proc, Kind: trace.BlockEnded})
+	c.host.ReleaseHeld()
+}
+
+func (c *Checkpointer) elapsedSinceResync() time.Duration {
+	// τ = Ndc·Δ counted from the last resynchronization; the +1 covers
+	// the interval currently completing.
+	return time.Duration(c.ndc-c.ndcAtResync+1) * c.cfg.Interval
+}
+
+func (c *Checkpointer) maybeRequestResync() {
+	if c.OnResyncRequest == nil {
+		return
+	}
+	skew := vtime.WorstCaseSkew(c.cfg.Clock, c.elapsedSinceResync())
+	if float64(skew) > c.cfg.resyncFraction()*float64(c.cfg.Interval) {
+		c.stats.ResyncRequests++
+		c.OnResyncRequest()
+	}
+}
+
+// NoteResynced informs the checkpointer its clock was just resynchronized.
+func (c *Checkpointer) NoteResynced() {
+	c.ndcAtResync = c.ndc
+	c.rec(trace.Event{At: c.rt.Now(), Proc: c.proc, Kind: trace.Resynced})
+}
+
+// AbortCycle abandons an in-flight checkpoint establishment without touching
+// the committed checkpoint or the main timer: recovery interrupting a
+// blocking period must not let a write capturing a pre-recovery state commit.
+func (c *Checkpointer) AbortCycle() {
+	if c.cancelBlock != nil {
+		c.cancelBlock()
+		c.cancelBlock = nil
+	}
+	if c.Stable.InFlight() {
+		c.Stable.Abandon()
+	}
+	c.inBlocking = false
+}

@@ -1,0 +1,160 @@
+package tb
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/synergy-ft/synergy/internal/checkpoint"
+	"github.com/synergy-ft/synergy/internal/msg"
+)
+
+// The TB protocol avoids blocking-for-recoverability by saving every message
+// for which no acknowledgement has been received as part of the next stable
+// checkpoint; hardware error recovery then re-sends them.
+
+// ErrNoStableCheckpoint is returned when recovery is attempted before any
+// stable checkpoint has been committed.
+var ErrNoStableCheckpoint = errors.New("tb: no stable checkpoint committed yet")
+
+// OnSend records an outgoing application-purpose message as unacknowledged.
+// The coordination layer calls it for every app message handed to the
+// interconnect (external messages leave the system and are not tracked).
+func (c *Checkpointer) OnSend(m msg.Message) {
+	if !m.IsApp() || m.To == msg.Device {
+		return
+	}
+	c.unacked = append(c.unacked, m)
+}
+
+// OnAck clears the unacknowledged slot matched by the ack's sender and
+// channel sequence number.
+func (c *Checkpointer) OnAck(ack msg.Message) {
+	for i, m := range c.unacked {
+		if m.To == ack.From && m.ChanSeq == ack.AckSN {
+			c.unacked = append(c.unacked[:i], c.unacked[i+1:]...)
+			return
+		}
+	}
+}
+
+// UnackedSnapshot returns a copy of the unacknowledged messages in send
+// order, as stored into stable checkpoints.
+func (c *Checkpointer) UnackedSnapshot() []msg.Message {
+	if len(c.unacked) == 0 {
+		return nil
+	}
+	out := make([]msg.Message, len(c.unacked))
+	copy(out, c.unacked)
+	return out
+}
+
+// UnackedLen returns the live unacknowledged count.
+func (c *Checkpointer) UnackedLen() int { return len(c.unacked) }
+
+// LatestStable returns the last committed stable checkpoint.
+func (c *Checkpointer) LatestStable() (*checkpoint.Checkpoint, error) {
+	cp, ok, err := c.Stable.Latest()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, ErrNoStableCheckpoint
+	}
+	return cp, nil
+}
+
+// PrepareRecoveryAt rewinds the checkpointer for a hardware-fault rollback
+// to the given round (the highest round every live process has committed —
+// rolling every process back to the same round is what makes the restored
+// line consistent; time-based protocols retain the previous checkpoint for
+// exactly this reason). Any in-flight write is abandoned (the committed
+// checkpoints survive, as a real disk guarantees via shadow paging),
+// blocking ends, timers stop, newer rounds are discarded, Ndc rewinds, and
+// the live unacknowledged set reverts to the one stored in the returned
+// checkpoint. The caller restores the process, re-sends the unacknowledged
+// messages, and calls Start.
+func (c *Checkpointer) PrepareRecoveryAt(round uint64) (*checkpoint.Checkpoint, error) {
+	c.Stop()
+	if round == 0 {
+		return nil, ErrNoStableCheckpoint
+	}
+	cp, ok, err := c.Stable.Round(round)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("tb: round %d not retained (latest %d)", round, c.Stable.LatestRound())
+	}
+	c.Stable.TruncateAbove(round)
+	c.ndc = round
+	c.unacked = nil
+	if len(cp.Unacked) > 0 {
+		c.unacked = make([]msg.Message, len(cp.Unacked))
+		copy(c.unacked, cp.Unacked)
+	}
+	return cp, nil
+}
+
+// CommitImmediate writes a checkpoint through to stable storage outside the
+// timer machinery (the write-through baseline commits on every validation
+// event) and advances Ndc.
+func (c *Checkpointer) CommitImmediate(cp *checkpoint.Checkpoint) error {
+	if err := c.Stable.Begin(cp); err != nil {
+		return err
+	}
+	if err := c.Stable.Commit(c.ndc + 1); err != nil {
+		return err
+	}
+	c.ndc++
+	c.stats.Commits++
+	return nil
+}
+
+// StableAtRound returns the retained checkpoint for the given round.
+func (c *Checkpointer) StableAtRound(round uint64) (*checkpoint.Checkpoint, error) {
+	cp, ok, err := c.Stable.Round(round)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("tb: round %d not retained", round)
+	}
+	return cp, nil
+}
+
+// AdoptUnacked replaces the live unacknowledged set with the one stored in a
+// restored checkpoint, so future stable checkpoints and re-sends are
+// relative to the restored state.
+func (c *Checkpointer) AdoptUnacked(stored []msg.Message) {
+	c.unacked = nil
+	if len(stored) > 0 {
+		c.unacked = make([]msg.Message, len(stored))
+		copy(c.unacked, stored)
+	}
+}
+
+// ReconcileUnacked prunes unacknowledged entries whose sends were undone by
+// a rollback: any entry whose channel sequence exceeds the restored send
+// counter for its destination no longer corresponds to a message the current
+// state has produced.
+func (c *Checkpointer) ReconcileUnacked(sentTo func(to msg.ProcID) uint64) {
+	kept := c.unacked[:0]
+	for _, m := range c.unacked {
+		if m.ChanSeq <= sentTo(m.To) {
+			kept = append(kept, m)
+		}
+	}
+	c.unacked = kept
+}
+
+// DropUnacked clears the live unacknowledged set (software recovery rewinds
+// the component-1 stream through the shadow's log instead).
+func (c *Checkpointer) DropUnacked(to msg.ProcID) {
+	kept := c.unacked[:0]
+	for _, m := range c.unacked {
+		if m.To != to {
+			kept = append(kept, m)
+		}
+	}
+	c.unacked = kept
+}

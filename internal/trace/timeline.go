@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/synergy-ft/synergy/internal/checkpoint"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// Timeline renders recorded events as per-process ASCII lanes, one column
+// per time bucket, in the style of the paper's figures:
+//
+//	P1act  |--1####A--P####....|
+//
+// Symbols: '1' Type-1, '2' Type-2, 'P' pseudo checkpoint, 'S' stable commit,
+// 'b' blocking-period start, 'e' blocking end, 'A' AT pass, 'X' AT fail,
+// '#' potentially contaminated interval, '*' crash, 'R' rollback,
+// 'F' roll-forward, 'T' takeover, '!' fault activation, '-' idle.
+type Timeline struct {
+	// From and To bound the rendered window.
+	From, To vtime.Time
+	// Columns is the number of time buckets (default 72).
+	Columns int
+	// Procs lists the lanes in render order (default: the three processes).
+	Procs []msg.ProcID
+}
+
+// Render draws the timeline for the recorder's events.
+func (tl Timeline) Render(r *Recorder) string {
+	cols := tl.Columns
+	if cols <= 0 {
+		cols = 72
+	}
+	procs := tl.Procs
+	if len(procs) == 0 {
+		procs = msg.Processes()
+	}
+	from, to := tl.From, tl.To
+	if to <= from {
+		for _, e := range r.Events() {
+			if e.At > to {
+				to = e.At
+			}
+		}
+		if to <= from {
+			to = from + 1
+		}
+	}
+	span := float64(to - from)
+	col := func(at vtime.Time) int {
+		c := int(float64(at-from) / span * float64(cols-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= cols {
+			c = cols - 1
+		}
+		return c
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s %s window [%s .. %s]\n", "", strings.Repeat(" ", 0), from, to)
+	for _, p := range procs {
+		lane := make([]byte, cols)
+		for i := range lane {
+			lane[i] = '-'
+		}
+		// First pass: shade contaminated intervals so point events
+		// drawn later stay visible on top.
+		dirtyFrom := -1
+		for _, e := range r.ByProc(p) {
+			switch e.Kind {
+			case DirtySet:
+				if dirtyFrom < 0 {
+					dirtyFrom = col(e.At)
+				}
+			case DirtyCleared:
+				if dirtyFrom >= 0 {
+					shade(lane, dirtyFrom, col(e.At))
+					dirtyFrom = -1
+				}
+			}
+		}
+		if dirtyFrom >= 0 {
+			shade(lane, dirtyFrom, cols-1)
+		}
+		for _, e := range r.ByProc(p) {
+			if sym := symbol(e); sym != 0 {
+				lane[col(e.At)] = sym
+			}
+		}
+		fmt.Fprintf(&b, "%-7s|%s|\n", p, lane)
+	}
+	return b.String()
+}
+
+func shade(lane []byte, from, to int) {
+	for i := from; i <= to && i < len(lane); i++ {
+		lane[i] = '#'
+	}
+}
+
+func symbol(e Event) byte {
+	switch e.Kind {
+	case CheckpointTaken:
+		switch e.Ckpt {
+		case checkpoint.Type1:
+			return '1'
+		case checkpoint.Type2:
+			return '2'
+		case checkpoint.Pseudo:
+			return 'P'
+		}
+		return 'C'
+	case StableCommitted:
+		return 'S'
+	case BlockStarted:
+		return 'b'
+	case BlockEnded:
+		return 'e'
+	case ATPassed:
+		return 'A'
+	case ATFailed:
+		return 'X'
+	case NodeCrashed:
+		return '*'
+	case RolledBack:
+		return 'R'
+	case RolledForward:
+		return 'F'
+	case TookOver:
+		return 'T'
+	case FaultActivated:
+		return '!'
+	default:
+		return 0
+	}
+}

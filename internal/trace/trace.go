@@ -1,0 +1,170 @@
+// Package trace records protocol events during a run and renders them as
+// per-process ASCII timelines — the same diagrams the paper uses in Figures
+// 1, 3, 4 and 6 (checkpoint establishments, contamination intervals,
+// acceptance tests, blocking periods).
+package trace
+
+import (
+	"fmt"
+
+	"github.com/synergy-ft/synergy/internal/checkpoint"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// Kind classifies trace events.
+type Kind uint8
+
+// Trace event kinds.
+const (
+	// CheckpointTaken records a volatile checkpoint establishment.
+	CheckpointTaken Kind = iota + 1
+	// MsgSent records an outgoing application-purpose message.
+	MsgSent
+	// MsgDelivered records a message passed to the application.
+	MsgDelivered
+	// ATPassed records a successful acceptance test.
+	ATPassed
+	// ATFailed records a failed acceptance test (software error detected).
+	ATFailed
+	// DirtySet records a dirty (or pseudo dirty) bit transition to 1.
+	DirtySet
+	// DirtyCleared records a dirty (or pseudo dirty) bit transition to 0.
+	DirtyCleared
+	// BlockStarted records the start of a TB blocking period.
+	BlockStarted
+	// BlockEnded records the end of a TB blocking period.
+	BlockEnded
+	// StableBegun records the start of a stable checkpoint write.
+	StableBegun
+	// StableReplaced records an abort-and-replace of the write contents.
+	StableReplaced
+	// StableCommitted records a durable stable checkpoint.
+	StableCommitted
+	// NodeCrashed records a hardware fault.
+	NodeCrashed
+	// RolledBack records a rollback during recovery.
+	RolledBack
+	// RolledForward records a roll-forward decision during recovery.
+	RolledForward
+	// TookOver records the shadow assuming the active role.
+	TookOver
+	// FaultActivated records a software design-fault activation.
+	FaultActivated
+	// Resynced records a timer resynchronization.
+	Resynced
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	names := map[Kind]string{
+		CheckpointTaken: "checkpoint",
+		MsgSent:         "send",
+		MsgDelivered:    "deliver",
+		ATPassed:        "AT-pass",
+		ATFailed:        "AT-fail",
+		DirtySet:        "dirty=1",
+		DirtyCleared:    "dirty=0",
+		BlockStarted:    "block-start",
+		BlockEnded:      "block-end",
+		StableBegun:     "stable-begin",
+		StableReplaced:  "stable-replace",
+		StableCommitted: "stable-commit",
+		NodeCrashed:     "crash",
+		RolledBack:      "rollback",
+		RolledForward:   "roll-forward",
+		TookOver:        "takeover",
+		FaultActivated:  "fault",
+		Resynced:        "resync",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one recorded protocol occurrence.
+type Event struct {
+	// At is the true time of the event.
+	At vtime.Time
+	// Proc is the process the event belongs to.
+	Proc msg.ProcID
+	// Kind classifies the event.
+	Kind Kind
+	// Ckpt is the checkpoint kind for CheckpointTaken/Stable* events.
+	Ckpt checkpoint.Kind
+	// Msg is the message for MsgSent/MsgDelivered events.
+	Msg msg.Message
+	// Note carries free-form detail.
+	Note string
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s %s %s", e.At, e.Proc, e.Kind)
+	if e.Kind == CheckpointTaken || e.Kind == StableCommitted || e.Kind == StableBegun {
+		s += " " + e.Ckpt.String()
+	}
+	if e.Note != "" {
+		s += " (" + e.Note + ")"
+	}
+	return s
+}
+
+// Recorder accumulates events. A nil *Recorder is valid and records nothing,
+// so tracing can be disabled with zero overhead in hot experiment loops.
+type Recorder struct {
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Record appends an event. No-op on a nil recorder.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns the recorded events in order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// ByProc returns the events of one process, preserving order.
+func (r *Recorder) ByProc(p msg.ProcID) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Proc == p {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByKind returns the events of one kind, preserving order.
+func (r *Recorder) ByKind(k Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns how many events of kind k process p recorded.
+func (r *Recorder) Count(p msg.ProcID, k Kind) int {
+	n := 0
+	for _, e := range r.Events() {
+		if e.Proc == p && e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/synergy-ft/synergy/internal/checkpoint"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: ATPassed})
+	if got := r.Events(); got != nil {
+		t.Fatalf("nil recorder returned events: %v", got)
+	}
+	if got := r.Count(msg.P2, ATPassed); got != 0 {
+		t.Fatalf("nil recorder Count = %d", got)
+	}
+}
+
+func TestRecordAndFilter(t *testing.T) {
+	r := New()
+	r.Record(Event{At: 1, Proc: msg.P1Act, Kind: ATPassed})
+	r.Record(Event{At: 2, Proc: msg.P2, Kind: ATPassed})
+	r.Record(Event{At: 3, Proc: msg.P1Act, Kind: DirtySet})
+	if got := len(r.Events()); got != 3 {
+		t.Fatalf("Events = %d", got)
+	}
+	if got := len(r.ByProc(msg.P1Act)); got != 2 {
+		t.Fatalf("ByProc = %d", got)
+	}
+	if got := len(r.ByKind(ATPassed)); got != 2 {
+		t.Fatalf("ByKind = %d", got)
+	}
+	if got := r.Count(msg.P1Act, ATPassed); got != 1 {
+		t.Fatalf("Count = %d", got)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := CheckpointTaken; k <= Resynced; k++ {
+		if strings.HasPrefix(k.String(), "event(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if got := Kind(200).String(); got != "event(200)" {
+		t.Fatalf("unknown kind String = %q", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{
+		At:   vtime.FromSeconds(1),
+		Proc: msg.P2,
+		Kind: CheckpointTaken,
+		Ckpt: checkpoint.Type1,
+		Note: "before contamination",
+	}
+	got := e.String()
+	for _, want := range []string{"P2", "checkpoint", "type-1", "before contamination"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("String() = %q, missing %q", got, want)
+		}
+	}
+}
+
+func TestTimelineSymbols(t *testing.T) {
+	r := New()
+	r.Record(Event{At: vtime.FromSeconds(1), Proc: msg.P2, Kind: CheckpointTaken, Ckpt: checkpoint.Type1})
+	r.Record(Event{At: vtime.FromSeconds(2), Proc: msg.P2, Kind: DirtySet})
+	r.Record(Event{At: vtime.FromSeconds(5), Proc: msg.P2, Kind: DirtyCleared})
+	r.Record(Event{At: vtime.FromSeconds(5), Proc: msg.P2, Kind: ATPassed})
+	r.Record(Event{At: vtime.FromSeconds(7), Proc: msg.P1Act, Kind: CheckpointTaken, Ckpt: checkpoint.Pseudo})
+	r.Record(Event{At: vtime.FromSeconds(8), Proc: msg.P1Sdw, Kind: StableCommitted, Ckpt: checkpoint.Stable})
+
+	out := Timeline{From: vtime.Zero, To: vtime.FromSeconds(10), Columns: 40}.Render(r)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + three lanes
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	p2 := lines[3] // lanes in Processes() order: P1act, P1sdw, P2
+	if !strings.HasPrefix(p2, "P2") {
+		t.Fatalf("unexpected lane order:\n%s", out)
+	}
+	for _, want := range []string{"1", "#", "A"} {
+		if !strings.Contains(p2, want) {
+			t.Fatalf("P2 lane missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(lines[1], "P") {
+		t.Fatalf("P1act lane missing pseudo checkpoint:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "S") {
+		t.Fatalf("P1sdw lane missing stable commit:\n%s", out)
+	}
+}
+
+func TestTimelineOpenDirtyIntervalShadesToEnd(t *testing.T) {
+	r := New()
+	r.Record(Event{At: vtime.FromSeconds(5), Proc: msg.P2, Kind: DirtySet})
+	out := Timeline{From: vtime.Zero, To: vtime.FromSeconds(10), Columns: 20, Procs: []msg.ProcID{msg.P2}}.Render(r)
+	if !strings.HasSuffix(strings.TrimRight(out, "\n"), "#|") {
+		t.Fatalf("open contamination should shade to window end:\n%s", out)
+	}
+}
+
+func TestTimelineAutoWindow(t *testing.T) {
+	r := New()
+	r.Record(Event{At: vtime.FromSeconds(3), Proc: msg.P2, Kind: ATPassed})
+	out := Timeline{Columns: 10, Procs: []msg.ProcID{msg.P2}}.Render(r)
+	if !strings.Contains(out, "A") {
+		t.Fatalf("auto-window render lost the event:\n%s", out)
+	}
+}
+
+func TestTimelineEmptyRecorder(t *testing.T) {
+	out := Timeline{Columns: 10}.Render(New())
+	if !strings.Contains(out, "P1act") {
+		t.Fatalf("empty render should still show lanes:\n%s", out)
+	}
+}

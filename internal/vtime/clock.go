@@ -1,0 +1,122 @@
+package vtime
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ClockConfig bounds the behaviour of every local clock in the system. These
+// are the δ and ρ parameters of the time-based checkpointing protocol: right
+// after a resynchronization two clocks differ by at most MaxDeviation, and
+// between resynchronizations each clock drifts away from true time at a rate
+// of at most DriftRate seconds per second.
+type ClockConfig struct {
+	// MaxDeviation (δ) is the maximum deviation between any two clocks
+	// immediately after a (re)synchronization. Each individual clock is
+	// therefore kept within ±δ/2 of true time at resynchronization, so
+	// that the protocol bound δ + 2ρτ on mutual skew holds.
+	MaxDeviation time.Duration
+	// DriftRate (ρ) is the maximum absolute drift, in seconds of clock
+	// error per second of true time.
+	DriftRate float64
+}
+
+// Validate reports whether the configuration is physically meaningful.
+func (c ClockConfig) Validate() error {
+	if c.MaxDeviation < 0 {
+		return fmt.Errorf("vtime: negative MaxDeviation %v", c.MaxDeviation)
+	}
+	if c.DriftRate < 0 || c.DriftRate >= 1 {
+		return fmt.Errorf("vtime: drift rate %v outside [0,1)", c.DriftRate)
+	}
+	return nil
+}
+
+// Clock models one node's local clock. Its reading at true time t is
+//
+//	reading(t) = t + offset + drift·(t − syncedAt)
+//
+// where |offset| ≤ δ is redrawn on every resynchronization and |drift| ≤ ρ is
+// a fixed property of the node's oscillator.
+type Clock struct {
+	cfg      ClockConfig
+	offset   time.Duration
+	drift    float64
+	syncedAt Time
+}
+
+// NewClock creates a clock whose offset and drift are drawn uniformly from
+// [−δ/2, δ/2] and [−ρ, ρ] using rng. A nil rng yields a perfect clock.
+func NewClock(cfg ClockConfig, rng *rand.Rand) *Clock {
+	c := &Clock{cfg: cfg}
+	if rng != nil {
+		c.offset = randDeviation(cfg.MaxDeviation, rng)
+		c.drift = randDrift(cfg.DriftRate, rng)
+	}
+	return c
+}
+
+// Config returns the bounds the clock was created with.
+func (c *Clock) Config() ClockConfig { return c.cfg }
+
+// Read returns the clock's reading at true time t.
+func (c *Clock) Read(t Time) Time {
+	elapsed := t.Sub(c.syncedAt)
+	err := c.offset + time.Duration(c.drift*float64(elapsed))
+	return t.Add(err)
+}
+
+// WhenReads returns the true time at which the clock will read local. If the
+// clock already reads at or past local at true time `from`, it returns from.
+func (c *Clock) WhenReads(local, from Time) Time {
+	if !c.Read(from).Before(local) {
+		return from
+	}
+	// Solve local = t + offset + drift·(t − syncedAt) for t.
+	// t·(1+drift) = local − offset + drift·syncedAt
+	num := float64(local) - float64(c.offset) + c.drift*float64(c.syncedAt)
+	t := Time(num / (1 + c.drift))
+	// Guard against floating-point rounding leaving the reading short.
+	for c.Read(t).Before(local) {
+		t++
+	}
+	return Max(t, from)
+}
+
+// Resynchronize re-aligns the clock with true time at instant t, redrawing the
+// residual offset within [−δ/2, δ/2]. The drift rate is a hardware property
+// and is retained. A nil rng resets the offset to zero.
+func (c *Clock) Resynchronize(t Time, rng *rand.Rand) {
+	c.syncedAt = t
+	if rng == nil {
+		c.offset = 0
+		return
+	}
+	c.offset = randDeviation(c.cfg.MaxDeviation, rng)
+}
+
+// Error returns the signed difference between the clock reading and true time
+// at instant t.
+func (c *Clock) Error(t Time) time.Duration { return c.Read(t).Sub(t) }
+
+// WorstCaseSkew returns the protocol's bound on the mutual deviation between
+// any two clocks after elapsed τ since the last resynchronization: δ + 2ρτ.
+func WorstCaseSkew(cfg ClockConfig, elapsed time.Duration) time.Duration {
+	return cfg.MaxDeviation + time.Duration(2*cfg.DriftRate*float64(elapsed))
+}
+
+func randDeviation(max time.Duration, rng *rand.Rand) time.Duration {
+	if max == 0 {
+		return 0
+	}
+	half := max / 2
+	return time.Duration(rng.Int63n(int64(2*half)+1)) - half
+}
+
+func randDrift(max float64, rng *rand.Rand) float64 {
+	if max == 0 {
+		return 0
+	}
+	return (2*rng.Float64() - 1) * max
+}

@@ -1,0 +1,178 @@
+package vtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		give Time
+		add  time.Duration
+		want Time
+	}{
+		{name: "zero plus second", give: Zero, add: time.Second, want: Time(time.Second)},
+		{name: "negative delta", give: FromSeconds(2), add: -time.Second, want: FromSeconds(1)},
+		{name: "no-op", give: FromSeconds(5), add: 0, want: FromSeconds(5)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.give.Add(tt.add); got != tt.want {
+				t.Fatalf("Add(%v) = %v, want %v", tt.add, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTimeSub(t *testing.T) {
+	a, b := FromSeconds(3), FromSeconds(1)
+	if got := a.Sub(b); got != 2*time.Second {
+		t.Fatalf("Sub = %v, want 2s", got)
+	}
+	if got := b.Sub(a); got != -2*time.Second {
+		t.Fatalf("Sub = %v, want -2s", got)
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	if !Zero.Before(Never) {
+		t.Fatal("Zero should be before Never")
+	}
+	if !Never.After(Zero) {
+		t.Fatal("Never should be after Zero")
+	}
+	if Min(FromSeconds(1), FromSeconds(2)) != FromSeconds(1) {
+		t.Fatal("Min wrong")
+	}
+	if Max(FromSeconds(1), FromSeconds(2)) != FromSeconds(2) {
+		t.Fatal("Max wrong")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := FromSeconds(12.3456).String(); got != "12.346s" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestClockConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    ClockConfig
+		wantErr bool
+	}{
+		{name: "ok", give: ClockConfig{MaxDeviation: time.Millisecond, DriftRate: 1e-5}},
+		{name: "zero", give: ClockConfig{}},
+		{name: "negative deviation", give: ClockConfig{MaxDeviation: -1}, wantErr: true},
+		{name: "negative drift", give: ClockConfig{DriftRate: -0.1}, wantErr: true},
+		{name: "drift too large", give: ClockConfig{DriftRate: 1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() = %v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPerfectClockTracksTrueTime(t *testing.T) {
+	c := NewClock(ClockConfig{}, nil)
+	for _, at := range []Time{Zero, FromSeconds(1), FromSeconds(1000)} {
+		if got := c.Read(at); got != at {
+			t.Fatalf("Read(%v) = %v, want exact", at, got)
+		}
+	}
+}
+
+func TestClockDeviationBounded(t *testing.T) {
+	cfg := ClockConfig{MaxDeviation: 5 * time.Millisecond, DriftRate: 1e-4}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		c := NewClock(cfg, rng)
+		if e := c.Error(Zero); e > cfg.MaxDeviation/2 || e < -cfg.MaxDeviation/2 {
+			t.Fatalf("initial error %v exceeds δ/2=%v", e, cfg.MaxDeviation/2)
+		}
+		// After 100s, error bounded by δ/2 + ρ·τ.
+		at := FromSeconds(100)
+		bound := cfg.MaxDeviation/2 + time.Duration(cfg.DriftRate*float64(at.Sub(Zero)))
+		if e := c.Error(at); e > bound || e < -bound {
+			t.Fatalf("error %v at %v exceeds bound %v", e, at, bound)
+		}
+	}
+}
+
+func TestClockResynchronize(t *testing.T) {
+	cfg := ClockConfig{MaxDeviation: time.Millisecond, DriftRate: 1e-3}
+	rng := rand.New(rand.NewSource(7))
+	c := NewClock(cfg, rng)
+	at := FromSeconds(500)
+	c.Resynchronize(at, rng)
+	if e := c.Error(at); e > cfg.MaxDeviation/2 || e < -cfg.MaxDeviation/2 {
+		t.Fatalf("post-resync error %v exceeds δ/2", e)
+	}
+	c.Resynchronize(at, nil)
+	if e := c.Error(at); e != 0 {
+		t.Fatalf("nil-rng resync should zero the offset, got %v", e)
+	}
+}
+
+func TestWhenReadsInvertsRead(t *testing.T) {
+	cfg := ClockConfig{MaxDeviation: 10 * time.Millisecond, DriftRate: 5e-4}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 50; i++ {
+		c := NewClock(cfg, rng)
+		local := FromSeconds(float64(1 + rng.Intn(1000)))
+		tt := c.WhenReads(local, Zero)
+		if c.Read(tt).Before(local) {
+			t.Fatalf("clock reads %v at %v, before target %v", c.Read(tt), tt, local)
+		}
+		if tt.After(Zero) && !c.Read(tt-1).Before(local) {
+			t.Fatalf("WhenReads not minimal: reading at %v already %v", tt-1, c.Read(tt-1))
+		}
+	}
+}
+
+func TestWhenReadsAlreadyPast(t *testing.T) {
+	c := NewClock(ClockConfig{}, nil)
+	from := FromSeconds(10)
+	if got := c.WhenReads(FromSeconds(5), from); got != from {
+		t.Fatalf("WhenReads past target = %v, want from=%v", got, from)
+	}
+}
+
+func TestWorstCaseSkew(t *testing.T) {
+	cfg := ClockConfig{MaxDeviation: time.Millisecond, DriftRate: 1e-5}
+	got := WorstCaseSkew(cfg, 100*time.Second)
+	want := time.Millisecond + 2*time.Millisecond
+	if got != want {
+		t.Fatalf("WorstCaseSkew = %v, want %v", got, want)
+	}
+}
+
+// Property: mutual skew between any two clocks never exceeds δ + 2ρτ (both
+// clocks resynced at 0) — the bound the TB protocol's blocking periods rely on.
+func TestMutualSkewBoundProperty(t *testing.T) {
+	cfg := ClockConfig{MaxDeviation: 3 * time.Millisecond, DriftRate: 2e-4}
+	rng := rand.New(rand.NewSource(1234))
+	f := func(elapsedMillis uint16) bool {
+		a := NewClock(cfg, rng)
+		b := NewClock(cfg, rng)
+		at := Zero.Add(time.Duration(elapsedMillis) * time.Millisecond)
+		skew := a.Read(at).Sub(b.Read(at))
+		if skew < 0 {
+			skew = -skew
+		}
+		// Protocol bound on mutual skew: δ + 2ρτ. Each offset lies within
+		// ±δ/2, so mutual offsets are within δ.
+		bound := WorstCaseSkew(cfg, at.Sub(Zero))
+		return skew <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

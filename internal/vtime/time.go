@@ -1,0 +1,64 @@
+// Package vtime provides the virtual-time primitives used by the
+// discrete-event simulator: an absolute simulated time type and a model of
+// imperfectly synchronized, drifting local clocks that can be periodically
+// resynchronized, matching the clock assumptions of time-based checkpointing
+// protocols (maximum initial deviation δ and maximum drift rate ρ).
+package vtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an absolute instant of simulated ("true") time, measured in
+// nanoseconds since the start of the simulation. It is distinct from any
+// process-local clock reading (see Clock).
+type Time int64
+
+// Common reference instants.
+const (
+	// Zero is the start of simulated time.
+	Zero Time = 0
+	// Never is a sentinel that compares after every reachable instant.
+	Never Time = 1<<63 - 1
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns t expressed as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// FromSeconds converts a number of seconds into an absolute instant.
+func FromSeconds(s float64) Time { return Time(s * float64(time.Second)) }
+
+// String renders the instant as seconds with millisecond precision, e.g.
+// "12.345s", which keeps traces readable.
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fs", t.Seconds())
+}
+
+// Min returns the earlier of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

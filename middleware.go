@@ -1,0 +1,110 @@
+package synergy
+
+import (
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/live"
+	"github.com/synergy-ft/synergy/internal/mdcd"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/tb"
+)
+
+// MiddlewareConfig assembles a live (goroutine/real-timer) instance of the
+// coordinated scheme — the paper's GSU Middleware prototype. Durations are
+// wall-clock.
+type MiddlewareConfig struct {
+	// Seed drives workload and AT randomness.
+	Seed int64
+	// CheckpointInterval is the TB interval Δ (default 100ms).
+	CheckpointInterval time.Duration
+	// MinDelay and MaxDelay bound message delivery (defaults 200µs, 2ms).
+	MinDelay, MaxDelay time.Duration
+	// InternalRate and ExternalRate drive both components' traffic in
+	// messages per second (defaults 50 and 5).
+	InternalRate, ExternalRate float64
+	// UseTCP runs the interconnect over loopback TCP sockets (one
+	// listener per node, one connection per directed channel) instead of
+	// in-process channels.
+	UseTCP bool
+}
+
+// Middleware runs the coordinated protocols under real concurrency.
+type Middleware struct {
+	inner *live.Middleware
+}
+
+// NewMiddleware assembles a live middleware instance.
+func NewMiddleware(cfg MiddlewareConfig) (*Middleware, error) {
+	c := live.DefaultConfig(cfg.Seed)
+	if cfg.CheckpointInterval > 0 {
+		c.CheckpointInterval = cfg.CheckpointInterval
+	}
+	if cfg.MinDelay > 0 {
+		c.MinDelay = cfg.MinDelay
+	}
+	if cfg.MaxDelay > 0 {
+		c.MaxDelay = cfg.MaxDelay
+	}
+	if cfg.InternalRate > 0 {
+		c.Workload1.InternalRate = cfg.InternalRate
+		c.Workload2.InternalRate = cfg.InternalRate
+	}
+	if cfg.ExternalRate > 0 {
+		c.Workload1.ExternalRate = cfg.ExternalRate
+		c.Workload2.ExternalRate = cfg.ExternalRate
+	}
+	if cfg.UseTCP {
+		c.Net = live.TCPTransport
+	}
+	inner, err := live.New(c)
+	if err != nil {
+		return nil, err
+	}
+	return &Middleware{inner: inner}, nil
+}
+
+// Start launches timers and workload goroutines.
+func (m *Middleware) Start() { m.inner.Start() }
+
+// Stop halts the middleware; it is idempotent.
+func (m *Middleware) Stop() { m.inner.Stop() }
+
+// Run drives the middleware for the given wall duration, then stops it.
+func (m *Middleware) Run(d time.Duration) { m.inner.Run(d) }
+
+// ActivateSoftwareFault triggers the design fault in the active process.
+func (m *Middleware) ActivateSoftwareFault() { m.inner.ActivateSoftwareFault() }
+
+// CommitUpgrade accepts the upgraded version and disengages guarded
+// operation (see System.CommitUpgrade).
+func (m *Middleware) CommitUpgrade() bool { return m.inner.CommitUpgrade() }
+
+// InjectHardwareFault crashes the node hosting the given process.
+func (m *Middleware) InjectHardwareFault(p Process) error {
+	return m.inner.InjectHardwareFault(msg.ProcID(p))
+}
+
+// Report summarizes the run so far.
+func (m *Middleware) Report() Report {
+	met := m.inner.Metrics()
+	r := Report{
+		HardwareFaults:      met.HWFaults,
+		SoftwareRecoveries:  met.SWRecoveries,
+		MeanRollbackSeconds: met.RollbackDistance.Mean(),
+		MaxRollbackSeconds:  met.RollbackDistance.Max(),
+	}
+	_ = m.inner.Inspect(msg.P1Sdw, func(p *mdcd.Process, _ *tb.Checkpointer) {
+		r.ShadowPromoted = p.Promoted()
+	})
+	if failed, why := m.inner.Failure(); failed {
+		r.Failed = why
+	}
+	return r
+}
+
+// StableRounds returns the committed stable checkpoint rounds per process.
+func (m *Middleware) StableRounds(p Process) uint64 {
+	var ndc uint64
+	_ = m.inner.Inspect(msg.ProcID(p), func(_ *mdcd.Process, cp *tb.Checkpointer) { ndc = cp.Ndc() })
+	return ndc
+}

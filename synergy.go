@@ -1,0 +1,306 @@
+// Package synergy is a reproduction of "Synergistic Coordination between
+// Software and Hardware Fault Tolerance Techniques" (Tai, Tso, Alkalai,
+// Chau, Sanders — DSN 2001): a three-node distributed system that tolerates
+// software design faults and hardware faults simultaneously by coordinating
+// two checkpointing protocols.
+//
+// The message-driven confidence-driven (MDCD) protocol contains software
+// design faults: a low-confidence active process is escorted by a
+// high-confidence shadow, volatile checkpoints are established only at
+// message events that change confidence in a process state, and acceptance
+// tests validate external messages. The time-based (TB) checkpointing
+// protocol of Neves and Fuchs tolerates hardware faults: stable-storage
+// checkpoints on approximately synchronized timers with blocking periods
+// instead of message-exchange coordination. The paper's contribution — and
+// this library's core — is the adaptation that lets the two run concurrently
+// without interfering: stable checkpoint contents are chosen by the MDCD
+// dirty bit, in-progress writes respond to confidence changes during the
+// blocking period, and knowledge updates are gated by the stable checkpoint
+// sequence number Ndc.
+//
+// Two runtimes execute the same protocol core: a deterministic discrete-
+// event simulator (NewSimulation) used by the experiment harness that
+// regenerates every table and figure of the paper, and a concurrent
+// goroutine middleware (NewMiddleware) with real timers and channels.
+package synergy
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/at"
+	"github.com/synergy-ft/synergy/internal/coord"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/trace"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// Scheme selects which fault-tolerance composition a simulation runs.
+type Scheme int
+
+// Composition schemes.
+const (
+	// Coordinated is the paper's contribution: modified MDCD + adapted TB.
+	Coordinated Scheme = iota + 1
+	// WriteThrough is the baseline that writes every Type-2 checkpoint
+	// through to stable storage (no TB timers).
+	WriteThrough
+	// Naive runs unmodified TB beside MDCD (the Figure 4 failure case).
+	Naive
+	// TBOnly runs time-based checkpointing with no guarded operation.
+	TBOnly
+	// MDCDOnly runs software fault tolerance with volatile checkpoints
+	// only.
+	MDCDOnly
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string { return coord.Scheme(s).String() }
+
+// Process identifies one of the three protocol participants.
+type Process int
+
+// The three processes of the guarded-operation architecture.
+const (
+	// ActiveP1 is the active process of the low-confidence version.
+	ActiveP1 Process = Process(msg.P1Act)
+	// ShadowP1 is the escorting shadow of the high-confidence version.
+	ShadowP1 = Process(msg.P1Sdw)
+	// PeerP2 is the second, high-confidence application component.
+	PeerP2 = Process(msg.P2)
+)
+
+// String implements fmt.Stringer.
+func (p Process) String() string { return msg.ProcID(p).String() }
+
+// Config assembles a simulation.
+type Config struct {
+	// Scheme selects the composition (default Coordinated).
+	Scheme Scheme
+	// Seed drives all randomness; equal configs with equal seeds replay
+	// bit-identical runs.
+	Seed int64
+	// CheckpointInterval is the TB interval Δ (default 10s).
+	CheckpointInterval time.Duration
+	// ClockDeviation is δ, the maximum mutual clock deviation after a
+	// resynchronization (default 4ms).
+	ClockDeviation time.Duration
+	// ClockDriftRate is ρ, in seconds of error per second (default 1e-5).
+	ClockDriftRate float64
+	// MinDelay and MaxDelay bound message delivery (defaults 200µs, 20ms).
+	MinDelay, MaxDelay time.Duration
+	// InternalRate1/ExternalRate1 drive component 1's traffic, in
+	// messages per second (defaults 1 and 0.05).
+	InternalRate1, ExternalRate1 float64
+	// InternalRate2/ExternalRate2 drive component 2's traffic.
+	InternalRate2, ExternalRate2 float64
+	// ATCoverage is the acceptance tests' detection probability for
+	// corrupted payloads (default 1: a perfect oracle).
+	ATCoverage float64
+	// MaxRepair is the longest node downtime the deployment expects; it
+	// sizes stable-storage round retention so a CrashNode/RepairNode
+	// cycle of up to this length still finds the common recovery round.
+	// Zero supports crash-restart (InjectHardwareFault) only.
+	MaxRepair time.Duration
+	// Trace records protocol events for timeline rendering.
+	Trace bool
+}
+
+// System is a running simulation of the three-node system.
+type System struct {
+	inner *coord.System
+}
+
+// NewSimulation assembles a simulated system. Zero config fields take the
+// documented defaults.
+func NewSimulation(cfg Config) (*System, error) {
+	inner, err := coord.NewSystem(cfg.toInternal())
+	if err != nil {
+		return nil, err
+	}
+	return &System{inner: inner}, nil
+}
+
+func (cfg Config) toInternal() coord.Config {
+	scheme := coord.Scheme(cfg.Scheme)
+	if cfg.Scheme == 0 {
+		scheme = coord.Coordinated
+	}
+	c := coord.DefaultConfig(scheme, cfg.Seed)
+	c.TraceEnabled = cfg.Trace
+	if cfg.CheckpointInterval > 0 {
+		c.CheckpointInterval = cfg.CheckpointInterval
+	}
+	if cfg.ClockDeviation > 0 {
+		c.Clock.MaxDeviation = cfg.ClockDeviation
+	}
+	if cfg.ClockDriftRate > 0 {
+		c.Clock.DriftRate = cfg.ClockDriftRate
+	}
+	if cfg.MinDelay > 0 {
+		c.Net.MinDelay = cfg.MinDelay
+	}
+	if cfg.MaxDelay > 0 {
+		c.Net.MaxDelay = cfg.MaxDelay
+	}
+	if cfg.InternalRate1 > 0 {
+		c.Workload1.InternalRate = cfg.InternalRate1
+	}
+	if cfg.ExternalRate1 > 0 {
+		c.Workload1.ExternalRate = cfg.ExternalRate1
+	}
+	if cfg.InternalRate2 > 0 {
+		c.Workload2.InternalRate = cfg.InternalRate2
+	}
+	if cfg.ExternalRate2 > 0 {
+		c.Workload2.ExternalRate = cfg.ExternalRate2
+	}
+	if cfg.ATCoverage > 0 && cfg.ATCoverage < 1 {
+		c.Test = at.Oracle{Coverage: cfg.ATCoverage}
+	}
+	c.MaxRepair = cfg.MaxRepair
+	return c
+}
+
+// Start arms the workload and checkpoint timers.
+func (s *System) Start() { s.inner.Start() }
+
+// RunFor advances the simulation by the given number of virtual seconds.
+func (s *System) RunFor(seconds float64) { s.inner.RunFor(seconds) }
+
+// Quiesce stops the workload and drains all in-flight activity.
+func (s *System) Quiesce() { s.inner.Quiesce() }
+
+// Now returns the current virtual time in seconds.
+func (s *System) Now() float64 { return s.inner.Engine().Now().Seconds() }
+
+// InjectHardwareFault crashes the node hosting the given process and runs
+// hardware error recovery (every process rolls back to the stable
+// checkpoint line; unacknowledged messages are re-sent).
+func (s *System) InjectHardwareFault(p Process) error {
+	node, ok := nodeOfProcess(p)
+	if !ok {
+		return fmt.Errorf("synergy: unknown process %v", p)
+	}
+	return s.inner.InjectHardwareFault(node)
+}
+
+// CrashNode fails the node hosting the given process: its volatile state is
+// lost and it neither computes nor communicates until RepairNode. The
+// survivors keep running (and keep checkpointing).
+func (s *System) CrashNode(p Process) error {
+	node, ok := nodeOfProcess(p)
+	if !ok {
+		return fmt.Errorf("synergy: unknown process %v", p)
+	}
+	s.inner.CrashNode(node)
+	return nil
+}
+
+// RepairNode brings a crashed node back and runs hardware error recovery;
+// the rollback distance includes the survivors' work discarded because of
+// the downtime.
+func (s *System) RepairNode(p Process) error {
+	node, ok := nodeOfProcess(p)
+	if !ok {
+		return fmt.Errorf("synergy: unknown process %v", p)
+	}
+	return s.inner.RepairNode(node)
+}
+
+func nodeOfProcess(p Process) (msg.NodeID, bool) {
+	node, ok := map[Process]msg.NodeID{ActiveP1: 1, ShadowP1: 2, PeerP2: 3}[p]
+	return node, ok
+}
+
+// ActivateSoftwareFault triggers the design fault in the low-confidence
+// version: the active process's state silently becomes erroneous, to be
+// caught by a later acceptance test (only while guarded operation lasts —
+// committing the upgrade removes the guard).
+func (s *System) ActivateSoftwareFault() { s.inner.ActivateSoftwareFault() }
+
+// CommitUpgrade accepts the upgraded version after sufficient onboard
+// execution time: guarded operation ends, the shadow retires, all dirty bits
+// take a constant value of zero and the adapted TB protocol becomes
+// equivalent to the original — the seamless disengagement the paper
+// describes. It reports false if guarded operation already ended.
+func (s *System) CommitUpgrade() bool { return s.inner.CommitUpgrade() }
+
+// Report summarizes a run's dependability outcomes.
+type Report struct {
+	// VirtualSeconds is the simulated time elapsed.
+	VirtualSeconds float64
+	// HardwareFaults and SoftwareRecoveries count handled faults.
+	HardwareFaults, SoftwareRecoveries int
+	// Unrecoverable counts faults the scheme could not mask.
+	Unrecoverable int
+	// MeanRollbackSeconds is the average computation undone per process
+	// per hardware fault.
+	MeanRollbackSeconds float64
+	// MaxRollbackSeconds is the worst observed rollback distance.
+	MaxRollbackSeconds float64
+	// ShadowPromoted reports whether the shadow took over the active role.
+	ShadowPromoted bool
+	// Failed carries the reason for an unrecoverable condition, if any.
+	Failed string
+}
+
+// Report summarizes the run so far.
+func (s *System) Report() Report {
+	m := s.inner.Metrics()
+	r := Report{
+		VirtualSeconds:      s.Now(),
+		HardwareFaults:      m.HWFaults,
+		SoftwareRecoveries:  m.SWRecoveries,
+		Unrecoverable:       m.UnrecoverableSW + m.UnrecoverableHW,
+		MeanRollbackSeconds: m.RollbackDistance.Mean(),
+		MaxRollbackSeconds:  m.RollbackDistance.Max(),
+	}
+	if p := s.inner.Process(msg.P1Sdw); p != nil {
+		r.ShadowPromoted = p.Promoted()
+	}
+	if failed, why := s.inner.Failed(); failed {
+		r.Failed = why
+	}
+	return r
+}
+
+// CheckInvariants evaluates the paper's global-state properties — validity-
+// concerned consistency and recoverability — over the current recovery line
+// and returns a description of each violation (empty means the line is
+// sound). It errors until the first complete checkpoint round exists.
+func (s *System) CheckInvariants() ([]string, error) {
+	line, err := s.inner.StableLine()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, v := range line.Check() {
+		out = append(out, v.String())
+	}
+	return out, nil
+}
+
+// Timeline renders the recorded protocol events as per-process ASCII lanes
+// (requires Config.Trace).
+func (s *System) Timeline(columns int) string {
+	rec := s.inner.Recorder()
+	if rec == nil {
+		return "(tracing disabled; set Config.Trace)"
+	}
+	return trace.Timeline{From: vtime.Zero, To: s.inner.Engine().Now(), Columns: columns}.Render(rec)
+}
+
+// ShadowConverged reports whether the active and shadow replicas hold equal
+// states; meaningful at quiescent points.
+func (s *System) ShadowConverged() bool { return s.inner.ReplicasConverged() }
+
+// StableRounds returns the number of committed stable-storage checkpoint
+// rounds for the given process (0 if the scheme keeps none).
+func (s *System) StableRounds(p Process) uint64 {
+	cp := s.inner.Checkpointer(msg.ProcID(p))
+	if cp == nil {
+		return 0
+	}
+	return cp.Ndc()
+}
