@@ -1,0 +1,13 @@
+package lint
+
+// DefaultAnalyzers returns the five protocol-aware rules configured for this
+// repository, in the order findings are most useful to read.
+func DefaultAnalyzers() []Analyzer {
+	return []Analyzer{
+		NewWallClock(),
+		NewGlobalRand(),
+		NewLockedBlocking(),
+		NewDirtyBit(),
+		NewUncheckedErr(),
+	}
+}

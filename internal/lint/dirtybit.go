@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DirtyBitRule protects one struct field carrying dirty-bit or
+// checkpoint-lifecycle state: only the listed writer functions may assign
+// it. Writers are named "importpath.FuncName" (method receivers are not part
+// of the key; function literals are attributed to their enclosing declared
+// function).
+type DirtyBitRule struct {
+	// Pkg is the import path of the package declaring the struct type.
+	Pkg string
+	// Type is the struct type's name.
+	Type string
+	// Field is the protected field.
+	Field string
+	// Writers lists the qualified functions allowed to assign the field
+	// (or an element of it, for map- or slice-typed fields).
+	Writers map[string]bool
+}
+
+// DirtyBit enforces the pseudo-dirty-bit discipline the coordination proofs
+// assume: the paper's consistency, recoverability and software-
+// recoverability arguments (§4) hold because dirty state transitions happen
+// only at the protocol's validation and contamination events, with their
+// trace records and DirtyChanged notifications. A stray assignment from
+// outside the accessor set silently invalidates every property the runtime
+// invariant checker claims to verify, so each protected field names the
+// accessors (and the few deliberate recovery-path writers) allowed to touch
+// it.
+//
+// Detected writes are assignments, compound assignments, increments and
+// indexed element writes; composite literals constructing a fresh value are
+// out of scope.
+type DirtyBit struct {
+	Rules []DirtyBitRule
+}
+
+const module = "github.com/synergy-ft/synergy"
+
+// NewDirtyBit returns the rule set for this repository's protocol state.
+func NewDirtyBit() *DirtyBit {
+	w := func(names ...string) map[string]bool {
+		m := make(map[string]bool, len(names))
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	mdcd := module + "/internal/mdcd"
+	gmdcd := module + "/internal/gmdcd"
+	tb := module + "/internal/tb"
+	ckpt := module + "/internal/checkpoint"
+	return &DirtyBit{Rules: []DirtyBitRule{
+		// MDCD dirty bits: mutation only via the set* accessors (which
+		// trace the transition and fire DirtyChanged), plus the recovery
+		// paths that deliberately bypass the hook (RestoreFrom resets the
+		// TB side explicitly; CommitUpgrade disengages the coordination)
+		// and the constructor.
+		{Pkg: mdcd, Type: "Process", Field: "dirty",
+			Writers: w(mdcd+".setDirty", mdcd+".NewProcess", mdcd+".RestoreFrom", mdcd+".CommitUpgrade")},
+		{Pkg: mdcd, Type: "Process", Field: "pseudoDirty",
+			Writers: w(mdcd+".setPseudoDirty", mdcd+".RestoreFrom", mdcd+".CommitUpgrade")},
+		{Pkg: mdcd, Type: "Process", Field: "recvDirty",
+			Writers: w(mdcd+".setRecvDirty", mdcd+".RestoreFrom", mdcd+".CommitUpgrade")},
+		// Generalized protocol: contamination is the influence/valid vector
+		// pair and the own-stream counter; they move only in the emission,
+		// reception-merge and restore paths. (mergeVec mutates through a
+		// helper and is covered by the restriction on its callers' direct
+		// writes.)
+		{Pkg: gmdcd, Type: "process", Field: "influence", Writers: w(gmdcd + ".restore")},
+		{Pkg: gmdcd, Type: "process", Field: "valid", Writers: w(gmdcd + ".restore")},
+		{Pkg: gmdcd, Type: "process", Field: "ownSN", Writers: w(gmdcd+".restore", gmdcd+".emitInternal")},
+		// TB checkpoint lifecycle: Ndc moves only on a commit (timer-driven
+		// endBlocking or the write-through baseline's CommitImmediate) or a
+		// hardware-recovery rewind; the blocking flag toggles only at the
+		// createCKPT/endBlocking edges (plus teardown).
+		{Pkg: tb, Type: "Checkpointer", Field: "ndc",
+			Writers: w(tb+".endBlocking", tb+".CommitImmediate", tb+".PrepareRecoveryAt")},
+		{Pkg: tb, Type: "Checkpointer", Field: "inBlocking",
+			Writers: w(tb+".createCKPT", tb+".endBlocking", tb+".Stop", tb+".AbortCycle")},
+		{Pkg: tb, Type: "Checkpointer", Field: "expectDirty",
+			Writers: w(tb+".createCKPT", tb+".NotifyDirtyChanged")},
+		// The checkpoint record's Dirty flag is exported (the invariant
+		// checker reads it), but only the snapshot, content-choice and
+		// decode paths may write it.
+		{Pkg: ckpt, Type: "Checkpoint", Field: "Dirty",
+			Writers: w(ckpt+".Decode", mdcd+".Snapshot", tb+".chooseContents")},
+	}}
+}
+
+// Name implements Analyzer.
+func (a *DirtyBit) Name() string { return "dirtybit" }
+
+// Doc implements Analyzer.
+func (a *DirtyBit) Doc() string {
+	return "dirty-bit and checkpoint-lifecycle fields change only through their protocol accessors"
+}
+
+// Check implements Analyzer.
+func (a *DirtyBit) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					out = append(out, a.checkWrite(pkg, file, lhs)...)
+				}
+			case *ast.IncDecStmt:
+				out = append(out, a.checkWrite(pkg, file, s.X)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkWrite matches one assignment target against the protected fields.
+// Indexed writes (p.influence[c] = v) protect the field through the index
+// expression.
+func (a *DirtyBit) checkWrite(pkg *Package, file *ast.File, lhs ast.Expr) []Finding {
+	target := lhs
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		target = idx.X
+	}
+	sel, ok := target.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection := pkg.Info.Selections[sel]
+	if selection == nil || !selection.Obj().(*types.Var).IsField() {
+		return nil
+	}
+	named := namedOf(selection.Recv())
+	if named == nil || named.Obj().Pkg() == nil {
+		return nil
+	}
+	typePkg := named.Obj().Pkg().Path()
+	typeName := named.Obj().Name()
+	fieldName := selection.Obj().Name()
+	for _, rule := range a.Rules {
+		if rule.Pkg != typePkg || rule.Type != typeName || rule.Field != fieldName {
+			continue
+		}
+		writer := pkg.Path + "." + enclosingFunc(file, sel.Pos())
+		if rule.Writers[writer] {
+			return nil
+		}
+		return []Finding{{
+			Pos:  pkg.Fset.Position(sel.Pos()),
+			Rule: a.Name(),
+			Message: fmt.Sprintf("%s.%s.%s is protocol state written outside its accessor set (in %s); route the mutation through an allowed accessor so the transition is traced and coordinated",
+				shortPath(typePkg), typeName, fieldName, writer),
+		}}
+	}
+	return nil
+}
+
+// shortPath trims the module prefix for readable messages.
+func shortPath(path string) string {
+	if rest, ok := strings.CutPrefix(path, module+"/"); ok {
+		return rest
+	}
+	return path
+}

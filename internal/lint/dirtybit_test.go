@@ -1,0 +1,136 @@
+package lint
+
+import "testing"
+
+func TestDirtyBit(t *testing.T) {
+	// Fixture protocol package with a protected dirty bit, a protected
+	// influence vector, and their accessors.
+	proto := `package proto
+
+type Proc struct {
+	dirty     bool
+	Exposed   bool
+	influence map[int]uint64
+}
+
+func New() *Proc { return &Proc{influence: map[int]uint64{}} }
+
+func (p *Proc) SetDirty(v bool) { p.dirty = v }
+
+func (p *Proc) restore(v map[int]uint64) {
+	p.influence = v
+}
+`
+	rules := []DirtyBitRule{
+		{Pkg: "example.com/proto", Type: "Proc", Field: "dirty",
+			Writers: map[string]bool{"example.com/proto.SetDirty": true}},
+		{Pkg: "example.com/proto", Type: "Proc", Field: "Exposed",
+			Writers: map[string]bool{"example.com/proto.SetDirty": true}},
+		{Pkg: "example.com/proto", Type: "Proc", Field: "influence",
+			Writers: map[string]bool{"example.com/proto.restore": true}},
+	}
+	a := &DirtyBit{Rules: rules}
+
+	cases := []struct {
+		name string
+		pkgs map[string]map[string]string
+		want []struct {
+			line int
+			rule string
+			msg  string
+		}
+	}{
+		{
+			name: "write outside the accessor fires even inside the package",
+			pkgs: map[string]map[string]string{
+				"example.com/proto": {"proto.go": proto, "bad.go": `package proto
+
+func (p *Proc) Reset() {
+	p.dirty = false
+	p.dirty = true
+}
+`}},
+			want: []struct {
+				line int
+				rule string
+				msg  string
+			}{
+				{4, "dirtybit", "proto.Proc.dirty"},
+				{5, "dirtybit", "proto.Proc.dirty"},
+			},
+		},
+		{
+			name: "cross-package write to exported protocol state fires",
+			pkgs: map[string]map[string]string{
+				"example.com/proto": {"proto.go": proto},
+				"example.com/user": {"user.go": `package user
+
+import "example.com/proto"
+
+func Clobber(p *proto.Proc) {
+	p.Exposed = true
+}
+`}},
+			want: []struct {
+				line int
+				rule string
+				msg  string
+			}{{6, "dirtybit", "proto.Proc.Exposed"}},
+		},
+		{
+			name: "indexed element write to a protected map fires",
+			pkgs: map[string]map[string]string{
+				"example.com/proto": {"proto.go": proto, "bad.go": `package proto
+
+func (p *Proc) Bump(c int) {
+	p.influence[c]++
+}
+`}},
+			want: []struct {
+				line int
+				rule string
+				msg  string
+			}{{4, "dirtybit", "proto.Proc.influence"}},
+		},
+		{
+			name: "accessor and allowed writers are silent",
+			pkgs: map[string]map[string]string{
+				"example.com/proto": {"proto.go": proto},
+				"example.com/user": {"user.go": `package user
+
+import "example.com/proto"
+
+func Flow(p *proto.Proc) {
+	p.SetDirty(true)
+	p.SetDirty(false)
+}
+`}},
+		},
+		{
+			name: "unprotected fields and other types stay writable",
+			pkgs: map[string]map[string]string{
+				"example.com/proto": {"proto.go": proto, "ok.go": `package proto
+
+type Other struct{ dirty bool }
+
+func (o *Other) Flip() { o.dirty = !o.dirty }
+`}},
+		},
+		{
+			name: "lint ignore with reason suppresses",
+			pkgs: map[string]map[string]string{
+				"example.com/proto": {"proto.go": proto, "bad.go": `package proto
+
+func (p *Proc) Reset() {
+	//lint:ignore dirtybit recovery path resets the TB side explicitly
+	p.dirty = false
+}
+`}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantFindings(t, runFixture(t, a, tc.pkgs), tc.want)
+		})
+	}
+}

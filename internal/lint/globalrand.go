@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand forbids draws from math/rand's process-global source anywhere
+// in the module. Every experiment curve (Figures 5–7) must be reproducible
+// from its seed, and the global source is shared mutable state that any
+// import can perturb; randomness must flow through an injected *rand.Rand
+// (the simulator's engine RNG or a derived per-node source).
+type GlobalRand struct {
+	// Constructors lists the package functions that are legal because they
+	// build injectable sources rather than drawing from the global one.
+	Constructors map[string]bool
+}
+
+// NewGlobalRand returns the rule with its default configuration.
+func NewGlobalRand() *GlobalRand {
+	return &GlobalRand{
+		Constructors: map[string]bool{
+			"New": true, "NewSource": true, "NewZipf": true,
+			"NewPCG": true, "NewChaCha8": true,
+		},
+	}
+}
+
+// Name implements Analyzer.
+func (a *GlobalRand) Name() string { return "globalrand" }
+
+// Doc implements Analyzer.
+func (a *GlobalRand) Doc() string {
+	return "forbid math/rand's global source; randomness must flow through an injected *rand.Rand"
+}
+
+// Check implements Analyzer.
+func (a *GlobalRand) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			path := pkgNameOf(pkg.Info, id)
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Only function references draw from the global source; type
+			// names (rand.Rand, rand.Source) are always fine.
+			if _, isFunc := pkg.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			if a.Constructors[sel.Sel.Name] {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(sel.Pos()),
+				Rule: a.Name(),
+				Message: fmt.Sprintf("rand.%s draws from math/rand's global source; inject a seeded *rand.Rand so experiment runs stay seed-reproducible",
+					sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package lint
+
+import "testing"
+
+func TestGlobalRand(t *testing.T) {
+	a := NewGlobalRand()
+	cases := []struct {
+		name string
+		pkgs map[string]map[string]string
+		want []struct {
+			line int
+			rule string
+			msg  string
+		}
+	}{
+		{
+			name: "global source draws fire everywhere",
+			pkgs: map[string]map[string]string{
+				"example.com/exp": {"exp.go": `package exp
+
+import "math/rand"
+
+func Roll() int { return rand.Intn(6) }
+
+func Jitter() float64 { return rand.Float64() }
+
+func Reseed() { rand.Seed(42) }
+`}},
+			want: []struct {
+				line int
+				rule string
+				msg  string
+			}{
+				{5, "globalrand", "rand.Intn"},
+				{7, "globalrand", "rand.Float64"},
+				{9, "globalrand", "rand.Seed"},
+			},
+		},
+		{
+			name: "injected rand is the compliant pattern",
+			pkgs: map[string]map[string]string{
+				"example.com/exp": {"exp.go": `package exp
+
+import "math/rand"
+
+func Roll(rng *rand.Rand) int { return rng.Intn(6) }
+
+func NewRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+`}},
+		},
+		{
+			name: "type references are not draws",
+			pkgs: map[string]map[string]string{
+				"example.com/exp": {"exp.go": `package exp
+
+import "math/rand"
+
+type Dice struct {
+	src rand.Source
+	rng *rand.Rand
+}
+`}},
+		},
+		{
+			name: "shadowed identifier is not the package",
+			pkgs: map[string]map[string]string{
+				"example.com/exp": {"exp.go": `package exp
+
+type fake struct{}
+
+func (fake) Intn(n int) int { return 0 }
+
+func Roll() int {
+	rand := fake{}
+	return rand.Intn(6)
+}
+`}},
+		},
+		{
+			name: "lint ignore with reason suppresses",
+			pkgs: map[string]map[string]string{
+				"example.com/exp": {"exp.go": `package exp
+
+import "math/rand"
+
+func Roll() int {
+	return rand.Intn(6) //lint:ignore globalrand demo tool, determinism not required
+}
+`}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantFindings(t, runFixture(t, a, tc.pkgs), tc.want)
+		})
+	}
+}

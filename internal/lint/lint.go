@@ -1,0 +1,252 @@
+// Package lint is a protocol-aware static analysis framework for this
+// repository, built only on the standard library's go/ast, go/parser,
+// go/types and go/token packages.
+//
+// The coordination proofs reproduced here (PAPER.md §4, checked at runtime
+// by internal/invariant) rest on code-level disciplines the compiler cannot
+// express: deterministic packages must not read the wall clock, randomness
+// must flow through injected *rand.Rand sources, the live transport must not
+// block while holding a lock, dirty-bit state must change only through its
+// protocol accessors, and error returns on the checkpoint/send paths must be
+// checked. Each discipline is an Analyzer; the cmd/synergy-lint driver runs
+// them over the module and fails the build on violations.
+//
+// A finding can be suppressed at its line with
+//
+//	//lint:ignore <rule> <reason>
+//
+// either as a trailing comment on the offending line or as a comment on the
+// line directly above it. The reason is mandatory: an undocumented
+// suppression is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	// Pos locates the violation.
+	Pos token.Position
+	// Rule names the analyzer that produced the finding.
+	Rule string
+	// Message describes the violation and the discipline it breaks.
+	Message string
+}
+
+// String formats the finding as file:line:col: rule: message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
+}
+
+// Package is one loaded, type-checked package presented to analyzers.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Fset maps AST positions to source locations.
+	Fset *token.FileSet
+	// Files holds the package's parsed files (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checker's resolution maps.
+	Info *types.Info
+}
+
+// Analyzer checks one discipline over a package.
+type Analyzer interface {
+	// Name is the rule name findings carry and ignore directives reference.
+	Name() string
+	// Doc is a one-line description of the discipline.
+	Doc() string
+	// Check returns the package's violations.
+	Check(pkg *Package) []Finding
+}
+
+// Run applies every analyzer to every package, filters findings through the
+// packages' //lint:ignore directives, and returns the survivors sorted by
+// position. Malformed or unused directives produce their own findings under
+// the "lint-directive" rule.
+func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		dirs := collectDirectives(pkg)
+		for _, a := range analyzers {
+			for _, f := range a.Check(pkg) {
+				if !dirs.suppress(f) {
+					out = append(out, f)
+				}
+			}
+		}
+		out = append(out, dirs.problems...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	rules map[string]bool
+	line  int // the source line the directive suppresses
+}
+
+type directiveSet struct {
+	// byFile maps filename → suppressed line → rules.
+	byFile   map[string]map[int][]string
+	problems []Finding
+}
+
+const directivePrefix = "//lint:ignore"
+
+// collectDirectives parses every //lint:ignore comment in the package. A
+// trailing directive suppresses its own line; a standalone directive
+// suppresses the line below it.
+func collectDirectives(pkg *Package) *directiveSet {
+	ds := &directiveSet{byFile: make(map[string]map[int][]string)}
+	for _, file := range pkg.Files {
+		starts := codeLineStarts(pkg.Fset, file)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					ds.problems = append(ds.problems, Finding{
+						Pos:     pos,
+						Rule:    "lint-directive",
+						Message: "malformed directive: want //lint:ignore <rule> <reason>",
+					})
+					continue
+				}
+				line := pos.Line
+				if start, ok := starts[line]; !ok || start >= pos.Column {
+					// Standalone comment: applies to the next line.
+					line++
+				}
+				m := ds.byFile[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					ds.byFile[pos.Filename] = m
+				}
+				m[line] = append(m[line], strings.Split(fields[0], ",")...)
+			}
+		}
+	}
+	return ds
+}
+
+// codeLineStarts maps each line holding a non-comment token to the column of
+// its first such token, so a trailing directive can be told apart from a
+// standalone one.
+func codeLineStarts(fset *token.FileSet, file *ast.File) map[int]int {
+	starts := make(map[int]int)
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.Comment); ok {
+			return false
+		}
+		if _, ok := n.(*ast.CommentGroup); ok {
+			return false
+		}
+		p := fset.Position(n.Pos())
+		if cur, ok := starts[p.Line]; !ok || p.Column < cur {
+			starts[p.Line] = p.Column
+		}
+		return true
+	})
+	return starts
+}
+
+func (ds *directiveSet) suppress(f Finding) bool {
+	for _, rule := range ds.byFile[f.Pos.Filename][f.Pos.Line] {
+		if rule == f.Rule {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFunc returns the name of the innermost function declaration
+// containing pos, or "<init>" for package-level code. Function literals are
+// attributed to their enclosing declared function.
+func enclosingFunc(file *ast.File, pos token.Pos) string {
+	name := "<init>"
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fd.Pos() <= pos && pos <= fd.End() {
+			name = fd.Name.Name
+			break
+		}
+	}
+	return name
+}
+
+// pkgNameOf resolves an identifier to the import path of the package it
+// names, or "" when it is not a package qualifier.
+func pkgNameOf(info *types.Info, id *ast.Ident) string {
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// qualifiedCallee returns, for a call on a package-qualified function
+// (pkg.Fn(...)), the package path and function name; ok is false otherwise.
+func qualifiedCallee(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	path := pkgNameOf(info, id)
+	if path == "" {
+		return "", "", false
+	}
+	return path, sel.Sel.Name, true
+}
+
+// namedOf unwraps pointers and aliases to the underlying named type.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		case *types.Alias:
+			t = types.Unalias(tt)
+		default:
+			return nil
+		}
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}

@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load parses and type-checks every non-test package of the module rooted at
+// dir (the directory containing go.mod). Test files are excluded: the
+// disciplines the analyzers enforce govern protocol code, and the test suite
+// is exercised separately under go test -race.
+func Load(dir string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var raws []*rawPackage
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		raw, err := parseDir(fset, path)
+		if err != nil {
+			return err
+		}
+		if raw == nil {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		raw.path = modPath
+		if rel != "." {
+			raw.path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		raws = append(raws, raw)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return typeCheck(fset, raws)
+}
+
+// rawPackage is a parsed, not-yet-type-checked package.
+type rawPackage struct {
+	path  string
+	files []*ast.File
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// parseDir parses the non-test Go files of one directory; nil if there are
+// none.
+func parseDir(fset *token.FileSet, dir string) (*rawPackage, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	raw := &rawPackage{}
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		raw.files = append(raw.files, f)
+	}
+	return raw, nil
+}
+
+// parseSources parses in-memory file sources into a rawPackage (fixture
+// tests).
+func parseSources(fset *token.FileSet, path string, files map[string]string) (*rawPackage, error) {
+	raw := &rawPackage{path: path}
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, n, files[n], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		raw.files = append(raw.files, f)
+	}
+	return raw, nil
+}
+
+// typeCheck type-checks the raw packages in dependency order. Imports that
+// resolve to another raw package use its checked form; everything else is
+// resolved through the toolchain's export data, falling back to compiling
+// the import from source.
+func typeCheck(fset *token.FileSet, raws []*rawPackage) ([]*Package, error) {
+	byPath := make(map[string]*rawPackage, len(raws))
+	for _, r := range raws {
+		byPath[r.path] = r
+	}
+	order, err := topoSort(raws, byPath)
+	if err != nil {
+		return nil, err
+	}
+	imp := &chainImporter{
+		checked: make(map[string]*types.Package),
+		gc:      importer.Default(),
+		source:  importer.ForCompiler(fset, "source", nil),
+	}
+	var out []*Package
+	for _, raw := range order {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		cfg := &types.Config{Importer: imp}
+		pkg, err := cfg.Check(raw.path, fset, raw.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", raw.path, err)
+		}
+		imp.checked[raw.path] = pkg
+		out = append(out, &Package{Path: raw.path, Fset: fset, Files: raw.files, Pkg: pkg, Info: info})
+	}
+	return out, nil
+}
+
+// topoSort orders raw packages so every intra-module import precedes its
+// importer.
+func topoSort(raws []*rawPackage, byPath map[string]*rawPackage) ([]*rawPackage, error) {
+	const (
+		white = iota
+		grey
+		black
+	)
+	state := make(map[string]int, len(raws))
+	var order []*rawPackage
+	var visit func(r *rawPackage) error
+	visit = func(r *rawPackage) error {
+		switch state[r.path] {
+		case grey:
+			return fmt.Errorf("lint: import cycle through %s", r.path)
+		case black:
+			return nil
+		}
+		state[r.path] = grey
+		for _, f := range r.files {
+			for _, spec := range f.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				if dep, ok := byPath[path]; ok {
+					if err := visit(dep); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		state[r.path] = black
+		order = append(order, r)
+		return nil
+	}
+	// Deterministic order for stable error messages and findings.
+	sorted := append([]*rawPackage(nil), raws...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].path < sorted[j].path })
+	for _, r := range sorted {
+		if err := visit(r); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// chainImporter resolves module-internal imports from the already-checked
+// set, and external (standard library) imports from compiled export data,
+// compiling from source as a fallback.
+type chainImporter struct {
+	checked map[string]*types.Package
+	gc      types.Importer
+	source  types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := c.checked[path]; ok {
+		return pkg, nil
+	}
+	pkg, err := c.gc.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	pkg, srcErr := c.source.Import(path)
+	if srcErr != nil {
+		return nil, fmt.Errorf("lint: importing %s: %v (source fallback: %v)", path, err, srcErr)
+	}
+	return pkg, nil
+}

@@ -1,0 +1,131 @@
+package lint
+
+import "testing"
+
+func TestWallClock(t *testing.T) {
+	a := &WallClock{
+		Allowed: map[string]bool{"example.com/live": true},
+		Funcs:   NewWallClock().Funcs,
+	}
+	cases := []struct {
+		name string
+		pkgs map[string]map[string]string
+		want []struct {
+			line int
+			rule string
+			msg  string
+		}
+	}{
+		{
+			name: "wall clock read in deterministic package fires",
+			pkgs: map[string]map[string]string{
+				"example.com/sim": {"sim.go": `package sim
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Nap() { time.Sleep(time.Second) }
+`}},
+			want: []struct {
+				line int
+				rule string
+				msg  string
+			}{
+				{5, "wallclock", "time.Now"},
+				{7, "wallclock", "time.Sleep"},
+			},
+		},
+		{
+			name: "timer constructors and Since fire too",
+			pkgs: map[string]map[string]string{
+				"example.com/sim": {"sim.go": `package sim
+
+import "time"
+
+func Wait(t time.Time) {
+	_ = time.NewTimer(time.Second)
+	_ = time.Since(t)
+	_ = time.After(time.Second)
+}
+`}},
+			want: []struct {
+				line int
+				rule string
+				msg  string
+			}{
+				{6, "wallclock", "time.NewTimer"},
+				{7, "wallclock", "time.Since"},
+				{8, "wallclock", "time.After"},
+			},
+		},
+		{
+			name: "duration arithmetic is fine",
+			pkgs: map[string]map[string]string{
+				"example.com/sim": {"sim.go": `package sim
+
+import "time"
+
+func Double(d time.Duration) time.Duration { return 2 * d }
+
+var epoch = time.Unix(0, 0)
+`}},
+		},
+		{
+			name: "allowed live package is exempt",
+			pkgs: map[string]map[string]string{
+				"example.com/live": {"live.go": `package live
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`}},
+		},
+		{
+			name: "renamed time import still caught",
+			pkgs: map[string]map[string]string{
+				"example.com/sim": {"sim.go": `package sim
+
+import wall "time"
+
+func Stamp() wall.Time { return wall.Now() }
+`}},
+			want: []struct {
+				line int
+				rule string
+				msg  string
+			}{{5, "wallclock", "time.Now"}},
+		},
+		{
+			name: "local variable named time is not the package",
+			pkgs: map[string]map[string]string{
+				"example.com/sim": {"sim.go": `package sim
+
+type clock struct{}
+
+func (clock) Now() int { return 0 }
+
+func Stamp() int {
+	time := clock{}
+	return time.Now()
+}
+`}},
+		},
+		{
+			name: "lint ignore with reason suppresses",
+			pkgs: map[string]map[string]string{
+				"example.com/sim": {"sim.go": `package sim
+
+import "time"
+
+//lint:ignore wallclock startup banner timestamp is cosmetic
+func Stamp() time.Time { return time.Now() }
+`}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantFindings(t, runFixture(t, a, tc.pkgs), tc.want)
+		})
+	}
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# check.sh — the repository's full static + dynamic gate, run on every PR.
+#
+#   gofmt        formatting is canonical
+#   go build     everything compiles
+#   go vet       toolchain static analysis
+#   synergy-lint protocol-aware analysis (see DESIGN.md "Code disciplines")
+#   go test -race  full suite with the race detector patrolling the live
+#                  middleware's transport and recovery paths
+#
+# Usage: scripts/check.sh  (from anywhere inside the repository)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> synergy-lint ./..."
+go run ./cmd/synergy-lint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> all checks passed"
