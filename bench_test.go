@@ -13,9 +13,17 @@ import (
 
 func benchExperiment(b *testing.B, id string, metric string) {
 	b.Helper()
+	// Workers 0 = one per CPU: campaign-shaped experiments run their
+	// replications in parallel, so this times what users actually get.
+	benchExperimentWorkers(b, id, metric, 0)
+}
+
+func benchExperimentWorkers(b *testing.B, id string, metric string, workers int) {
+	b.Helper()
+	b.ReportAllocs()
 	var last experiment.Result
 	for i := 0; i < b.N; i++ {
-		r, err := experiment.Run(id, experiment.Options{Seed: 1, Quick: true})
+		r, err := experiment.Run(id, experiment.Options{Seed: 1, Quick: true, Workers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -46,9 +54,16 @@ func BenchmarkFigure4(b *testing.B) { benchExperiment(b, "fig4", "naive_dirty") 
 // BenchmarkFigure6 regenerates the adapted write_disk case study.
 func BenchmarkFigure6(b *testing.B) { benchExperiment(b, "fig6", "p2_replaces") }
 
-// BenchmarkFigure7 regenerates the headline rollback-distance comparison;
-// min_ratio is E[Dwt]/E[Dco] at the least favourable swept rate.
+// BenchmarkFigure7 regenerates the headline rollback-distance comparison
+// with the parallel campaign runner (one worker per CPU); min_ratio is
+// E[Dwt]/E[Dco] at the least favourable swept rate. Compare against
+// BenchmarkFigure7Sequential for the parallel speedup — output bytes are
+// identical by construction, only the wall time differs.
 func BenchmarkFigure7(b *testing.B) { benchExperiment(b, "fig7", "min_ratio") }
+
+// BenchmarkFigure7Sequential is the single-worker baseline of the fig7
+// campaign: the exact pre-parallelism execution, one cell after another.
+func BenchmarkFigure7Sequential(b *testing.B) { benchExperimentWorkers(b, "fig7", "min_ratio", 1) }
 
 // BenchmarkFigure7Analytic cross-validates the renewal model against the
 // simulation; worst_factor is the largest model/simulation disagreement.

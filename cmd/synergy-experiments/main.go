@@ -4,16 +4,25 @@
 //
 //	synergy-experiments -run all            # every experiment, full size
 //	synergy-experiments -run fig7 -quick    # one experiment, small campaign
+//	synergy-experiments -run all -workers 1 # strictly sequential (same bytes)
 //	synergy-experiments -list
+//
+// Campaign-shaped experiments fan their independent replications out across
+// -workers goroutines, and -run all additionally runs distinct experiments
+// concurrently. Output is byte-identical at every worker count: cell seeds
+// are pure functions of (seed, cell coordinates), and results merge in fixed
+// cell order (see internal/campaign).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	synergy "github.com/synergy-ft/synergy"
+	"github.com/synergy-ft/synergy/internal/campaign"
 )
 
 func main() {
@@ -25,10 +34,11 @@ func main() {
 
 func run() error {
 	var (
-		runID = flag.String("run", "all", "experiment id to run, or \"all\"")
-		seed  = flag.Int64("seed", 1, "random seed")
-		quick = flag.Bool("quick", false, "shrink campaign sizes for a fast pass")
-		list  = flag.Bool("list", false, "list available experiments and exit")
+		runID   = flag.String("run", "all", "experiment id to run, or \"all\"")
+		seed    = flag.Int64("seed", 1, "random seed (≥ 0)")
+		quick   = flag.Bool("quick", false, "shrink campaign sizes for a fast pass")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		workers = flag.Int("workers", runtime.NumCPU(), "concurrent workers for campaign replications and, with -run all, distinct experiments; 1 runs fully sequentially (identical output)")
 	)
 	flag.Parse()
 
@@ -40,12 +50,25 @@ func run() error {
 	if *runID == "all" {
 		ids = synergy.Experiments()
 	}
-	for _, id := range ids {
-		r, err := synergy.RunExperiment(id, *seed, *quick)
+	// Distinct experiments are themselves independent cells: fan them out,
+	// then print in registry order so the report reads the same regardless
+	// of which finished first.
+	rendered, err := campaign.Run(len(ids), *workers, func(c campaign.Cell) (string, error) {
+		r, err := synergy.RunExperimentOpts(ids[c.Index], synergy.ExperimentOptions{
+			Seed:    *seed,
+			Quick:   *quick,
+			Workers: *workers,
+		})
 		if err != nil {
-			return err
+			return "", fmt.Errorf("%s: %w", ids[c.Index], err)
 		}
-		fmt.Println(r)
+		return r.String(), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, s := range rendered {
+		fmt.Println(s)
 	}
 	return nil
 }

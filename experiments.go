@@ -25,10 +25,30 @@ func (r ExperimentResult) String() string {
 // Experiments lists the reproducible tables and figures.
 func Experiments() []string { return experiment.IDs() }
 
+// ExperimentOptions tunes RunExperimentOpts.
+type ExperimentOptions struct {
+	// Seed drives all randomness (default 1; must be ≥ 0).
+	Seed int64
+	// Quick shrinks campaign sizes (for smoke tests); full mode matches
+	// EXPERIMENTS.md.
+	Quick bool
+	// Workers bounds how many independent replications a campaign-shaped
+	// experiment runs concurrently: 0 uses one worker per CPU, 1 recovers
+	// strictly sequential execution. Output is byte-identical for every
+	// value.
+	Workers int
+}
+
 // RunExperiment regenerates one table or figure. Quick mode shrinks the
 // campaign sizes (for smoke tests); full mode matches EXPERIMENTS.md.
 func RunExperiment(id string, seed int64, quick bool) (ExperimentResult, error) {
-	r, err := experiment.Run(id, experiment.Options{Seed: seed, Quick: quick})
+	return RunExperimentOpts(id, ExperimentOptions{Seed: seed, Quick: quick})
+}
+
+// RunExperimentOpts regenerates one table or figure with full control over
+// the campaign options, including the parallel worker count.
+func RunExperimentOpts(id string, opts ExperimentOptions) (ExperimentResult, error) {
+	r, err := experiment.Run(id, experiment.Options{Seed: opts.Seed, Quick: opts.Quick, Workers: opts.Workers})
 	if err != nil {
 		return ExperimentResult{}, err
 	}

@@ -32,7 +32,17 @@ const (
 
 // Encode serializes the checkpoint deterministically (map keys sorted).
 func Encode(c *Checkpoint) []byte {
-	buf := make([]byte, 0, 64+len(c.Unacked)*msg.EncodedSize)
+	return AppendEncode(nil, c)
+}
+
+// AppendEncode serializes the checkpoint deterministically (map keys sorted),
+// appending to buf. The stable-storage writer passes a recycled buffer so the
+// periodic checkpoint commits — and the write/replace churn inside blocking
+// periods — stop allocating once the system reaches steady state.
+func AppendEncode(buf []byte, c *Checkpoint) []byte {
+	if buf == nil {
+		buf = make([]byte, 0, 64+len(c.Unacked)*msg.EncodedSize)
+	}
 	buf = append(buf, codecVersion, byte(c.Kind), byte(c.Proc))
 	buf = appendU64(buf, uint64(c.TakenAt))
 	buf = appendU64(buf, c.Ndc)

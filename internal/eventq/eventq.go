@@ -2,6 +2,13 @@
 // discrete-event simulator: events ordered by virtual firing time, with a
 // monotonically increasing sequence number as a deterministic tie-breaker so
 // that simultaneous events fire in scheduling order.
+//
+// The queue is a hot path — every message delivery, timer, and workload tick
+// of every simulated second passes through it — so it recycles event records
+// through a free list (steady-state Push/Pop performs no heap allocation) and
+// compacts lazily-cancelled entries out of the heap as soon as they outnumber
+// the live ones, bounding memory under the TB protocol's continuous
+// arm/cancel timer churn.
 package eventq
 
 import (
@@ -13,17 +20,21 @@ import (
 // ID identifies a scheduled event so it can be cancelled.
 type ID uint64
 
-// Event is a callback scheduled to fire at a virtual instant.
-type Event struct {
-	// At is the virtual instant at which the event fires.
-	At vtime.Time
-	// Fn is invoked when the event fires.
-	Fn func()
-
+// event is one scheduled callback. Records are pooled: after an event fires,
+// is cancelled, or is compacted away, its record returns to the queue's free
+// list and backs a later Push.
+type event struct {
+	at        vtime.Time
+	fn        func()
 	id        ID
 	index     int
 	cancelled bool
+	nextFree  *event
 }
+
+// minCompact is the heap size below which compaction is never triggered;
+// tiny heaps are cheaper to pop through than to rebuild.
+const minCompact = 16
 
 // Queue is a min-heap of events keyed by (At, scheduling order). The zero
 // value is ready to use.
@@ -31,29 +42,35 @@ type Queue struct {
 	h      eventHeap
 	nextID ID
 	live   int
+	free   *event
 }
 
 // Push schedules fn to run at instant at and returns an ID usable with Cancel.
 func (q *Queue) Push(at vtime.Time, fn func()) ID {
 	q.nextID++
-	ev := &Event{At: at, Fn: fn, id: q.nextID}
+	ev := q.get()
+	ev.at, ev.fn, ev.id = at, fn, q.nextID
 	heap.Push(&q.h, ev)
 	q.live++
 	return ev.id
 }
 
-// Pop removes and returns the earliest live event, or nil if the queue is
-// empty. Cancelled events are discarded transparently.
-func (q *Queue) Pop() *Event {
+// Pop removes the earliest live event and returns its instant and callback.
+// The third result is false if the queue is empty. Cancelled events are
+// discarded transparently.
+func (q *Queue) Pop() (at vtime.Time, fn func(), ok bool) {
 	for q.h.Len() > 0 {
-		ev, _ := heap.Pop(&q.h).(*Event)
+		ev, _ := heap.Pop(&q.h).(*event)
 		if ev.cancelled {
+			q.put(ev)
 			continue
 		}
+		at, fn = ev.at, ev.fn
 		q.live--
-		return ev
+		q.put(ev)
+		return at, fn, true
 	}
-	return nil
+	return 0, nil, false
 }
 
 // PeekTime returns the firing instant of the earliest live event. The second
@@ -61,23 +78,25 @@ func (q *Queue) Pop() *Event {
 func (q *Queue) PeekTime() (vtime.Time, bool) {
 	for q.h.Len() > 0 {
 		if ev := q.h[0]; !ev.cancelled {
-			return ev.At, true
+			return ev.at, true
 		}
-		heap.Pop(&q.h)
+		ev, _ := heap.Pop(&q.h).(*event)
+		q.put(ev)
 	}
 	return 0, false
 }
 
 // Cancel marks the event with the given ID as cancelled. It returns false if
-// no live event has that ID. Cancellation is O(n) in the worst case but the
-// queue stays small in practice; cancelled entries are discarded lazily, and
-// the heap is compacted once they dominate it.
+// no live event has that ID. Cancellation is O(n) in the worst case;
+// cancelled entries are discarded lazily on Pop/PeekTime, and the heap is
+// rebuilt without them the moment they outnumber the live entries, so heavy
+// arm/cancel churn cannot grow the heap beyond twice its live size.
 func (q *Queue) Cancel(id ID) bool {
 	for _, ev := range q.h {
 		if ev.id == id && !ev.cancelled {
 			ev.cancelled = true
 			q.live--
-			if len(q.h) > 64 && q.live < len(q.h)/2 {
+			if len(q.h) >= minCompact && len(q.h)-q.live > q.live {
 				q.compact()
 			}
 			return true
@@ -86,13 +105,20 @@ func (q *Queue) Cancel(id ID) bool {
 	return false
 }
 
-// compact rebuilds the heap without cancelled entries.
+// compact rebuilds the heap without cancelled entries, recycling them.
 func (q *Queue) compact() {
 	kept := q.h[:0]
 	for _, ev := range q.h {
-		if !ev.cancelled {
+		if ev.cancelled {
+			q.put(ev)
+		} else {
 			kept = append(kept, ev)
 		}
+	}
+	// Clear the tail so dropped slots do not pin recycled records' previous
+	// lifetimes' closures via the backing array.
+	for i := len(kept); i < len(q.h); i++ {
+		q.h[i] = nil
 	}
 	q.h = kept
 	heap.Init(&q.h)
@@ -101,15 +127,32 @@ func (q *Queue) compact() {
 // Len returns the number of live (non-cancelled) events.
 func (q *Queue) Len() int { return q.live }
 
-type eventHeap []*Event
+// get takes an event record from the free list, or allocates one.
+func (q *Queue) get() *event {
+	if ev := q.free; ev != nil {
+		q.free = ev.nextFree
+		*ev = event{}
+		return ev
+	}
+	return &event{}
+}
+
+// put returns a record to the free list. The callback reference is dropped
+// immediately so pooled records never keep dead closures reachable.
+func (q *Queue) put(ev *event) {
+	*ev = event{nextFree: q.free}
+	q.free = ev
+}
+
+type eventHeap []*event
 
 var _ heap.Interface = (*eventHeap)(nil)
 
 func (h eventHeap) Len() int { return len(h) }
 
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
 	}
 	return h[i].id < h[j].id
 }
@@ -121,7 +164,7 @@ func (h eventHeap) Swap(i, j int) {
 }
 
 func (h *eventHeap) Push(x any) {
-	ev, _ := x.(*Event)
+	ev, _ := x.(*event)
 	ev.index = len(*h)
 	*h = append(*h, ev)
 }

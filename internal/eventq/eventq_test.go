@@ -16,8 +16,8 @@ func TestPopOrderedByTime(t *testing.T) {
 	q.Push(vtime.FromSeconds(2), nil)
 
 	var got []vtime.Time
-	for ev := q.Pop(); ev != nil; ev = q.Pop() {
-		got = append(got, ev.At)
+	for at, _, ok := q.Pop(); ok; at, _, ok = q.Pop() {
+		got = append(got, at)
 	}
 	want := []vtime.Time{vtime.FromSeconds(1), vtime.FromSeconds(2), vtime.FromSeconds(3)}
 	if len(got) != len(want) {
@@ -38,8 +38,8 @@ func TestSimultaneousEventsFIFO(t *testing.T) {
 		i := i
 		q.Push(at, func() { order = append(order, i) })
 	}
-	for ev := q.Pop(); ev != nil; ev = q.Pop() {
-		ev.Fn()
+	for _, fn, ok := q.Pop(); ok; _, fn, ok = q.Pop() {
+		fn()
 	}
 	for i, v := range order {
 		if v != i {
@@ -61,11 +61,11 @@ func TestCancel(t *testing.T) {
 	if q.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", q.Len())
 	}
-	ev := q.Pop()
-	if ev == nil || ev.At != vtime.FromSeconds(2) {
-		t.Fatalf("Pop = %+v, want event at 2s", ev)
+	at, _, ok := q.Pop()
+	if !ok || at != vtime.FromSeconds(2) {
+		t.Fatalf("Pop = %v,%v, want event at 2s", at, ok)
 	}
-	if q.Pop() != nil {
+	if _, _, ok := q.Pop(); ok {
 		t.Fatal("queue should be empty")
 	}
 }
@@ -104,11 +104,11 @@ func TestPopMonotoneProperty(t *testing.T) {
 			q.Push(vtime.Time(v), nil)
 		}
 		prev := vtime.Time(-1)
-		for ev := q.Pop(); ev != nil; ev = q.Pop() {
-			if ev.At < prev {
+		for at, _, ok := q.Pop(); ok; at, _, ok = q.Pop() {
+			if at < prev {
 				return false
 			}
-			prev = ev.At
+			prev = at
 		}
 		return q.Len() == 0
 	}
@@ -145,15 +145,15 @@ func TestCancelConsistencyProperty(t *testing.T) {
 		}
 		sort.Slice(surviving, func(i, j int) bool { return surviving[i] < surviving[j] })
 		for i := 0; ; i++ {
-			ev := q.Pop()
-			if ev == nil {
+			at, _, ok := q.Pop()
+			if !ok {
 				if i != len(surviving) {
 					t.Fatalf("popped %d events, want %d", i, len(surviving))
 				}
 				break
 			}
-			if ev.At != surviving[i] {
-				t.Fatalf("pop[%d] = %v, want %v", i, ev.At, surviving[i])
+			if at != surviving[i] {
+				t.Fatalf("pop[%d] = %v, want %v", i, at, surviving[i])
 			}
 		}
 	}
@@ -172,13 +172,92 @@ func TestCompactionBoundsHeapGrowth(t *testing.T) {
 	if q.Len() != 0 {
 		t.Fatalf("live = %d", q.Len())
 	}
-	if got := len(q.h); got > 128 {
+	if got := len(q.h); got > minCompact {
 		t.Fatalf("heap retained %d cancelled entries", got)
 	}
 	// The queue still works after heavy compaction.
 	q.Push(vtime.FromSeconds(2), nil)
 	q.Push(vtime.FromSeconds(1), nil)
-	if ev := q.Pop(); ev == nil || ev.At != vtime.FromSeconds(1) {
-		t.Fatalf("pop after compaction = %+v", ev)
+	if at, _, ok := q.Pop(); !ok || at != vtime.FromSeconds(1) {
+		t.Fatalf("pop after compaction = %v,%v", at, ok)
+	}
+}
+
+// Regression for unbounded growth under heavy Cancel use while live timers
+// are outstanding (the TB protocol's steady state: long-lived checkpoint
+// timers plus continuous arm/cancel churn of short ones). The heap must stay
+// within 2× the live population no matter how many cancels pass through.
+func TestCancelHeavyChurnBoundedWithLiveEvents(t *testing.T) {
+	var q Queue
+	const live = 100
+	for i := 0; i < live; i++ {
+		q.Push(vtime.FromSeconds(float64(1000+i)), nil)
+	}
+	for i := 0; i < 50_000; i++ {
+		id := q.Push(vtime.FromSeconds(float64(i%977)), nil)
+		if !q.Cancel(id) {
+			t.Fatal("cancel failed")
+		}
+		if q.Len() != live {
+			t.Fatalf("live = %d, want %d", q.Len(), live)
+		}
+		if len(q.h) > 2*live+minCompact {
+			t.Fatalf("heap grew to %d entries with %d live after %d cancels", len(q.h), live, i+1)
+		}
+	}
+	// Every long-lived timer survives the churn, in order.
+	for i := 0; i < live; i++ {
+		at, _, ok := q.Pop()
+		if !ok || at != vtime.FromSeconds(float64(1000+i)) {
+			t.Fatalf("survivor %d = %v,%v", i, at, ok)
+		}
+	}
+}
+
+// The free list makes steady-state scheduling allocation-free: once a record
+// has been recycled, Push/Pop and Push/Cancel cycles touch no new heap
+// memory.
+func TestSteadyStateAllocationFree(t *testing.T) {
+	var q Queue
+	q.Push(vtime.FromSeconds(1), nil) // warm the free list
+	q.Pop()
+	if avg := testing.AllocsPerRun(1000, func() {
+		q.Push(vtime.FromSeconds(1), nil)
+		q.Pop()
+	}); avg != 0 {
+		t.Fatalf("push/pop allocates %.2f objects per op in steady state", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		id := q.Push(vtime.FromSeconds(1), nil)
+		q.Cancel(id)
+	}); avg != 0 {
+		t.Fatalf("push/cancel allocates %.2f objects per op in steady state", avg)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	var q Queue
+	q.Push(0, nil) // warm the free list so the numbers show steady state
+	q.Pop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(vtime.Time(i), nil)
+		q.Pop()
+	}
+}
+
+func BenchmarkPushCancel(b *testing.B) {
+	var q Queue
+	// Warm past the compaction threshold so the free list and the heap's
+	// backing array reach steady state before measuring.
+	for i := 0; i < 2*minCompact; i++ {
+		q.Cancel(q.Push(0, nil))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := q.Push(vtime.Time(i), nil)
+		q.Cancel(id)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/synergy-ft/synergy/internal/campaign"
 	"github.com/synergy-ft/synergy/internal/coord"
 	"github.com/synergy-ft/synergy/internal/msg"
 	"github.com/synergy-ft/synergy/internal/vtime"
@@ -13,6 +14,8 @@ import (
 // coordination "keeps the performance cost low": per scheme, the volatile
 // and stable checkpointing rates, stable-storage footprint, time spent in
 // blocking periods, and acceptance-test counts over an identical workload.
+// Every scheme runs over the same seed — that is what makes the workloads
+// identical — as one campaign cell per scheme.
 func Costs(opts Options) (Result, error) {
 	horizon := 600.0
 	if opts.Quick {
@@ -27,12 +30,12 @@ func Costs(opts Options) (Result, error) {
 		atsPer100s, heldMsgsTotal float64
 	}
 	schemes := []coord.Scheme{coord.Coordinated, coord.WriteThrough, coord.Naive, coord.TBOnly, coord.MDCDOnly}
-	var rows []row
-	for _, scheme := range schemes {
+	rows, err := campaign.Run(len(schemes), opts.workers(), func(c campaign.Cell) (row, error) {
+		scheme := schemes[c.Index]
 		cfg := coord.DefaultConfig(scheme, opts.seed())
 		sys, err := coord.NewSystem(cfg)
 		if err != nil {
-			return Result{}, err
+			return row{}, err
 		}
 		sys.Start()
 		sys.RunUntil(vtime.FromSeconds(horizon))
@@ -52,7 +55,10 @@ func Costs(opts Options) (Result, error) {
 				r.blockingMsPer100s += cp.Stats().BlockingTotal.Seconds() * 1000 / per100
 			}
 		}
-		rows = append(rows, r)
+		return r, nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-14s %14s %14s %12s %16s %12s %10s\n", "scheme",

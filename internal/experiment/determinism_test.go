@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+// The parallel campaign runner's contract: for every experiment in the
+// registry, output is byte-identical regardless of worker count. Runs under
+// -race in CI (scripts/check.sh), so any shared-state capture inside a
+// campaign cell closure surfaces here as a data race as well as a diff.
+func TestParallelCampaignsDeterministic(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			seq, err := Run(id, Options{Quick: true, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Run(id, Options{Quick: true, Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.Body != par.Body {
+				t.Errorf("Body differs between -workers 1 and -workers 8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq.Body, par.Body)
+			}
+			if seq.Notes != par.Notes {
+				t.Errorf("Notes differ:\nsequential: %s\nparallel:   %s", seq.Notes, par.Notes)
+			}
+			if len(seq.Values) != len(par.Values) {
+				t.Fatalf("Values size differs: %d vs %d", len(seq.Values), len(par.Values))
+			}
+			for k, v := range seq.Values {
+				pv, ok := par.Values[k]
+				if !ok {
+					t.Fatalf("parallel run missing value %q", k)
+				}
+				// Bit-identical, not approximately equal: merges happen in
+				// fixed cell order, so even float summation must agree.
+				if math.Float64bits(v) != math.Float64bits(pv) {
+					t.Errorf("Values[%q] differs: sequential %v, parallel %v", k, v, pv)
+				}
+			}
+		})
+	}
+}
+
+func TestNegativeSeedRejected(t *testing.T) {
+	if _, err := Run("fig7", Options{Seed: -3, Quick: true}); err == nil {
+		t.Fatal("negative seed should be rejected")
+	}
+}
+
+func TestWorkerCountDoesNotChangeDefaultSeedSemantics(t *testing.T) {
+	// Workers=0 (one per CPU) must equal explicit sequential output too.
+	seq, err := Run("fig2", Options{Quick: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := Run("fig2", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Body != auto.Body {
+		t.Fatalf("Workers=0 output differs from Workers=1:\n%s\nvs\n%s", auto.Body, seq.Body)
+	}
+}

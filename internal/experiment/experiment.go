@@ -36,10 +36,19 @@ func (r Result) String() string {
 
 // Options tunes a run.
 type Options struct {
-	// Seed drives all randomness (default 1).
+	// Seed drives all randomness (default 1). Negative seeds are rejected
+	// by Run: the cell-seed derivation is defined over non-negative bases,
+	// and a negative base would silently produce a campaign shape other
+	// than the documented one.
 	Seed int64
 	// Quick shrinks campaign sizes for tests and benchmarks.
 	Quick bool
+	// Workers bounds how many independent replications a campaign-shaped
+	// experiment runs concurrently: 0 (the default) uses one worker per
+	// CPU, 1 recovers strictly sequential execution. Every value produces
+	// byte-identical output — each cell's seed is a pure function of
+	// (Seed, cell coordinates) and results merge in fixed cell order.
+	Workers int
 }
 
 func (o Options) seed() int64 {
@@ -48,6 +57,8 @@ func (o Options) seed() int64 {
 	}
 	return o.Seed
 }
+
+func (o Options) workers() int { return o.Workers }
 
 // Runner regenerates one artifact.
 type Runner func(Options) (Result, error)
@@ -80,6 +91,9 @@ func IDs() []string {
 
 // Run executes one experiment by ID.
 func Run(id string, opts Options) (Result, error) {
+	if opts.Seed < 0 {
+		return Result{}, fmt.Errorf("experiment: negative seed %d; seeds must be ≥ 0 (0 selects the default seed 1)", opts.Seed)
+	}
 	r, ok := registry[id]
 	if !ok {
 		return Result{}, fmt.Errorf("experiment: unknown id %q (have %v)", id, IDs())

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/synergy-ft/synergy/internal/app"
+	"github.com/synergy-ft/synergy/internal/campaign"
 	"github.com/synergy-ft/synergy/internal/coord"
 	"github.com/synergy-ft/synergy/internal/invariant"
 	"github.com/synergy-ft/synergy/internal/simnet"
@@ -18,12 +19,19 @@ import (
 // blocking-for-consistency period restored, the violations disappear;
 // recoverability never relies on blocking because unacknowledged messages
 // are saved with the next checkpoint (the figure's m2).
+//
+// The two configurations are independent simulations over the same seed (a
+// paired comparison), so they run as a two-cell campaign.
 func Figure2(opts Options) (Result, error) {
 	rounds := 150
 	if opts.Quick {
 		rounds = 40
 	}
-	run := func(disableBlocking bool) (orphans, lost, checked int, err error) {
+	type counts struct {
+		orphans, lost, checked int
+	}
+	cells, err := campaign.Run(2, opts.workers(), func(c campaign.Cell) (counts, error) {
+		disableBlocking := c.Index == 0
 		cfg := coord.DefaultConfig(coord.TBOnly, opts.seed())
 		// A visibly skewed system: timers deviate by up to 400ms while
 		// messages fly for 5–50ms, and traffic is brisk, so an
@@ -36,9 +44,10 @@ func Figure2(opts Options) (Result, error) {
 		cfg.DisableBlocking = disableBlocking
 		sys, err := coord.NewSystem(cfg)
 		if err != nil {
-			return 0, 0, 0, err
+			return counts{}, err
 		}
 		sys.Start()
+		var out counts
 		for r := 0; r < rounds; r++ {
 			sys.RunFor(cfg.CheckpointInterval.Seconds())
 			line, err := sys.StableLine()
@@ -46,34 +55,29 @@ func Figure2(opts Options) (Result, error) {
 				continue
 			}
 			vs := line.Check()
-			orphans += invariant.Count(vs, invariant.OrphanMessage)
-			lost += invariant.Count(vs, invariant.LostMessage)
-			checked++
+			out.orphans += invariant.Count(vs, invariant.OrphanMessage)
+			out.lost += invariant.Count(vs, invariant.LostMessage)
+			out.checked++
 		}
-		return orphans, lost, checked, nil
-	}
-
-	noBlockOrphans, noBlockLost, n1, err := run(true)
+		return out, nil
+	})
 	if err != nil {
 		return Result{}, err
 	}
-	blockOrphans, blockLost, n2, err := run(false)
-	if err != nil {
-		return Result{}, err
-	}
+	noBlock, block := cells[0], cells[1]
 
 	body := fmt.Sprintf(
 		"configuration            rounds  consistency-violations  recoverability-violations\n"+
 			"no blocking period       %6d  %22d  %25d\n"+
 			"with blocking period     %6d  %22d  %25d\n",
-		n1, noBlockOrphans, noBlockLost,
-		n2, blockOrphans, blockLost)
+		noBlock.checked, noBlock.orphans, noBlock.lost,
+		block.checked, block.orphans, block.lost)
 	return Result{
 		Values: map[string]float64{
-			"noblock_orphans": float64(noBlockOrphans),
-			"noblock_lost":    float64(noBlockLost),
-			"block_orphans":   float64(blockOrphans),
-			"block_lost":      float64(blockLost),
+			"noblock_orphans": float64(noBlock.orphans),
+			"noblock_lost":    float64(noBlock.lost),
+			"block_orphans":   float64(block.orphans),
+			"block_lost":      float64(block.lost),
 		},
 		ID:    "fig2",
 		Title: "Global State Consistency and Recoverability under the TB protocol",

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/synergy-ft/synergy/internal/app"
+	"github.com/synergy-ft/synergy/internal/campaign"
 	"github.com/synergy-ft/synergy/internal/coord"
 	"github.com/synergy-ft/synergy/internal/invariant"
 	"github.com/synergy-ft/synergy/internal/simnet"
@@ -23,25 +24,30 @@ import (
 //	    recoverability when a passed-AT notification is in transit across
 //	    checkpoint establishment;
 //	(c,d per Figure 6) the full coordination exhibits neither.
+//
+// The three configurations share one seed (identical workload randomness)
+// and run as independent campaign cells.
 func Figure4(opts Options) (Result, error) {
 	rounds := 200
 	if opts.Quick {
 		rounds = 50
 	}
-	type row struct {
-		name                string
-		scheme              coord.Scheme
-		contentOnly         bool
-		dirty, lost, orphan int
-		checked             int
+	type variant struct {
+		name        string
+		scheme      coord.Scheme
+		contentOnly bool
 	}
-	rows := []row{
+	type counts struct {
+		dirty, lost, orphan, checked int
+	}
+	variants := []variant{
 		{name: "naive combination", scheme: coord.Naive},
 		{name: "content-only strawman", scheme: coord.Coordinated, contentOnly: true},
 		{name: "full coordination", scheme: coord.Coordinated},
 	}
-	for i := range rows {
-		cfg := coord.DefaultConfig(rows[i].scheme, opts.seed())
+	cells, err := campaign.Run(len(variants), opts.workers(), func(c campaign.Cell) (counts, error) {
+		v := variants[c.Index]
+		cfg := coord.DefaultConfig(v.scheme, opts.seed())
 		// Wide timer skew widens the in-transit window Figure 4(b)
 		// depends on; busy guarded traffic with regular validations
 		// keeps dirty intervals and passed-AT notifications flowing.
@@ -50,12 +56,13 @@ func Figure4(opts Options) (Result, error) {
 		cfg.CheckpointInterval = 5 * time.Second
 		cfg.Workload1 = app.Workload{InternalRate: 4, ExternalRate: 0.8}
 		cfg.Workload2 = app.Workload{InternalRate: 4, ExternalRate: 0.8}
-		cfg.ContentOnlyCoordination = rows[i].contentOnly
+		cfg.ContentOnlyCoordination = v.contentOnly
 		sys, err := coord.NewSystem(cfg)
 		if err != nil {
-			return Result{}, err
+			return counts{}, err
 		}
 		sys.Start()
+		var out counts
 		for r := 0; r < rounds; r++ {
 			sys.RunFor(cfg.CheckpointInterval.Seconds())
 			line, err := sys.StableLine()
@@ -63,23 +70,27 @@ func Figure4(opts Options) (Result, error) {
 				continue
 			}
 			vs := line.Check()
-			rows[i].dirty += invariant.Count(vs, invariant.DirtyStableContent)
-			rows[i].lost += invariant.Count(vs, invariant.LostMessage)
-			rows[i].orphan += invariant.Count(vs, invariant.OrphanMessage)
-			rows[i].checked++
+			out.dirty += invariant.Count(vs, invariant.DirtyStableContent)
+			out.lost += invariant.Count(vs, invariant.LostMessage)
+			out.orphan += invariant.Count(vs, invariant.OrphanMessage)
+			out.checked++
 		}
+		return out, nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 
 	body := fmt.Sprintf("%-24s %7s %28s %32s\n", "scheme", "rounds",
 		"(a) contaminated-state saves", "(b) in-transit knowledge losses")
-	for _, r := range rows {
-		body += fmt.Sprintf("%-24s %7d %28d %32d\n", r.name, r.checked, r.dirty, r.lost+r.orphan)
+	for i, v := range variants {
+		body += fmt.Sprintf("%-24s %7d %28d %32d\n", v.name, cells[i].checked, cells[i].dirty, cells[i].lost+cells[i].orphan)
 	}
 	return Result{
 		Values: map[string]float64{
-			"naive_dirty":        float64(rows[0].dirty),
-			"strawman_knowledge": float64(rows[1].lost + rows[1].orphan),
-			"coordinated_total":  float64(rows[2].dirty + rows[2].lost + rows[2].orphan),
+			"naive_dirty":        float64(cells[0].dirty),
+			"strawman_knowledge": float64(cells[1].lost + cells[1].orphan),
+			"coordinated_total":  float64(cells[2].dirty + cells[2].lost + cells[2].orphan),
 		},
 		ID:    "fig4",
 		Title: "Consequence of Simple Combination (violations on the recovery line)",

@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/synergy-ft/synergy/internal/app"
+	"github.com/synergy-ft/synergy/internal/campaign"
 	"github.com/synergy-ft/synergy/internal/coord"
 	"github.com/synergy-ft/synergy/internal/msg"
 	"github.com/synergy-ft/synergy/internal/stats"
@@ -27,6 +29,13 @@ import (
 // by the rare validation events visible to each process. The paper's shape —
 // E[Dco] an order of magnitude or more below E[Dwt] on a log scale —
 // reproduces; absolute values depend on the unpublished parameters.
+//
+// The (rate, scheme, trial) grid is embarrassingly parallel: every cell is an
+// independent simulation, fanned out by internal/campaign and merged back in
+// fixed cell order, so the rendered figure is byte-identical at any worker
+// count. The two schemes of a (rate, trial) pair share one derived seed — a
+// paired comparison over identical fault/workload randomness, exactly as the
+// sequential code ran it.
 func Figure7(opts Options) (Result, error) {
 	rates := []float64{60, 80, 100, 120, 140, 160, 180, 200}
 	trials, faults := 10, 6
@@ -37,25 +46,23 @@ func Figure7(opts Options) (Result, error) {
 		warmup, gap = 400, 90
 	}
 
+	samples, err := rollbackGrid(rates, trials, faults, warmup, gap, opts)
+	if err != nil {
+		return Result{}, err
+	}
 	var co, wt stats.Series
 	co.Label = "E[Dco]"
 	wt.Label = "E[Dwt]"
-	for _, r := range rates {
-		for _, sch := range []struct {
-			scheme coord.Scheme
-			series *stats.Series
-		}{
-			{scheme: coord.Coordinated, series: &co},
-			{scheme: coord.WriteThrough, series: &wt},
-		} {
-			agg, err := rollbackCampaign(sch.scheme, r, trials, faults, warmup, gap, opts.seed())
-			if err != nil {
-				return Result{}, err
-			}
-			sch.series.Add(r, agg.Mean(), agg.CI95())
+	for ri, r := range rates {
+		for si, series := range []*stats.Series{&co, &wt} {
+			agg := samples.aggregate(ri, si, trials)
+			series.Add(r, agg.Mean(), agg.CI95())
 		}
 	}
 
+	if len(co.Points) == 0 || len(wt.Points) == 0 {
+		return Result{}, errors.New("experiment: fig7 produced no measurement points")
+	}
 	body := stats.FormatTable("internal rate", co, wt)
 	ratio := 0.0
 	if co.Points[0].Y > 0 {
@@ -84,27 +91,63 @@ func Figure7(opts Options) (Result, error) {
 	}, nil
 }
 
-// rollbackCampaign measures rollback distances for one (scheme, rate) cell.
-func rollbackCampaign(scheme coord.Scheme, rate float64, trials, faults int, warmup, gap float64, seed int64) (*stats.Sample, error) {
+// rollbackSchemes is the fixed scheme axis of the rollback campaigns.
+var rollbackSchemes = []coord.Scheme{coord.Coordinated, coord.WriteThrough}
+
+// rollbackSamples indexes the per-trial samples of a rollback campaign grid
+// laid out as (rate, scheme, trial) in row-major cell order.
+type rollbackSamples []*stats.Sample
+
+// aggregate merges the trials of one (rate, scheme) point in trial order.
+func (s rollbackSamples) aggregate(rateIdx, schemeIdx, trials int) *stats.Sample {
 	agg := &stats.Sample{}
 	for trial := 0; trial < trials; trial++ {
-		cfg := coord.DefaultConfig(scheme, seed+int64(trial)*7919+int64(rate)*104729)
-		cfg.Workload1 = app.Workload{InternalRate: rate / 100, ExternalRate: 0.5}
-		cfg.Workload2 = app.Workload{InternalRate: rate / 100, ExternalRate: 1.0 / 300}
-		sys, err := coord.NewSystem(cfg)
-		if err != nil {
-			return nil, err
-		}
-		sys.Start()
-		sys.RunUntil(vtime.FromSeconds(warmup))
-		for f := 0; f < faults; f++ {
-			sys.RunFor(gap * (0.5 + sys.Engine().Rand().Float64()))
-			node := msg.NodeID(1 + sys.Engine().Rand().Intn(3))
-			if err := sys.InjectHardwareFault(node); err != nil {
-				return nil, fmt.Errorf("trial %d fault %d: %w", trial, f, err)
-			}
-		}
-		agg.Merge(&sys.Metrics().RollbackDistance)
+		agg.Merge(s[(rateIdx*len(rollbackSchemes)+schemeIdx)*trials+trial])
 	}
-	return agg, nil
+	return agg
+}
+
+// rollbackGrid fans the (rate, scheme, trial) cells of a rollback-distance
+// campaign across the configured workers. The seed of a cell is a pure
+// function of (experiment seed, rate, trial) — the derivation the sequential
+// harness always used, frozen so regenerated artifacts stay bit-identical —
+// and depends on the (rate, trial) pair only, so the coordinated and
+// write-through runs of a pair see identical workload and fault-injection
+// randomness.
+func rollbackGrid(rates []float64, trials, faults int, warmup, gap float64, opts Options) (rollbackSamples, error) {
+	n := len(rates) * len(rollbackSchemes) * trials
+	return campaign.Run(n, opts.workers(), func(c campaign.Cell) (*stats.Sample, error) {
+		rateIdx := c.Index / (len(rollbackSchemes) * trials)
+		schemeIdx := (c.Index / trials) % len(rollbackSchemes)
+		trial := c.Index % trials
+		seed := opts.seed() + int64(trial)*7919 + int64(rates[rateIdx])*104729
+		s, err := rollbackTrial(rollbackSchemes[schemeIdx], rates[rateIdx], faults, warmup, gap, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%v rate %g trial %d: %w", rollbackSchemes[schemeIdx], rates[rateIdx], trial, err)
+		}
+		return s, nil
+	})
+}
+
+// rollbackTrial measures rollback distances for one independent cell: a
+// fresh system under the given scheme and rate, warmed up, then subjected to
+// a series of hardware faults.
+func rollbackTrial(scheme coord.Scheme, rate float64, faults int, warmup, gap float64, seed int64) (*stats.Sample, error) {
+	cfg := coord.DefaultConfig(scheme, seed)
+	cfg.Workload1 = app.Workload{InternalRate: rate / 100, ExternalRate: 0.5}
+	cfg.Workload2 = app.Workload{InternalRate: rate / 100, ExternalRate: 1.0 / 300}
+	sys, err := coord.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sys.Start()
+	sys.RunUntil(vtime.FromSeconds(warmup))
+	for f := 0; f < faults; f++ {
+		sys.RunFor(gap * (0.5 + sys.Engine().Rand().Float64()))
+		node := msg.NodeID(1 + sys.Engine().Rand().Intn(3))
+		if err := sys.InjectHardwareFault(node); err != nil {
+			return nil, fmt.Errorf("fault %d: %w", f, err)
+		}
+	}
+	return &sys.Metrics().RollbackDistance, nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"slices"
 )
 
 // The binary codec serializes messages for inclusion in stable-storage
@@ -37,8 +38,13 @@ const (
 )
 
 // Encode appends the wire form of m to dst and returns the extended slice.
+// The record is written directly into dst's (grown) backing array, so callers
+// that recycle buffers — the stable-storage writer, the live TCP framer —
+// encode without per-message allocation or copying.
 func Encode(dst []byte, m Message) []byte {
-	var rec [EncodedSize]byte
+	off := len(dst)
+	dst = slices.Grow(dst, EncodedSize)[:off+EncodedSize]
+	rec := dst[off:]
 	rec[0] = codecVersion
 	rec[1] = byte(m.Kind)
 	rec[2] = byte(m.From)
@@ -59,7 +65,7 @@ func Encode(dst []byte, m Message) []byte {
 	binary.LittleEndian.PutUint64(rec[45:], m.Payload.Seq)
 	binary.LittleEndian.PutUint64(rec[53:], uint64(m.Payload.Value))
 	binary.LittleEndian.PutUint64(rec[61:], m.Payload.Digest)
-	return append(dst, rec[:]...)
+	return dst
 }
 
 // Decode parses one message from the front of src, returning the message and
@@ -93,8 +99,11 @@ func Decode(src []byte) (Message, []byte, error) {
 }
 
 // EncodeSlice appends the wire form of every message in ms, prefixed by a
-// little-endian count.
+// little-endian count. The destination is grown once up front, so encoding a
+// whole unacknowledged-message log performs at most one allocation (none when
+// dst already has capacity).
 func EncodeSlice(dst []byte, ms []Message) []byte {
+	dst = slices.Grow(dst, 8+len(ms)*EncodedSize)
 	var n [8]byte
 	binary.LittleEndian.PutUint64(n[:], uint64(len(ms)))
 	dst = append(dst, n[:]...)
@@ -106,6 +115,14 @@ func EncodeSlice(dst []byte, ms []Message) []byte {
 
 // DecodeSlice parses a count-prefixed message list from the front of src.
 func DecodeSlice(src []byte) ([]Message, []byte, error) {
+	return DecodeSliceInto(nil, src)
+}
+
+// DecodeSliceInto parses a count-prefixed message list from the front of src,
+// appending the messages to ms (which may be nil). Callers that decode
+// repeatedly — recovery replaying stable rounds — pass ms[:0] to reuse the
+// previous decode's backing array.
+func DecodeSliceInto(ms []Message, src []byte) ([]Message, []byte, error) {
 	if len(src) < 8 {
 		return nil, src, ErrShortBuffer
 	}
@@ -114,9 +131,8 @@ func DecodeSlice(src []byte) ([]Message, []byte, error) {
 	if n > uint64(len(src)/EncodedSize) {
 		return nil, src, ErrShortBuffer
 	}
-	var ms []Message
 	if n > 0 {
-		ms = make([]Message, 0, n)
+		ms = slices.Grow(ms, int(n))
 	}
 	for i := uint64(0); i < n; i++ {
 		var (

@@ -63,14 +63,14 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step executes the next event, advancing virtual time to its instant.
 // It returns false if no events remain.
 func (e *Engine) Step() bool {
-	ev := e.queue.Pop()
-	if ev == nil {
+	at, fn, ok := e.queue.Pop()
+	if !ok {
 		return false
 	}
-	e.now = ev.At
+	e.now = at
 	e.steps++
-	if ev.Fn != nil {
-		ev.Fn()
+	if fn != nil {
+		fn()
 	}
 	return true
 }

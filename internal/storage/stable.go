@@ -35,6 +35,13 @@ type Stable struct {
 	inFlight  bool
 	retention int
 
+	// scratch is the recycled encode buffer behind pending. Commit hands
+	// the buffer over to the committed history, and the round evicted by
+	// the retention window donates its buffer back — so in steady state
+	// the periodic stable writes cycle through a fixed set of buffers
+	// instead of allocating one per Begin/Replace.
+	scratch []byte
+
 	commits  uint64
 	replaces uint64
 }
@@ -70,7 +77,8 @@ func (s *Stable) Begin(c *checkpoint.Checkpoint) error {
 	if s.inFlight {
 		return ErrWriteInProgress
 	}
-	s.pending = checkpoint.Encode(c)
+	s.pending = checkpoint.AppendEncode(s.scratch[:0], c)
+	s.scratch = s.pending
 	s.inFlight = true
 	return nil
 }
@@ -82,7 +90,8 @@ func (s *Stable) Replace(c *checkpoint.Checkpoint) error {
 	if !s.inFlight {
 		return ErrNoWrite
 	}
-	s.pending = checkpoint.Encode(c)
+	s.pending = checkpoint.AppendEncode(s.pending[:0], c)
+	s.scratch = s.pending
 	s.replaces++
 	return nil
 }
@@ -97,8 +106,14 @@ func (s *Stable) Commit(round uint64) error {
 		return fmt.Errorf("storage: commit round %d not above %d", round, s.committed[n-1].round)
 	}
 	s.committed = append(s.committed, committedRound{round: round, data: s.pending})
+	// The committed history now owns the pending buffer; the next Begin
+	// must not scribble over it, so detach scratch and let any round the
+	// retention window evicts donate its buffer instead.
+	s.scratch = nil
 	if d := s.historyDepth(); len(s.committed) > d {
-		s.committed = s.committed[len(s.committed)-d:]
+		evicted := s.committed[:len(s.committed)-d]
+		s.scratch = evicted[len(evicted)-1].data[:0]
+		s.committed = append(s.committed[:0], s.committed[len(s.committed)-d:]...)
 	}
 	s.pending = nil
 	s.inFlight = false

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# bench.sh — run the repository's benchmark suite and record a machine-read-
+# able snapshot, so the performance trajectory of the hot paths (event queue,
+# codecs, campaign runner, whole-experiment regeneration) is tracked in-tree.
+#
+#   scripts/bench.sh               # quick pass (1 iteration per benchmark)
+#   BENCHTIME=0.5s scripts/bench.sh  # statistically meaningful pass
+#   BENCH_OUT=out.json scripts/bench.sh
+#
+# The snapshot is written to BENCH_<UTC date>.json (override with BENCH_OUT)
+# in the repository root, in the format documented in README.md "Benchmarks":
+#
+#   {
+#     "date": "2026-08-06", "go": "go1.24.0", "gomaxprocs": 8,
+#     "benchtime": "1x",
+#     "benchmarks": [
+#       {"package": "github.com/synergy-ft/synergy", "name": "BenchmarkFigure7",
+#        "iterations": 1, "metrics": {"ns/op": 80915549, "B/op": 1234,
+#        "allocs/op": 56, "min_ratio": 11.9}}
+#     ]
+#   }
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-1x}"
+out="${BENCH_OUT:-BENCH_$(date -u +%Y-%m-%d).json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "==> go test -bench . -benchtime $benchtime (this runs the full suite once)"
+go test -run '^$' -bench . -benchmem -benchtime "$benchtime" ./... | tee "$raw"
+
+go_version="$(go env GOVERSION)"
+gomaxprocs="$(go run ./scripts/internal/gomaxprocs 2>/dev/null || getconf _NPROCESSORS_ONLN)"
+
+awk -v date="$(date -u +%Y-%m-%d)" -v gover="$go_version" \
+    -v procs="$gomaxprocs" -v benchtime="$benchtime" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", date, gover, procs, benchtime
+    n = 0
+}
+/^pkg: / { pkg = $2 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+    iters = $2
+    metrics = ""
+    # Remaining fields come in (value, unit) pairs: ns/op, B/op, allocs/op,
+    # and any custom ReportMetric units (min_ratio, p2_type1, ...).
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if (metrics != "") metrics = metrics ", "
+        metrics = metrics sprintf("\"%s\": %s", $(i + 1), $i)
+    }
+    if (n++) printf ","
+    printf "\n    {\"package\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"metrics\": {%s}}", pkg, name, iters, metrics
+}
+END { print "\n  ]\n}" }
+' "$raw" > "$out"
+
+echo "==> wrote $out ($(grep -c '"name"' "$out") benchmarks)"

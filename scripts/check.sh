@@ -6,7 +6,11 @@
 #   go vet       toolchain static analysis
 #   synergy-lint protocol-aware analysis (see DESIGN.md "Code disciplines")
 #   go test -race  full suite with the race detector patrolling the live
-#                  middleware's transport and recovery paths
+#                  middleware's transport and recovery paths and the parallel
+#                  campaign runner's fan-out
+#   bench smoke  every benchmark runs for one iteration, so a refactor that
+#                breaks a benchmark (or reintroduces hot-path allocations
+#                loud enough to fail an assertion) is caught before merge
 #
 # Usage: scripts/check.sh  (from anywhere inside the repository)
 set -euo pipefail
@@ -32,5 +36,8 @@ go run ./cmd/synergy-lint ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> bench smoke (1 iteration per benchmark)"
+go test -run '^$' -bench . -benchtime 1x ./... > /dev/null
 
 echo "==> all checks passed"

@@ -1,0 +1,12 @@
+// Command gomaxprocs prints runtime.GOMAXPROCS(0): scripts/bench.sh records
+// it in the benchmark snapshot so numbers are comparable across machines.
+package main
+
+import (
+	"fmt"
+	"runtime"
+)
+
+func main() {
+	fmt.Println(runtime.GOMAXPROCS(0))
+}
