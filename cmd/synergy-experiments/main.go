@@ -52,12 +52,14 @@ func run() error {
 	}
 	// Distinct experiments are themselves independent cells: fan them out,
 	// then print in registry order so the report reads the same regardless
-	// of which finished first.
-	rendered, err := campaign.Run(len(ids), *workers, func(c campaign.Cell) (string, error) {
+	// of which finished first. The closure captures flag values, not the
+	// flag pointers — worker closures must not alias shared state.
+	seedV, quickV, workersV := *seed, *quick, *workers
+	rendered, err := campaign.Run(len(ids), workersV, func(c campaign.Cell) (string, error) {
 		r, err := synergy.RunExperimentOpts(ids[c.Index], synergy.ExperimentOptions{
-			Seed:    *seed,
-			Quick:   *quick,
-			Workers: *workers,
+			Seed:    seedV,
+			Quick:   quickV,
+			Workers: workersV,
 		})
 		if err != nil {
 			return "", fmt.Errorf("%s: %w", ids[c.Index], err)

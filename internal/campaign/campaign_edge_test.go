@@ -1,0 +1,84 @@
+package campaign
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRunMoreWorkersThanCells(t *testing.T) {
+	// Workers beyond the cell count must neither deadlock (idle workers
+	// still have to drain and exit) nor disturb cell-order results.
+	got, err := Run(3, 64, func(c Cell) (int, error) { return c.Index * 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, v := range got {
+		if v != i*10 {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*10)
+		}
+	}
+}
+
+func TestRunClampsNonPositiveWorkers(t *testing.T) {
+	// Zero and negative worker counts mean "one per CPU" end to end, not
+	// just in the Workers helper: Run must still execute every cell and
+	// keep the results in cell order.
+	for _, workers := range []int{0, -1, -100} {
+		got, err := Run(8, workers, func(c Cell) (int, error) { return c.Index, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d result[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestRunZeroCellsAnyWorkers(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 8} {
+		calls := 0
+		out, err := Run(0, workers, func(Cell) (int, error) { calls++; return 0, nil })
+		if err != nil || len(out) != 0 || calls != 0 {
+			t.Fatalf("workers=%d: out=%v err=%v calls=%d", workers, out, err, calls)
+		}
+	}
+}
+
+// TestSharedCaptureOrdersByCompletionNotCell demonstrates at runtime the bug
+// the campaigncapture analyzer rejects statically (its "mutex-guarded append"
+// fixture is this exact shape): a closure appending to a captured slice is
+// race-free under a mutex, yet the slice ends up in completion order, not
+// cell order, so aggregate output depends on scheduling. The gate forces
+// cell 1 to finish before cell 0, and the captured slice dutifully records
+// [1 0] while Run's own result slice stays in cell order.
+func TestSharedCaptureOrdersByCompletionNotCell(t *testing.T) {
+	var mu sync.Mutex
+	var order []int
+	gate := make(chan struct{})
+	results, err := Run(2, 2, func(c Cell) (int, error) {
+		if c.Index == 0 {
+			<-gate // cell 0 parks until cell 1 has appended
+		}
+		mu.Lock()
+		order = append(order, c.Index)
+		mu.Unlock()
+		if c.Index == 1 {
+			close(gate)
+		}
+		return c.Index, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0] != 0 || results[1] != 1 {
+		t.Fatalf("Run's result slice lost cell order: %v", results)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 0 {
+		t.Fatalf("captured slice = %v, want the completion order [1 0] this schedule forces", order)
+	}
+}

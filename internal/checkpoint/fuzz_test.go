@@ -1,0 +1,91 @@
+package checkpoint
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// fuzzSeed builds a representative stable checkpoint for the seed corpus.
+func fuzzSeed() *Checkpoint {
+	c := New(Stable, msg.P1Act)
+	c.TakenAt = vtime.Time(120)
+	c.Ndc = 4
+	c.Dirty = true
+	c.MsgSN = 17
+	c.State.Step = 9
+	c.State.Acc = -3
+	c.State.Hash = 0xfeedface
+	c.SentTo[msg.P2] = 6
+	c.RecvFrom[msg.P2] = 5
+	c.ValidSN[msg.P1Act] = 15
+	c.Unacked = []msg.Message{
+		{Kind: msg.Internal, From: msg.P1Act, To: msg.P2, SN: 16, ChanSeq: 6, DirtyBit: true},
+	}
+	return c
+}
+
+// FuzzDecode feeds arbitrary bytes to the checkpoint decoder. It must never
+// panic, and any accepted input must be stable under re-encoding: unknown
+// flag bits are deliberately dropped, so the invariant is
+// decode→encode→decode fixpoint equality rather than byte round-trip.
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(fuzzSeed()))
+	f.Add(Encode(New(Type1, msg.P2)))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc := Encode(c)
+		c2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded checkpoint failed: %v", err)
+		}
+		if !reflect.DeepEqual(c, c2) {
+			t.Fatalf("decode/encode not stable:\n first: %+v\nsecond: %+v", c, c2)
+		}
+	})
+}
+
+// FuzzRoundTrip builds a checkpoint from fuzzed fields and requires exact
+// encode→decode equality, including the sorted-count maps and the
+// unacknowledged-message log.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(byte(Stable), byte(msg.P1Act), int64(120), uint64(4), true, false,
+		uint64(17), uint64(9), int64(-3), uint64(0xfeedface),
+		uint64(6), uint64(5), uint64(15), uint64(16), uint64(6))
+	f.Add(byte(Type1), byte(msg.P2), int64(0), uint64(0), false, true,
+		uint64(0), uint64(0), int64(0), uint64(0),
+		uint64(0), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, kind, proc byte, takenAt int64, ndc uint64, dirty, corrupted bool,
+		msgSN, step uint64, acc int64, hash uint64,
+		sent, recv, valid, unackedSN, unackedChanSeq uint64) {
+		c := New(Kind(kind), msg.ProcID(proc))
+		c.TakenAt = vtime.Time(takenAt)
+		c.Ndc = ndc
+		c.Dirty = dirty
+		c.State.Corrupted = corrupted
+		c.MsgSN = msgSN
+		c.State.Step = step
+		c.State.Acc = acc
+		c.State.Hash = hash
+		c.SentTo[msg.P2] = sent
+		c.RecvFrom[msg.ProcID(proc)] = recv
+		c.ValidSN[msg.P1Act] = valid
+		c.Unacked = []msg.Message{
+			{Kind: msg.Internal, From: msg.ProcID(proc), To: msg.P2, SN: unackedSN, ChanSeq: unackedChanSeq},
+		}
+		got, err := Decode(Encode(c))
+		if err != nil {
+			t.Fatalf("Decode(Encode(c)) failed: %v", err)
+		}
+		if !reflect.DeepEqual(c, got) {
+			t.Fatalf("round trip mismatch:\n sent: %+v\n got:  %+v", c, got)
+		}
+	})
+}

@@ -57,9 +57,12 @@ func (s *System) softwareRecovery(detector msg.ProcID) {
 		}
 		if rolled {
 			s.pendingEmit[id] = nil
-			if cp != nil {
+			if cp != nil && id != msg.P1Sdw {
 				// Re-sending is relative to the restored state:
-				// adopt its stored unacknowledged set.
+				// adopt its stored unacknowledged set. The shadow is
+				// excluded — its stored set holds suppressed copies
+				// that TakeOver below re-sends from the (already
+				// truncated) message log itself.
 				cp.AdoptUnacked(restored.Unacked)
 				cp.DropUnacked(msg.P1Act)
 			}
@@ -70,7 +73,7 @@ func (s *System) softwareRecovery(detector msg.ProcID) {
 			proc.ReleaseHeld()
 			s.flushPending(id)
 		}
-		if cp != nil {
+		if cp != nil && id != msg.P1Sdw {
 			// Push the unacknowledged set out again; the flush above
 			// discarded any in-flight copies and receivers
 			// deduplicate what they already reflect.
@@ -78,6 +81,14 @@ func (s *System) softwareRecovery(detector msg.ProcID) {
 				s.net.SendWithDelay(m, s.delayFor(m))
 			}
 		}
+	}
+	if cp := s.cps[msg.P1Sdw]; cp != nil {
+		// The shadow never transmitted, so nothing in its live TB set
+		// corresponds to a physical send (a prior hardware recovery may
+		// have adopted stored suppressed copies). Clear it: TakeOver's
+		// re-sends go through the normal send path and rebuild the set
+		// from messages actually on the wire.
+		cp.AdoptUnacked(nil)
 	}
 	sdw.TakeOver()
 	s.metrics.SWRecoveries++
@@ -218,6 +229,13 @@ func (s *System) RepairNode(node msg.NodeID) error {
 	for _, id := range s.orderedProcs() {
 		cp := s.cps[id]
 		if cp == nil || s.procs[id].Failed() {
+			continue
+		}
+		if id == msg.P1Sdw && !s.procs[id].Promoted() {
+			// An un-promoted shadow's restored set holds suppressed
+			// copies of the active's stream: insurance for a later
+			// takeover, not live traffic. Transmitting them would break
+			// suppression and race the active's own re-sends.
 			continue
 		}
 		for _, m := range cp.UnackedSnapshot() {

@@ -99,7 +99,24 @@ func NewSystem(cfg Config) (*System, error) {
 			}
 			s.cps[spec.id] = cp
 			p.DirtyChanged = cp.NotifyDirtyChanged
-			p.UnackedProvider = cp.UnackedSnapshot
+			if spec.role == mdcd.RoleShadow {
+				// A shadow's sends are suppressed, so the TB layer never
+				// sees them and its live unacknowledged set stays empty.
+				// Its checkpoints instead save the suppressed entries a
+				// takeover would re-send: they are what hardware recovery
+				// must restore when a rollback lands on a line committed
+				// before the shadow took over. After promotion the shadow
+				// transmits physically and the TB set takes over.
+				proc, ckpt := p, cp
+				p.UnackedProvider = func() []msg.Message {
+					if !proc.Promoted() {
+						return proc.SuppressedPending()
+					}
+					return ckpt.UnackedSnapshot()
+				}
+			} else {
+				p.UnackedProvider = cp.UnackedSnapshot
+			}
 		}
 		if cfg.Scheme == WriteThrough {
 			p.Validated = func(selfAT, wasDirty bool) { s.writeThroughValidated(spec.id, selfAT, wasDirty) }

@@ -1,13 +1,19 @@
 package lint
 
-// DefaultAnalyzers returns the five protocol-aware rules configured for this
-// repository, in the order findings are most useful to read.
+// DefaultAnalyzers returns the eleven protocol-aware rules configured for
+// this repository, in the order findings are most useful to read.
 func DefaultAnalyzers() []Analyzer {
 	return []Analyzer{
 		NewWallClock(),
 		NewGlobalRand(),
 		NewLockedBlocking(),
+		NewWithLock(),
 		NewDirtyBit(),
+		NewDirtyLiteral(),
+		NewHelperMut(),
+		NewMsgProvenance(),
+		NewVTimeMono(),
+		NewCampaignCapture(),
 		NewUncheckedErr(),
 	}
 }

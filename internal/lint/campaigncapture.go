@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CampaignCapture protects internal/campaign's determinism contract: a
+// campaign's output is byte-identical at any worker count because cells
+// share nothing — each cell's result travels only through its return value,
+// and everything else a worker closure touches is a read-only campaign
+// parameter. A closure that writes a captured variable, writes a captured
+// slice at an index that is not derived from its Cell.Index, or captures a
+// map/pointer/channel from the enclosing function reintroduces exactly the
+// cross-cell coupling the package exists to eliminate; today only the race
+// detector — and only on an unlucky schedule — would notice, and
+// mutex-guarding the shared state silences even that while the output still
+// depends on completion order.
+//
+// The rule inspects every function literal passed as the worker of
+// campaign.Run / campaign.Seeded:
+//
+//   - any write (assignment, ++/--) to a variable captured from the
+//     enclosing function is flagged;
+//   - an element write to a captured slice/map is allowed only when the
+//     index is data-flow-derived from the closure's Cell parameter (the
+//     per-cell-slot pattern campaign.Run itself uses), and flagged
+//     otherwise;
+//   - capturing a map-, pointer- or channel-typed variable from the
+//     enclosing function is flagged even without a visible write — the
+//     referent is shared mutable state. Function values are exempt (calling
+//     a captured func is the normal way cells reach the experiment body).
+//
+// Package-level declarations are not captures; reads of captured value
+// variables and slices are the sanctioned read-only-parameter pattern.
+type CampaignCapture struct {
+	// Pkg is the campaign package's import path.
+	Pkg string
+	// Funcs names the fan-out entry points whose final argument is the
+	// worker closure.
+	Funcs map[string]bool
+}
+
+// NewCampaignCapture returns the rule configured for this repository.
+func NewCampaignCapture() *CampaignCapture {
+	return &CampaignCapture{
+		Pkg:   module + "/internal/campaign",
+		Funcs: map[string]bool{"Run": true, "Seeded": true},
+	}
+}
+
+// Name implements Analyzer.
+func (a *CampaignCapture) Name() string { return "campaigncapture" }
+
+// Doc implements Analyzer.
+func (a *CampaignCapture) Doc() string {
+	return "campaign worker closures must not capture shared mutable state; cells communicate only via return values"
+}
+
+// Check implements Analyzer.
+func (a *CampaignCapture) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			callee := calleeObject(pkg, call)
+			if callee == nil || callee.Pkg() == nil ||
+				callee.Pkg().Path() != a.Pkg || !a.Funcs[callee.Name()] {
+				return true
+			}
+			if lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit); ok {
+				out = append(out, a.checkWorker(pkg, lit)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkWorker analyzes one worker closure.
+func (a *CampaignCapture) checkWorker(pkg *Package, lit *ast.FuncLit) []Finding {
+	captured := func(obj types.Object) bool {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil {
+			return false
+		}
+		if v.Parent() == nil || v.Parent() == v.Pkg().Scope() || v.Parent() == types.Universe {
+			return false // package-level or predeclared: not a capture
+		}
+		return v.Pos() < lit.Pos() || v.Pos() > lit.End()
+	}
+	derived := a.cellDerived(pkg, lit)
+	mentionsDerived := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && derived[pkg.Info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	var out []Finding
+	finding := func(pos token.Pos, msg string) {
+		out = append(out, Finding{
+			Pos:     pkg.Fset.Position(pos),
+			Rule:    a.Name(),
+			Message: msg + "; cells must communicate only through their return value or the byte-identical-at-any-worker-count guarantee silently breaks",
+		})
+	}
+	reportedCapture := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				a.checkWrite(pkg, lhs, captured, mentionsDerived, finding)
+			}
+		case *ast.IncDecStmt:
+			a.checkWrite(pkg, s.X, captured, mentionsDerived, finding)
+		case *ast.Ident:
+			obj := pkg.Info.Uses[s]
+			if obj == nil || !captured(obj) || reportedCapture[obj] {
+				return true
+			}
+			if kind := sharedReferentKind(obj.Type()); kind != "" {
+				reportedCapture[obj] = true
+				finding(s.Pos(), fmt.Sprintf("worker closure captures %s %q from the enclosing function — shared mutable state visible to every cell", kind, s.Name))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkWrite flags writes through captured variables. Element writes
+// indexed by a Cell-derived expression are the per-cell-slot pattern and
+// pass.
+func (a *CampaignCapture) checkWrite(pkg *Package, lhs ast.Expr,
+	captured func(types.Object) bool, mentionsDerived func(ast.Expr) bool,
+	finding func(token.Pos, string)) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[e]; obj != nil && captured(obj) {
+			finding(e.Pos(), fmt.Sprintf("worker closure writes captured variable %q", e.Name))
+		}
+	case *ast.IndexExpr:
+		base, ok := ast.Unparen(e.X).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pkg.Info.Uses[base]
+		if obj == nil || !captured(obj) {
+			return
+		}
+		if !mentionsDerived(e.Index) {
+			finding(e.Pos(), fmt.Sprintf("worker closure writes captured %q at an index not derived from its Cell.Index", base.Name))
+		}
+	}
+}
+
+// cellDerived computes the closure-local objects whose values flow from the
+// worker's Cell parameter: the parameter itself, then (to a fixed point)
+// every variable assigned from an expression mentioning a derived object.
+func (a *CampaignCapture) cellDerived(pkg *Package, lit *ast.FuncLit) map[types.Object]bool {
+	derived := make(map[types.Object]bool)
+	if lit.Type.Params != nil {
+		for _, field := range lit.Type.Params.List {
+			for _, name := range field.Names {
+				obj := pkg.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if named := namedOf(obj.Type()); named != nil &&
+					named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == a.Pkg &&
+					named.Obj().Name() == "Cell" {
+					derived[obj] = true
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			rhsDerived := false
+			for _, rhs := range as.Rhs {
+				ast.Inspect(rhs, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if derived[pkg.Info.Uses[id]] || derived[pkg.Info.Defs[id]] {
+							rhsDerived = true
+						}
+					}
+					return !rhsDerived
+				})
+			}
+			if !rhsDerived {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pkg.Info.Defs[id]
+				if obj == nil {
+					obj = pkg.Info.Uses[id]
+				}
+				if obj != nil && !derived[obj] {
+					derived[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return derived
+}
+
+// sharedReferentKind classifies types whose values alias shared state when
+// captured; empty for safely-copyable and function types.
+func sharedReferentKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Pointer:
+		return "pointer"
+	case *types.Chan:
+		return "channel"
+	}
+	return ""
+}

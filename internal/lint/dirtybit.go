@@ -125,41 +125,73 @@ func (a *DirtyBit) Check(pkg *Package) []Finding {
 // Indexed writes (p.influence[c] = v) protect the field through the index
 // expression.
 func (a *DirtyBit) checkWrite(pkg *Package, file *ast.File, lhs ast.Expr) []Finding {
+	rule, writer, sel, ok := protectedWrite(pkg, file, lhs, a.Rules)
+	if !ok {
+		return nil
+	}
+	return []Finding{{
+		Pos:  pkg.Fset.Position(sel.Pos()),
+		Rule: a.Name(),
+		Message: fmt.Sprintf("%s.%s.%s is protocol state written outside its accessor set (in %s); route the mutation through an allowed accessor so the transition is traced and coordinated",
+			shortPath(rule.Pkg), rule.Type, rule.Field, writer),
+	}}
+}
+
+// fieldRule matches a field described by (package, type, field) against a
+// rule set.
+func fieldRule(rules []DirtyBitRule, typePkg, typeName, fieldName string) (DirtyBitRule, bool) {
+	for _, rule := range rules {
+		if rule.Pkg == typePkg && rule.Type == typeName && rule.Field == fieldName {
+			return rule, true
+		}
+	}
+	return DirtyBitRule{}, false
+}
+
+// selectedField resolves a selector expression to the named type and field
+// it selects; ok is false for non-field selections.
+func selectedField(pkg *Package, sel *ast.SelectorExpr) (typePkg, typeName, fieldName string, ok bool) {
+	selection := pkg.Info.Selections[sel]
+	if selection == nil {
+		return "", "", "", false
+	}
+	v, isVar := selection.Obj().(*types.Var)
+	if !isVar || !v.IsField() {
+		return "", "", "", false
+	}
+	named := namedOf(selection.Recv())
+	if named == nil || named.Obj().Pkg() == nil {
+		return "", "", "", false
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name(), v.Name(), true
+}
+
+// protectedWrite matches one assignment target (possibly an index
+// expression over a map/slice field) against a protected-field rule set.
+// It returns the matched rule, the writing function's qualified name, and
+// the selector — ok only when the write is NOT allow-listed.
+func protectedWrite(pkg *Package, file *ast.File, lhs ast.Expr, rules []DirtyBitRule) (DirtyBitRule, string, *ast.SelectorExpr, bool) {
 	target := lhs
 	if idx, ok := lhs.(*ast.IndexExpr); ok {
 		target = idx.X
 	}
 	sel, ok := target.(*ast.SelectorExpr)
 	if !ok {
-		return nil
+		return DirtyBitRule{}, "", nil, false
 	}
-	selection := pkg.Info.Selections[sel]
-	if selection == nil || !selection.Obj().(*types.Var).IsField() {
-		return nil
+	typePkg, typeName, fieldName, ok := selectedField(pkg, sel)
+	if !ok {
+		return DirtyBitRule{}, "", nil, false
 	}
-	named := namedOf(selection.Recv())
-	if named == nil || named.Obj().Pkg() == nil {
-		return nil
+	rule, ok := fieldRule(rules, typePkg, typeName, fieldName)
+	if !ok {
+		return DirtyBitRule{}, "", nil, false
 	}
-	typePkg := named.Obj().Pkg().Path()
-	typeName := named.Obj().Name()
-	fieldName := selection.Obj().Name()
-	for _, rule := range a.Rules {
-		if rule.Pkg != typePkg || rule.Type != typeName || rule.Field != fieldName {
-			continue
-		}
-		writer := pkg.Path + "." + enclosingFunc(file, sel.Pos())
-		if rule.Writers[writer] {
-			return nil
-		}
-		return []Finding{{
-			Pos:  pkg.Fset.Position(sel.Pos()),
-			Rule: a.Name(),
-			Message: fmt.Sprintf("%s.%s.%s is protocol state written outside its accessor set (in %s); route the mutation through an allowed accessor so the transition is traced and coordinated",
-				shortPath(typePkg), typeName, fieldName, writer),
-		}}
+	writer := pkg.Path + "." + enclosingFunc(file, sel.Pos())
+	if rule.Writers[writer] {
+		return DirtyBitRule{}, "", nil, false
 	}
-	return nil
+	return rule, writer, sel, true
 }
 
 // shortPath trims the module prefix for readable messages.

@@ -1,0 +1,111 @@
+package lint
+
+import "testing"
+
+func TestDirtyLiteral(t *testing.T) {
+	// Fixture checkpoint package: Dirty is lifecycle state only Decode may
+	// establish from scratch; Clone copies it field-for-field.
+	ckSrc := `package ck
+
+type Checkpoint struct {
+	Dirty bool
+	Ndc   uint64
+}
+
+func Decode(b []byte) Checkpoint {
+	return Checkpoint{Dirty: b[0] == 1}
+}
+
+func Clone(c Checkpoint) Checkpoint {
+	return Checkpoint{Dirty: c.Dirty, Ndc: c.Ndc}
+}
+`
+	a := &DirtyLiteral{Rules: []DirtyBitRule{
+		{Pkg: "example.com/ck", Type: "Checkpoint", Field: "Dirty",
+			Writers: map[string]bool{"example.com/ck.Decode": true}},
+	}}
+
+	withUser := func(src string) map[string]map[string]string {
+		return map[string]map[string]string{
+			"example.com/ck":   {"ck.go": ckSrc},
+			"example.com/user": {"user.go": src},
+		}
+	}
+
+	cases := []struct {
+		name string
+		pkgs map[string]map[string]string
+		want []struct {
+			line int
+			rule string
+			msg  string
+		}
+	}{
+		{
+			name: "literal minting the protected field outside its writers fires",
+			pkgs: withUser(`package user
+
+import "example.com/ck"
+
+func Forge() ck.Checkpoint {
+	return ck.Checkpoint{
+		Dirty: true,
+		Ndc:   7,
+	}
+}
+`),
+			want: []struct {
+				line int
+				rule string
+				msg  string
+			}{{7, "dirtyliteral", "ck.Checkpoint.Dirty"}},
+		},
+		{
+			name: "in-package literal outside the writer set fires too",
+			pkgs: map[string]map[string]string{
+				"example.com/ck": {"ck.go": ckSrc, "bad.go": `package ck
+
+func blank() Checkpoint {
+	return Checkpoint{Dirty: false}
+}
+`},
+			},
+			want: []struct {
+				line int
+				rule string
+				msg  string
+			}{{4, "dirtyliteral", "ck.Checkpoint.Dirty"}},
+		},
+		{
+			name: "allowed writer, same-field copy and unprotected fields are silent",
+			pkgs: withUser(`package user
+
+import "example.com/ck"
+
+func Snapshot(c ck.Checkpoint) ck.Checkpoint {
+	clean := ck.Checkpoint{Ndc: c.Ndc}
+	copied := ck.Checkpoint{Dirty: c.Dirty}
+	_ = clean
+	return copied
+}
+`),
+		},
+		{
+			name: "lint ignore with reason suppresses",
+			pkgs: withUser(`package user
+
+import "example.com/ck"
+
+func Fixture() ck.Checkpoint {
+	//lint:ignore dirtyliteral invariant-checker test scaffolding needs a pre-dirtied snapshot
+	return ck.Checkpoint{Dirty: true}
+}
+`),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantFindings(t, runFixture(t, a, tc.pkgs), tc.want)
+		})
+	}
+}

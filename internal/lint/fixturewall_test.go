@@ -1,0 +1,26 @@
+package lint
+
+import (
+	"os"
+	"testing"
+)
+
+// TestEveryRegisteredAnalyzerHasFixtureTest is the fixture wall: registering
+// an analyzer in DefaultAnalyzers without a <name>_test.go fixture file fails
+// the build. The per-analyzer fixture tests are what prove each rule still
+// catches its true positives and stays silent on the compliant patterns;
+// this test keeps that proof mandatory.
+func TestEveryRegisteredAnalyzerHasFixtureTest(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range DefaultAnalyzers() {
+		name := a.Name()
+		if seen[name] {
+			t.Errorf("analyzer %q registered twice in DefaultAnalyzers", name)
+		}
+		seen[name] = true
+		fixture := name + "_test.go"
+		if _, err := os.Stat(fixture); err != nil {
+			t.Errorf("analyzer %q has no fixture test %s: %v", name, fixture, err)
+		}
+	}
+}

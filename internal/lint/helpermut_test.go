@@ -1,0 +1,136 @@
+package lint
+
+import "testing"
+
+func TestHelperMut(t *testing.T) {
+	// Fixture vector package: Merge mutates dst, Relay forwards to Merge
+	// (the fixed-point case), Drop uses the delete builtin, Clone only reads.
+	vecSrc := `package vec
+
+func Merge(dst, src map[int]uint64) {
+	for k, v := range src {
+		if v > dst[k] {
+			dst[k] = v
+		}
+	}
+}
+
+func Relay(dst, src map[int]uint64) {
+	Merge(dst, src)
+}
+
+func Drop(m map[int]uint64, k int) {
+	delete(m, k)
+}
+
+func Clone(v map[int]uint64) map[int]uint64 {
+	out := make(map[int]uint64, len(v))
+	for k, x := range v {
+		out[k] = x
+	}
+	return out
+}
+`
+	// Fixture process package: valid is guarded; Accept is its one
+	// helper-mediated writer.
+	procSrc := `package proc
+
+import "example.com/vec"
+
+type Proc struct {
+	valid map[int]uint64
+}
+
+func (p *Proc) Accept(src map[int]uint64) {
+	vec.Merge(p.valid, src)
+}
+`
+	a := &HelperMut{Rules: []DirtyBitRule{
+		{Pkg: "example.com/proc", Type: "Proc", Field: "valid",
+			Writers: map[string]bool{"example.com/proc.Accept": true}},
+	}}
+
+	withBad := func(src string) map[string]map[string]string {
+		return map[string]map[string]string{
+			"example.com/vec":  {"vec.go": vecSrc},
+			"example.com/proc": {"proc.go": procSrc, "bad.go": src},
+		}
+	}
+
+	cases := []struct {
+		name string
+		pkgs map[string]map[string]string
+		want []struct {
+			line int
+			rule string
+			msg  string
+		}
+	}{
+		{
+			name: "guarded field passed to a cross-package mutating helper fires",
+			pkgs: withBad(`package proc
+
+import "example.com/vec"
+
+func (p *Proc) Leak(src map[int]uint64) {
+	vec.Merge(p.valid, src)
+}
+`),
+			want: []struct {
+				line int
+				rule string
+				msg  string
+			}{{6, "helpermut", "proc.Proc.valid is guarded state passed into Merge"}},
+		},
+		{
+			name: "forwarding helpers and builtins are summarized transitively",
+			pkgs: withBad(`package proc
+
+import "example.com/vec"
+
+func (p *Proc) Forward(src map[int]uint64) {
+	vec.Relay(p.valid, src)
+	vec.Drop(p.valid, 3)
+}
+`),
+			want: []struct {
+				line int
+				rule string
+				msg  string
+			}{
+				{6, "helpermut", "passed into Relay"},
+				{7, "helpermut", "passed into Drop"},
+			},
+		},
+		{
+			name: "read-only helpers, non-mutating positions and the allowed writer are silent",
+			pkgs: withBad(`package proc
+
+import "example.com/vec"
+
+func (p *Proc) Observe(src map[int]uint64) map[int]uint64 {
+	out := vec.Clone(p.valid)
+	vec.Merge(out, p.valid)
+	return out
+}
+`),
+		},
+		{
+			name: "lint ignore with reason suppresses",
+			pkgs: withBad(`package proc
+
+import "example.com/vec"
+
+func (p *Proc) Seed(src map[int]uint64) {
+	//lint:ignore helpermut campaign bootstrap seeds the vector before the process runs
+	vec.Merge(p.valid, src)
+}
+`),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantFindings(t, runFixture(t, a, tc.pkgs), tc.want)
+		})
+	}
+}

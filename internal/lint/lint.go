@@ -56,6 +56,95 @@ type Package struct {
 	Pkg *types.Package
 	// Info carries the type-checker's resolution maps.
 	Info *types.Info
+	// Facts is the shared cross-package fact store, populated by Run's
+	// export pass before any Check runs. Nil when an analyzer is invoked
+	// outside Run.
+	Facts *Facts
+}
+
+// Facts carries cross-package conclusions exported in dependency order
+// before any Check runs, so an analyzer inspecting package b can reason
+// about declarations in an imported package a. Facts are keyed by
+// types.Object: the loader type-checks the module once, resolving
+// intra-module imports from already-checked packages, so an object's
+// identity is stable across the packages that mention it.
+type Facts struct {
+	// counters marks struct fields that behave as monotone sequence-number
+	// counters (see MsgProvenance).
+	counters map[types.Object]bool
+	// paramMut maps a function to a per-parameter may-mutate vector (see
+	// HelperMut).
+	paramMut map[types.Object][]bool
+	// lockedParams maps a function to a per-parameter lock description:
+	// non-empty when the function invokes that func-typed parameter while
+	// holding the named lock (see WithLock).
+	lockedParams map[types.Object][]string
+}
+
+func newFacts() *Facts {
+	return &Facts{
+		counters:     make(map[types.Object]bool),
+		paramMut:     make(map[types.Object][]bool),
+		lockedParams: make(map[types.Object][]string),
+	}
+}
+
+// SetCounter records that field is a monotone counter.
+func (f *Facts) SetCounter(field types.Object) { f.counters[field] = true }
+
+// Counter reports whether field was recorded as a monotone counter.
+func (f *Facts) Counter(field types.Object) bool {
+	return f != nil && field != nil && f.counters[field]
+}
+
+// SetParamMutated records that fn (with n parameters) may mutate the
+// pointee/elements of parameter i.
+func (f *Facts) SetParamMutated(fn types.Object, n, i int) {
+	s := f.paramMut[fn]
+	if s == nil {
+		s = make([]bool, n)
+		f.paramMut[fn] = s
+	}
+	if i >= 0 && i < len(s) {
+		s[i] = true
+	}
+}
+
+// MutatedParams returns fn's may-mutate vector, or nil if none recorded.
+func (f *Facts) MutatedParams(fn types.Object) []bool {
+	if f == nil {
+		return nil
+	}
+	return f.paramMut[fn]
+}
+
+// SetLockedParam records that fn (with n parameters) calls its func-typed
+// parameter i while holding lock.
+func (f *Facts) SetLockedParam(fn types.Object, n, i int, lock string) {
+	s := f.lockedParams[fn]
+	if s == nil {
+		s = make([]string, n)
+		f.lockedParams[fn] = s
+	}
+	if i >= 0 && i < len(s) {
+		s[i] = lock
+	}
+}
+
+// LockedParams returns fn's per-parameter lock descriptions, or nil.
+func (f *Facts) LockedParams(fn types.Object) []string {
+	if f == nil {
+		return nil
+	}
+	return f.lockedParams[fn]
+}
+
+// FactExporter is implemented by analyzers that contribute cross-package
+// facts. Run calls ExportFacts over every package in dependency order
+// before running any Check, so facts about a package are available to the
+// checks of its importers (and of the package itself).
+type FactExporter interface {
+	ExportFacts(pkg *Package, facts *Facts)
 }
 
 // Analyzer checks one discipline over a package.
@@ -73,6 +162,20 @@ type Analyzer interface {
 // position. Malformed or unused directives produce their own findings under
 // the "lint-directive" rule.
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	// Facts must be complete for a package before any importer is checked,
+	// and callers (the driver walks the filesystem, fixture tests iterate a
+	// map) pass packages in arbitrary order — re-derive dependency order
+	// here.
+	pkgs = topoPackages(pkgs)
+	facts := newFacts()
+	for _, pkg := range pkgs {
+		pkg.Facts = facts
+		for _, a := range analyzers {
+			if fe, ok := a.(FactExporter); ok {
+				fe.ExportFacts(pkg, facts)
+			}
+		}
+	}
 	var out []Finding
 	for _, pkg := range pkgs {
 		dirs := collectDirectives(pkg)
@@ -95,6 +198,36 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 		}
 		return a.Column < b.Column
 	})
+	return out
+}
+
+// topoPackages orders pkgs so every import that is itself in the set
+// precedes its importer. Type-checked packages cannot form cycles.
+func topoPackages(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	seen := make(map[string]bool, len(pkgs))
+	var out []*Package
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if seen[p.Path] {
+			return
+		}
+		seen[p.Path] = true
+		for _, imp := range p.Pkg.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range sorted {
+		visit(p)
+	}
 	return out
 }
 

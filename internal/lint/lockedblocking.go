@@ -87,6 +87,10 @@ type lockWalker struct {
 	pkg      *Package
 	rule     string
 	findings []Finding
+	// onCall, when set, observes every call expression together with the
+	// lock state held at that point (the withlock analyzer uses it to
+	// discover helpers that invoke a parameter under a lock).
+	onCall func(call *ast.CallExpr, held lockState)
 }
 
 // stmts analyzes a statement list, threading the held-lock state through it,
@@ -289,6 +293,9 @@ func (w *lockWalker) scan(expr ast.Expr, held lockState) {
 				w.report(e.Pos(), fmt.Sprintf("channel receive while holding %s", held.holders()))
 			}
 		case *ast.CallExpr:
+			if w.onCall != nil {
+				w.onCall(e, held)
+			}
 			if len(held) > 0 {
 				if msg := w.blockingCall(e); msg != "" {
 					w.report(e.Pos(), fmt.Sprintf("%s while holding %s", msg, held.holders()))

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// WithLock closes the gap lockedblocking leaves around lock-wrapping
+// helpers. lockedblocking analyzes function literals with an empty held-lock
+// set — correct for goroutine bodies, wrong for a helper like
+//
+//	func (n *node) withLock(fn func()) { n.mu.Lock(); defer n.mu.Unlock(); fn() }
+//
+// whose whole purpose is to run the closure INSIDE the critical section. A
+// blocking channel send written in a closure handed to such a helper is
+// exactly the deadlock lockedblocking exists to prevent (recovery must take
+// every node's lock to flush the interconnect), yet it was invisible.
+//
+// An export pass (dependency-ordered, so cross-package helpers work)
+// replays each function body through the same flow-sensitive lock tracking
+// lockedblocking uses and records every func-typed parameter the function
+// invokes while a lock is held. The check pass then analyzes function
+// literals passed in those argument positions with the helper's held-lock
+// state seeded, reporting the same class of blocking operations.
+type WithLock struct{}
+
+// NewWithLock returns the rule.
+func NewWithLock() *WithLock { return &WithLock{} }
+
+// Name implements Analyzer.
+func (a *WithLock) Name() string { return "withlock" }
+
+// Doc implements Analyzer.
+func (a *WithLock) Doc() string {
+	return "closures run by lock-wrapping helpers inherit the helper's held-lock state"
+}
+
+// ExportFacts implements FactExporter: it records, for every function, the
+// func-typed parameters it calls while holding a lock.
+func (a *WithLock) ExportFacts(pkg *Package, facts *Facts) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fnObj := pkg.Info.Defs[fd.Name]
+			if fnObj == nil {
+				continue
+			}
+			sig, ok := fnObj.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			paramIndex := make(map[types.Object]int)
+			for i := 0; i < sig.Params().Len(); i++ {
+				p := sig.Params().At(i)
+				if _, isFunc := p.Type().Underlying().(*types.Signature); isFunc {
+					paramIndex[p] = i
+				}
+			}
+			if len(paramIndex) == 0 {
+				continue
+			}
+			// Replay the body with the lock tracker; the walker's own
+			// findings are discarded (lockedblocking already reports them).
+			w := &lockWalker{pkg: pkg, rule: a.Name()}
+			w.onCall = func(call *ast.CallExpr, held lockState) {
+				if len(held) == 0 {
+					return
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok {
+					return
+				}
+				if i, isParam := paramIndex[pkg.Info.Uses[id]]; isParam {
+					facts.SetLockedParam(fnObj, sig.Params().Len(), i, held.holders())
+				}
+			}
+			w.stmts(fd.Body.List, lockState{})
+		}
+	}
+}
+
+// Check implements Analyzer: function literals passed where a helper
+// invokes the parameter under a lock are analyzed with that lock held.
+func (a *WithLock) Check(pkg *Package) []Finding {
+	if pkg.Facts == nil {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			locked := pkg.Facts.LockedParams(calleeObject(pkg, call))
+			if locked == nil {
+				return true
+			}
+			for i, lock := range locked {
+				if lock == "" || i >= len(call.Args) {
+					continue
+				}
+				lit, ok := call.Args[i].(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				w := &lockWalker{pkg: pkg, rule: a.Name()}
+				w.stmts(lit.Body.List, lockState{lock: call.Pos()})
+				for _, f := range w.findings {
+					f.Message = fmt.Sprintf("%s (lock held by the wrapping helper)", f.Message)
+					out = append(out, f)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// calleeObject resolves a call's target to its function object, for plain,
+// method and package-qualified calls. Nil for indirect calls through
+// non-identifier expressions.
+func calleeObject(pkg *Package, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[fun.Sel]
+	case *ast.IndexExpr: // explicitly instantiated generic
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return pkg.Info.Uses[id]
+		}
+	}
+	return nil
+}

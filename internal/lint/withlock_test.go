@@ -1,0 +1,124 @@
+package lint
+
+import "testing"
+
+func TestWithLock(t *testing.T) {
+	// Fixture node package: WithLock runs its closure inside the critical
+	// section; Visit runs it with no lock held.
+	nodeSrc := `package node
+
+import "sync"
+
+type Node struct {
+	mu sync.Mutex
+}
+
+func (n *Node) WithLock(fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	fn()
+}
+
+func (n *Node) Visit(fn func()) {
+	fn()
+}
+`
+	a := NewWithLock()
+
+	withUser := func(src string) map[string]map[string]string {
+		return map[string]map[string]string{
+			"example.com/node": {"node.go": nodeSrc},
+			"example.com/user": {"user.go": src},
+		}
+	}
+
+	cases := []struct {
+		name string
+		pkgs map[string]map[string]string
+		want []struct {
+			line int
+			rule string
+			msg  string
+		}
+	}{
+		{
+			name: "blocking send in a closure handed to a cross-package lock helper fires",
+			pkgs: withUser(`package user
+
+import "example.com/node"
+
+func Flush(n *node.Node, ch chan int) {
+	n.WithLock(func() {
+		ch <- 1
+	})
+}
+`),
+			want: []struct {
+				line int
+				rule string
+				msg  string
+			}{{7, "withlock", "channel send while holding n.mu"}},
+		},
+		{
+			name: "same-package helper is summarized too",
+			pkgs: map[string]map[string]string{
+				"example.com/node": {"node.go": nodeSrc, "bad.go": `package node
+
+import "time"
+
+func (n *Node) Tick() {
+	n.WithLock(func() {
+		time.Sleep(1)
+	})
+}
+`},
+			},
+			want: []struct {
+				line int
+				rule string
+				msg  string
+			}{{7, "withlock", "(lock held by the wrapping helper)"}},
+		},
+		{
+			name: "lock-free helper and non-blocking closure bodies are silent",
+			pkgs: withUser(`package user
+
+import "example.com/node"
+
+func Fine(n *node.Node, ch chan int) int {
+	n.Visit(func() {
+		ch <- 1
+	})
+	total := 0
+	n.WithLock(func() {
+		total++
+		select {
+		case ch <- total:
+		default:
+		}
+	})
+	return total
+}
+`),
+		},
+		{
+			name: "lint ignore with reason suppresses",
+			pkgs: withUser(`package user
+
+import "example.com/node"
+
+func Waived(n *node.Node, ch chan int) {
+	n.WithLock(func() {
+		//lint:ignore withlock channel buffered to the worker count, send cannot block
+		ch <- 1
+	})
+}
+`),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantFindings(t, runFixture(t, a, tc.pkgs), tc.want)
+		})
+	}
+}

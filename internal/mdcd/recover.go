@@ -167,6 +167,29 @@ func (p *Process) Retire() {
 	p.deferred = nil
 }
 
+// SuppressedPending returns copies of the suppressed log entries a takeover
+// would re-send: the component-1 stream positions this shadow has produced
+// whose delivery it cannot prove. An un-promoted shadow stores them as the
+// unacknowledged set of its checkpoints, so a hardware rollback onto a line
+// committed before a takeover can still re-send the stream gap between the
+// promoted shadow's send counters and P2's restored receive counters. The
+// dirty bit is cleared exactly as TakeOver's re-send path clears it: the
+// shadow is high-confidence.
+func (p *Process) SuppressedPending() []msg.Message {
+	if p.role != RoleShadow || p.promoted {
+		return nil
+	}
+	var out []msg.Message
+	for _, m := range p.msgLog {
+		if m.To != msg.P2 || m.ChanSeq > p.sentTo[msg.P2] {
+			continue
+		}
+		m.DirtyBit = false
+		out = append(out, m)
+	}
+	return out
+}
+
 // TakeOver promotes the shadow to the active role. Logged messages that the
 // restored state has produced are re-sent to P2 (duplicates are suppressed by
 // the receiver's ChanSeq dedup); unvalidated external log entries remain

@@ -1,0 +1,107 @@
+package msg
+
+import (
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to Decode. Decoding must never panic, and
+// any input Decode accepts must be stable under re-encoding: the flags byte
+// may carry unknown bits that Decode deliberately drops, so the invariant is
+// decode→encode→decode fixpoint equality, not byte-for-byte round-trip.
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(nil, Message{Kind: Internal, From: P1Act, To: P2, SN: 7, ChanSeq: 3, DirtyBit: true}))
+	f.Add(Encode(nil, Message{Kind: Ack, From: P2, To: P1Act, AckSN: 9}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, rest, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if len(data)-len(rest) != EncodedSize {
+			t.Fatalf("Decode consumed %d bytes, want %d", len(data)-len(rest), EncodedSize)
+		}
+		enc := Encode(nil, m)
+		m2, rest2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded message failed: %v", err)
+		}
+		if len(rest2) != 0 {
+			t.Fatalf("re-decode left %d trailing bytes", len(rest2))
+		}
+		if m2 != m {
+			t.Fatalf("decode/encode not stable:\n first: %+v\nsecond: %+v", m, m2)
+		}
+	})
+}
+
+// FuzzDecodeSlice feeds arbitrary bytes to the count-prefixed list decoder:
+// it must never panic or over-read, whatever the claimed count.
+func FuzzDecodeSlice(f *testing.F) {
+	f.Add(EncodeSlice(nil, []Message{
+		{Kind: Internal, From: P1Act, To: P2, SN: 1, ChanSeq: 1},
+		{Kind: External, From: P2, To: Device, SN: 2, ChanSeq: 1, Payload: Payload{Seq: 2, Value: -5, Corrupted: true}},
+	}))
+	f.Add(EncodeSlice(nil, nil))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ms, _, err := DecodeSlice(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeSlice(nil, ms)
+		ms2, rest, err := DecodeSlice(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded slice failed: %v", err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("re-decode left %d trailing bytes", len(rest))
+		}
+		if len(ms2) != len(ms) {
+			t.Fatalf("slice length changed: %d → %d", len(ms), len(ms2))
+		}
+		for i := range ms {
+			if ms2[i] != ms[i] {
+				t.Fatalf("message %d not stable:\n first: %+v\nsecond: %+v", i, ms[i], ms2[i])
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip builds a Message from fuzzed fields and requires exact
+// encode→decode equality — every representable message survives the wire.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(byte(Internal), byte(P1Act), byte(P2), uint64(1), uint64(1), true,
+		uint64(0), uint64(0), uint64(0), uint64(1), int64(42), uint64(0xabcd), false)
+	f.Add(byte(PassedAT), byte(P1Sdw), byte(P1Act), uint64(0), uint64(0), false,
+		uint64(3), uint64(11), uint64(0), uint64(0), int64(0), uint64(0), false)
+	f.Fuzz(func(t *testing.T, kind, from, to byte, sn, chanSeq uint64, dirty bool,
+		ndc, validSN, ackSN, pSeq uint64, pValue int64, pDigest uint64, pCorrupted bool) {
+		m := Message{
+			Kind:     Kind(kind),
+			From:     ProcID(from),
+			To:       ProcID(to),
+			SN:       sn,
+			ChanSeq:  chanSeq,
+			DirtyBit: dirty,
+			Ndc:      ndc,
+			ValidSN:  validSN,
+			AckSN:    ackSN,
+			Payload:  Payload{Seq: pSeq, Value: pValue, Digest: pDigest, Corrupted: pCorrupted},
+		}
+		enc := Encode(nil, m)
+		if len(enc) != EncodedSize {
+			t.Fatalf("encoded size = %d, want %d", len(enc), EncodedSize)
+		}
+		got, rest, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(Encode(m)) failed: %v", err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("Decode left %d trailing bytes", len(rest))
+		}
+		if got != m {
+			t.Fatalf("round trip mismatch:\n sent: %+v\n got:  %+v", m, got)
+		}
+	})
+}

@@ -6,9 +6,15 @@
 #   scripts/bench.sh               # quick pass (1 iteration per benchmark)
 #   BENCHTIME=0.5s scripts/bench.sh  # statistically meaningful pass
 #   BENCH_OUT=out.json scripts/bench.sh
+#   scripts/bench.sh --print-out   # print the output path and exit
 #
-# The snapshot is written to BENCH_<UTC date>.json (override with BENCH_OUT)
-# in the repository root, in the format documented in README.md "Benchmarks":
+# The snapshot is written to BENCH_<UTC date>.json in the repository root. A
+# snapshot is never overwritten: if today's file already exists, a -1, -2, …
+# suffix is appended, so two runs on the same day both survive. BENCH_OUT
+# names the file explicitly (no suffixing), BENCH_DIR redirects the snapshot
+# out of the repository root, and BENCH_DATE pins the date stamp (the latter
+# two exist mostly so check.sh can exercise the naming logic hermetically).
+# The JSON format is documented in README.md "Benchmarks":
 #
 #   {
 #     "date": "2026-08-06", "go": "go1.24.0", "gomaxprocs": 8,
@@ -24,7 +30,24 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-1x}"
-out="${BENCH_OUT:-BENCH_$(date -u +%Y-%m-%d).json}"
+stamp="${BENCH_DATE:-$(date -u +%Y-%m-%d)}"
+prefix="${BENCH_DIR:+${BENCH_DIR%/}/}"
+if [[ -n "${BENCH_OUT:-}" ]]; then
+    out="$BENCH_OUT"
+else
+    out="${prefix}BENCH_${stamp}.json"
+    n=1
+    while [[ -e "$out" ]]; do
+        out="${prefix}BENCH_${stamp}-${n}.json"
+        n=$((n + 1))
+    done
+fi
+
+if [[ "${1:-}" == "--print-out" ]]; then
+    echo "$out"
+    exit 0
+fi
+
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -34,7 +57,7 @@ go test -run '^$' -bench . -benchmem -benchtime "$benchtime" ./... | tee "$raw"
 go_version="$(go env GOVERSION)"
 gomaxprocs="$(go run ./scripts/internal/gomaxprocs 2>/dev/null || getconf _NPROCESSORS_ONLN)"
 
-awk -v date="$(date -u +%Y-%m-%d)" -v gover="$go_version" \
+awk -v date="$stamp" -v gover="$go_version" \
     -v procs="$gomaxprocs" -v benchtime="$benchtime" '
 BEGIN {
     printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", date, gover, procs, benchtime

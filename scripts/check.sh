@@ -8,14 +8,22 @@
 #   go test -race  full suite with the race detector patrolling the live
 #                  middleware's transport and recovery paths and the parallel
 #                  campaign runner's fan-out
+#   fuzz smoke   each codec fuzz target runs for FUZZTIME (default 10s) on
+#                top of its committed seed corpus, so decoder regressions
+#                that only arbitrary bytes would catch still surface pre-merge
 #   bench smoke  every benchmark runs for one iteration, so a refactor that
 #                breaks a benchmark (or reintroduces hot-path allocations
 #                loud enough to fail an assertion) is caught before merge
+#   bench naming bench.sh's snapshot-name logic is asserted hermetically:
+#                same-day runs must suffix, never overwrite
 #
 # Usage: scripts/check.sh  (from anywhere inside the repository)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
 
 echo "==> gofmt"
 unformatted=$(gofmt -l .)
@@ -37,7 +45,35 @@ go run ./cmd/synergy-lint ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+fuzztime="${FUZZTIME:-10s}"
+echo "==> fuzz smoke ($fuzztime per target)"
+fuzz_targets=(
+    "./internal/msg FuzzDecode"
+    "./internal/msg FuzzDecodeSlice"
+    "./internal/msg FuzzRoundTrip"
+    "./internal/checkpoint FuzzDecode"
+    "./internal/checkpoint FuzzRoundTrip"
+)
+for entry in "${fuzz_targets[@]}"; do
+    pkg="${entry% *}" target="${entry#* }"
+    echo "    $pkg $target"
+    go test "$pkg" -run '^$' -fuzz "^${target}\$" -fuzztime "$fuzztime" > /dev/null
+done
+
 echo "==> bench smoke (1 iteration per benchmark)"
 go test -run '^$' -bench . -benchtime 1x ./... > /dev/null
+
+echo "==> bench snapshot naming (same-day runs suffix, never overwrite)"
+first="$(BENCH_DIR="$tmp" BENCH_DATE=2026-01-01 scripts/bench.sh --print-out)"
+if [[ "$first" != "$tmp/BENCH_2026-01-01.json" ]]; then
+    echo "bench.sh --print-out named $first, want $tmp/BENCH_2026-01-01.json" >&2
+    exit 1
+fi
+touch "$tmp/BENCH_2026-01-01.json" "$tmp/BENCH_2026-01-01-1.json"
+second="$(BENCH_DIR="$tmp" BENCH_DATE=2026-01-01 scripts/bench.sh --print-out)"
+if [[ "$second" != "$tmp/BENCH_2026-01-01-2.json" ]]; then
+    echo "bench.sh same-day run named $second, want $tmp/BENCH_2026-01-01-2.json" >&2
+    exit 1
+fi
 
 echo "==> all checks passed"
