@@ -1,9 +1,13 @@
 package synergy
 
 import (
+	"path/filepath"
 	"testing"
 
+	"github.com/synergy-ft/synergy/internal/checkpoint"
 	"github.com/synergy-ft/synergy/internal/experiment"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/storage"
 )
 
 // One benchmark per table/figure of the paper's evaluation (plus the
@@ -131,3 +135,46 @@ func BenchmarkCosts(b *testing.B) { benchExperiment(b, "costs", "coordinated_sta
 
 // BenchmarkAblationRepair sweeps the node repair delay.
 func BenchmarkAblationRepair(b *testing.B) { benchExperiment(b, "ablation-repair", "dist_last") }
+
+// benchStableCommit drives the storage layer's full checkpoint lifecycle —
+// Begin, Replace, Commit — once per iteration, optionally against a durable
+// file backend, so the cost of fsynced commits is measured against the
+// in-memory baseline.
+func benchStableCommit(b *testing.B, durable bool) {
+	b.Helper()
+	b.ReportAllocs()
+	var s storage.Stable
+	s.SetRetention(8)
+	if durable {
+		fb, _, err := storage.OpenFile(filepath.Join(b.TempDir(), "bench.stable"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer fb.Close()
+		s.SetBackend(fb)
+	}
+	c := checkpoint.New(checkpoint.Stable, msg.P2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.State.Step = uint64(i)
+		if err := s.Begin(c); err != nil {
+			b.Fatal(err)
+		}
+		c.State.Step = uint64(i) + 1
+		if err := s.Replace(c); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Commit(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStableCommitMemory is the in-memory stable-storage baseline every
+// node used before durable logs existed.
+func BenchmarkStableCommitMemory(b *testing.B) { benchStableCommit(b, false) }
+
+// BenchmarkStableCommitDurable measures the durable file backend: each
+// commit appends a CRC-framed record and fsyncs before acknowledging, which
+// is the price of surviving KillNode/RestartNode.
+func BenchmarkStableCommitDurable(b *testing.B) { benchStableCommit(b, true) }

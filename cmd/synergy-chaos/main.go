@@ -1,0 +1,167 @@
+// Command synergy-chaos runs a deterministic seeded chaos soak against the
+// live middleware: lossy, duplicating, corrupting, jittery loopback-TCP
+// links, a mid-run bidirectional partition and a scheduled crash-restart of
+// P2 from durable stable storage — then verifies the system came through
+// with a violation-free recovery line, checkpoint liveness on every node and
+// every requested fault kind actually exercised.
+//
+// On any failed assertion the full protocol trace is written to the path in
+// -trace-out (or $CHAOS_TRACE), so CI can attach it as an artifact.
+//
+// Example:
+//
+//	synergy-chaos -seed 7 -duration 1500ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/chaos"
+	"github.com/synergy-ft/synergy/internal/live"
+	"github.com/synergy-ft/synergy/internal/mdcd"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/tb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "synergy-chaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed      = flag.Int64("seed", 7, "chaos and workload seed; the same seed replays the same per-link fault sequences")
+		duration  = flag.Duration("duration", 1500*time.Millisecond, "wall-clock run time")
+		interval  = flag.Duration("interval", 100*time.Millisecond, "TB checkpoint interval Δ")
+		drop      = flag.Float64("drop", 0.05, "per-frame probability the first transmission is lost (link layer retransmits)")
+		duplicate = flag.Float64("duplicate", 0.05, "per-frame duplication probability")
+		corrupt   = flag.Float64("corrupt", 0.05, "per-frame probability of a bit-flipped wire copy (receiver CRC-drops it)")
+		jitter    = flag.Duration("jitter", time.Millisecond, "max extra delivery delay per frame")
+		partAt    = flag.Duration("partition-at", 400*time.Millisecond, "bidirectional P1act<->P2 partition start (0 disables)")
+		partEnd   = flag.Duration("partition-end", 550*time.Millisecond, "partition heal time")
+		crashAt   = flag.Duration("crash-at", 700*time.Millisecond, "kill P2's host this long after start (0 disables)")
+		downtime  = flag.Duration("crash-downtime", 250*time.Millisecond, "how long P2 stays down before rebooting from durable storage")
+		stableDir = flag.String("stable-dir", "", "directory for durable stable logs (default: a fresh temp dir)")
+		traceOut  = flag.String("trace-out", "", "where to dump the protocol trace on failure (default: $CHAOS_TRACE or chaos-trace.txt)")
+		minRounds = flag.Uint64("min-rounds", 4, "stable rounds every node must commit for the liveness check")
+	)
+	flag.Parse()
+
+	dir := *stableDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "synergy-chaos-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	spec := chaos.Spec{
+		Seed:          *seed,
+		Drop:          *drop,
+		Duplicate:     *duplicate,
+		Corrupt:       *corrupt,
+		MaxExtraDelay: *jitter,
+	}
+	if *partAt > 0 {
+		spec.Partitions = []chaos.Partition{{
+			A: msg.P1Act, B: msg.P2, Bidirectional: true,
+			Start: *partAt, End: *partEnd,
+		}}
+	}
+	if *crashAt > 0 {
+		spec.Crashes = []chaos.Crash{{Victim: msg.P2, At: *crashAt, Downtime: *downtime}}
+	}
+
+	cfg := live.DefaultConfig(*seed)
+	cfg.Net = live.TCPTransport
+	cfg.CheckpointInterval = *interval
+	cfg.StableDir = dir
+	cfg.Chaos = spec
+
+	mw, err := live.New(cfg)
+	if err != nil {
+		return err
+	}
+	mw.Run(*duration)
+
+	st := mw.ChaosStats()
+	sent, delivered := mw.NetworkStats()
+	fmt.Printf("soak: seed=%d duration=%v frames=%d (sent=%d delivered=%d)\n",
+		*seed, *duration, st.Frames, sent, delivered)
+	fmt.Printf("faults: dropped=%d duplicated=%d corrupted=%d (crc-caught=%d) delayed=%d partitioned=%d\n",
+		st.Dropped, st.Duplicated, st.Corrupted, mw.CRCDrops(), st.Delayed, st.Partitioned)
+
+	var problems []string
+	if failed, why := mw.Failure(); failed {
+		problems = append(problems, fmt.Sprintf("middleware failed: %s", why))
+	}
+	for _, id := range msg.Processes() {
+		var rounds uint64
+		_ = mw.Inspect(id, func(_ *mdcd.Process, cp *tb.Checkpointer) { rounds = cp.Ndc() })
+		fmt.Printf("stable rounds %v: %d\n", id, rounds)
+		if rounds < *minRounds {
+			problems = append(problems, fmt.Sprintf("%v committed only %d stable rounds, want >= %d", id, rounds, *minRounds))
+		}
+	}
+	if line, err := mw.RecoveryLine(); err != nil {
+		problems = append(problems, fmt.Sprintf("recovery line: %v", err))
+	} else if vs := line.Check(); len(vs) > 0 {
+		for _, v := range vs {
+			problems = append(problems, fmt.Sprintf("recovery-line violation: %v", v))
+		}
+	} else {
+		fmt.Println("recovery line: clean")
+	}
+	for kind, fired := range map[string]bool{
+		"drop":      *drop == 0 || st.Dropped > 0,
+		"duplicate": *duplicate == 0 || st.Duplicated > 0,
+		"corrupt":   *corrupt == 0 || st.Corrupted > 0,
+		"crc-catch": *corrupt == 0 || mw.CRCDrops() > 0,
+		"jitter":    *jitter == 0 || st.Delayed > 0,
+		"partition": *partAt == 0 || st.Partitioned > 0,
+	} {
+		if !fired {
+			problems = append(problems, fmt.Sprintf("fault kind %q never fired; run longer or raise its rate", kind))
+		}
+	}
+
+	if len(problems) == 0 {
+		fmt.Println("chaos soak passed")
+		return nil
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "FAIL:", p)
+	}
+	if path := dumpTrace(mw, *traceOut); path != "" {
+		fmt.Fprintln(os.Stderr, "trace written to", path)
+	}
+	return fmt.Errorf("%d assertion(s) failed", len(problems))
+}
+
+// dumpTrace writes the run's full protocol trace for post-mortem, returning
+// the path it wrote (empty if the write failed).
+func dumpTrace(mw *live.Middleware, path string) string {
+	if path == "" {
+		path = os.Getenv("CHAOS_TRACE")
+	}
+	if path == "" {
+		path = "chaos-trace.txt"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace dump:", err)
+		return ""
+	}
+	defer f.Close()
+	for _, e := range mw.Trace().Events() {
+		fmt.Fprintln(f, e)
+	}
+	return path
+}

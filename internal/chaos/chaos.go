@@ -1,0 +1,262 @@
+// Package chaos turns scenario specifications into deterministic, seeded
+// fault-injection decisions for the live middleware's interconnect: lost
+// first transmissions, duplication, delivery-delay jitter, frame-byte
+// corruption (driving the receiver's CRC error path), directed or
+// bidirectional partitions with heal times, and node crash-restart
+// schedules. The transport applies the verdicts below a reliable link-layer
+// abstraction — faults add latency, duplicates and detectable garbage, never
+// silent loss — so the protocol's channel assumptions hold while every
+// hardening path is exercised.
+//
+// The package is pure decision logic: it owns no clocks, sockets or
+// goroutines. The transport asks for a verdict per frame, passing the run's
+// elapsed time; every random draw comes from a per-directed-link generator
+// seeded from the spec, so a link's decision sequence is a function of
+// (seed, link, frame index) alone — the same scenario replays the same
+// faults regardless of scheduling on other links.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/msg"
+)
+
+// Partition blocks frames between two processes for a window of run time.
+type Partition struct {
+	// A and B are the partitioned endpoints. Frames A→B are dropped
+	// during the window; with Bidirectional, B→A frames too.
+	A, B msg.ProcID
+	// Bidirectional extends the block to the reverse direction.
+	Bidirectional bool
+	// Start and End bound the window in elapsed run time (End exclusive;
+	// the partition heals at End).
+	Start, End time.Duration
+}
+
+// covers reports whether the partition blocks from→to at the given elapsed
+// run time.
+func (p Partition) covers(from, to msg.ProcID, elapsed time.Duration) bool {
+	if elapsed < p.Start || elapsed >= p.End {
+		return false
+	}
+	if p.A == from && p.B == to {
+		return true
+	}
+	return p.Bidirectional && p.A == to && p.B == from
+}
+
+// Crash schedules a node kill and (optionally) its restart.
+type Crash struct {
+	// Victim is the node to kill.
+	Victim msg.ProcID
+	// At is when the kill fires, in elapsed run time.
+	At time.Duration
+	// Downtime is how long the node stays down before the restart; zero
+	// or negative means the node never restarts.
+	Downtime time.Duration
+}
+
+// Spec is a chaos scenario: per-frame fault probabilities plus scheduled
+// partitions and crash-restarts. The zero Spec injects nothing.
+type Spec struct {
+	// Seed drives every random decision. Two runs of the same spec see
+	// identical per-link fault sequences.
+	Seed int64
+	// Drop is the per-frame probability the first transmission is lost
+	// on the wire. The transport preserves the protocol's reliable-FIFO
+	// channel contract, so a drop costs a retransmission timeout rather
+	// than silently losing the frame (real loss only comes from recovery
+	// flushes and crashes, which the unacknowledged logs re-cover).
+	Drop float64
+	// Duplicate is the per-frame probability a frame is delivered twice
+	// (exercising the receiver's dedup-and-re-ack path).
+	Duplicate float64
+	// Corrupt is the per-frame probability a bit-flipped copy of the
+	// frame goes on the wire ahead of the clean retransmission; the
+	// receiver's CRC check detects and drops the corrupted copy.
+	Corrupt float64
+	// MaxExtraDelay bounds uniform extra delivery jitter per frame (zero
+	// disables).
+	MaxExtraDelay time.Duration
+	// Partitions lists scheduled partition windows.
+	Partitions []Partition
+	// Crashes lists scheduled node crash-restarts.
+	Crashes []Crash
+}
+
+// Validate checks probabilities and schedules.
+func (s Spec) Validate() error {
+	for name, p := range map[string]float64{"drop": s.Drop, "duplicate": s.Duplicate, "corrupt": s.Corrupt} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("chaos: %s probability %v outside [0,1]", name, p)
+		}
+	}
+	if s.MaxExtraDelay < 0 {
+		return fmt.Errorf("chaos: negative delay jitter %v", s.MaxExtraDelay)
+	}
+	for i, p := range s.Partitions {
+		if p.Start < 0 || p.End <= p.Start {
+			return fmt.Errorf("chaos: partition %d window [%v, %v) is empty", i, p.Start, p.End)
+		}
+		if p.A == p.B {
+			return fmt.Errorf("chaos: partition %d partitions %v from itself", i, p.A)
+		}
+	}
+	for i, c := range s.Crashes {
+		if c.At < 0 {
+			return fmt.Errorf("chaos: crash %d scheduled before start", i)
+		}
+		for j, d := range s.Crashes[:i] {
+			if d.Victim != c.Victim {
+				continue
+			}
+			dEnd := d.At + d.Downtime
+			cEnd := c.At + c.Downtime
+			if c.At < dEnd && d.At < cEnd {
+				return fmt.Errorf("chaos: crashes %d and %d overlap on %v", j, i, c.Victim)
+			}
+		}
+	}
+	return nil
+}
+
+// Active reports whether the spec injects anything at all.
+func (s Spec) Active() bool {
+	return s.Drop > 0 || s.Duplicate > 0 || s.Corrupt > 0 || s.MaxExtraDelay > 0 ||
+		len(s.Partitions) > 0 || len(s.Crashes) > 0
+}
+
+// Verdict is the injector's decision for one frame.
+type Verdict struct {
+	// Drop discards the frame (a partition hit or a random drop).
+	Drop bool
+	// Duplicate delivers the frame twice.
+	Duplicate bool
+	// CorruptByte, when ≥ 0, is the frame byte index to XOR with
+	// CorruptMask before the frame goes on the wire.
+	CorruptByte int
+	// CorruptMask is the bit pattern to flip (never zero when
+	// CorruptByte ≥ 0).
+	CorruptMask byte
+	// ExtraDelay is additional delivery delay for this frame.
+	ExtraDelay time.Duration
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	// Frames is the number of verdicts issued.
+	Frames uint64
+	// Dropped counts random frame drops.
+	Dropped uint64
+	// Partitioned counts frames blocked by a partition window.
+	Partitioned uint64
+	// Duplicated counts duplicated frames.
+	Duplicated uint64
+	// Corrupted counts bit-flipped frames.
+	Corrupted uint64
+	// Delayed counts frames given extra jitter.
+	Delayed uint64
+}
+
+// Injector makes deterministic per-frame decisions for one run of a Spec.
+// It is safe for concurrent use by per-link writer goroutines: each directed
+// link draws from its own generator, so cross-link goroutine interleaving
+// cannot perturb any link's sequence.
+type Injector struct {
+	spec Spec
+
+	mu    sync.Mutex
+	links map[link]*rand.Rand
+	stats Stats
+}
+
+type link struct{ from, to msg.ProcID }
+
+// NewInjector builds the injector for one run. The spec must validate.
+func NewInjector(spec Spec) (*Injector, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{spec: spec, links: make(map[link]*rand.Rand)}, nil
+}
+
+// Spec returns the scenario the injector runs.
+func (i *Injector) Spec() Spec { return i.spec }
+
+// linkRand returns the directed link's private generator, creating it on
+// first use with a seed derived from (spec seed, link identity).
+func (i *Injector) linkRand(l link) *rand.Rand {
+	if rng, ok := i.links[l]; ok {
+		return rng
+	}
+	seed := i.spec.Seed ^ (int64(l.from)+1)<<40 ^ (int64(l.to)+1)<<48 ^ 0x63686173
+	rng := rand.New(rand.NewSource(seed))
+	i.links[l] = rng
+	return rng
+}
+
+// FrameVerdict decides the fate of one frame on the from→to link at the
+// given elapsed run time. frameLen is the wire size (for picking the byte to
+// corrupt). Draw order per link is fixed — drop, duplicate, corrupt (+2
+// draws when it hits), jitter — so the sequence depends only on the link's
+// own frame count.
+func (i *Injector) FrameVerdict(from, to msg.ProcID, elapsed time.Duration, frameLen int) Verdict {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.stats.Frames++
+	v := Verdict{CorruptByte: -1}
+	for _, p := range i.spec.Partitions {
+		if p.covers(from, to, elapsed) {
+			i.stats.Partitioned++
+			v.Drop = true
+			// No random draws for a partitioned frame: healing time,
+			// not traffic, ends the window, so the post-heal draw
+			// sequence depends only on the non-partitioned frame count.
+			return v
+		}
+	}
+	rng := i.linkRand(link{from: from, to: to})
+	if i.spec.Drop > 0 && rng.Float64() < i.spec.Drop {
+		i.stats.Dropped++
+		v.Drop = true
+		return v
+	}
+	if i.spec.Duplicate > 0 && rng.Float64() < i.spec.Duplicate {
+		i.stats.Duplicated++
+		v.Duplicate = true
+	}
+	if i.spec.Corrupt > 0 && rng.Float64() < i.spec.Corrupt && frameLen > 0 {
+		i.stats.Corrupted++
+		v.CorruptByte = rng.Intn(frameLen)
+		v.CorruptMask = byte(1 << rng.Intn(8))
+	}
+	if i.spec.MaxExtraDelay > 0 {
+		if d := time.Duration(rng.Int63n(int64(i.spec.MaxExtraDelay) + 1)); d > 0 {
+			i.stats.Delayed++
+			v.ExtraDelay = d
+		}
+	}
+	return v
+}
+
+// Partitioned reports whether the from→to link is blocked at the given
+// elapsed time, without consuming randomness or counting a frame.
+func (i *Injector) Partitioned(from, to msg.ProcID, elapsed time.Duration) bool {
+	for _, p := range i.spec.Partitions {
+		if p.covers(from, to, elapsed) {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns a snapshot of the fault counters.
+func (i *Injector) Stats() Stats {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.stats
+}

@@ -77,11 +77,12 @@ func NewDirtyBit() *DirtyBit {
 		{Pkg: gmdcd, Type: "process", Field: "valid", Writers: w(gmdcd + ".restore")},
 		{Pkg: gmdcd, Type: "process", Field: "ownSN", Writers: w(gmdcd+".restore", gmdcd+".emitInternal")},
 		// TB checkpoint lifecycle: Ndc moves only on a commit (timer-driven
-		// endBlocking or the write-through baseline's CommitImmediate) or a
-		// hardware-recovery rewind; the blocking flag toggles only at the
+		// endBlocking or the write-through baseline's CommitImmediate), a
+		// hardware-recovery rewind, or a durable-storage reload after a node
+		// restart; the blocking flag toggles only at the
 		// createCKPT/endBlocking edges (plus teardown).
 		{Pkg: tb, Type: "Checkpointer", Field: "ndc",
-			Writers: w(tb+".endBlocking", tb+".CommitImmediate", tb+".PrepareRecoveryAt")},
+			Writers: w(tb+".endBlocking", tb+".CommitImmediate", tb+".PrepareRecoveryAt", tb+".ResumeFromStable")},
 		{Pkg: tb, Type: "Checkpointer", Field: "inBlocking",
 			Writers: w(tb+".createCKPT", tb+".endBlocking", tb+".Stop", tb+".AbortCycle")},
 		{Pkg: tb, Type: "Checkpointer", Field: "expectDirty",

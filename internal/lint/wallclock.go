@@ -24,8 +24,9 @@ type WallClock struct {
 func NewWallClock() *WallClock {
 	return &WallClock{
 		Allowed: map[string]bool{
-			"github.com/synergy-ft/synergy/internal/live":    true,
-			"github.com/synergy-ft/synergy/cmd/synergy-live": true,
+			"github.com/synergy-ft/synergy/internal/live":     true,
+			"github.com/synergy-ft/synergy/cmd/synergy-live":  true,
+			"github.com/synergy-ft/synergy/cmd/synergy-chaos": true,
 		},
 		Funcs: map[string]bool{
 			"Now": true, "Sleep": true, "After": true, "AfterFunc": true,

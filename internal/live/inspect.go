@@ -1,0 +1,55 @@
+package live
+
+import (
+	"fmt"
+
+	"github.com/synergy-ft/synergy/internal/checkpoint"
+	"github.com/synergy-ft/synergy/internal/invariant"
+	"github.com/synergy-ft/synergy/internal/msg"
+)
+
+// RecoveryLine assembles the recovery line a hardware fault right now would
+// restore: every live node's stable checkpoint at the highest round all of
+// them have committed. Down and failed (demoted) nodes sit out, exactly as
+// they do during recovery. All node locks are held while the line is
+// sampled, so it is a quiescent snapshot of the protocol state.
+func (mw *Middleware) RecoveryLine() (invariant.Line, error) {
+	mw.mu.Lock()
+	active := msg.P1Act
+	if mw.actDemoted {
+		active = msg.P1Sdw
+	}
+	mw.mu.Unlock()
+
+	unlock := mw.lockAll()
+	defer unlock()
+	line := invariant.Line{
+		Ckpts:    make(map[msg.ProcID]*checkpoint.Checkpoint, len(mw.nodes)),
+		ActiveC1: active,
+	}
+	round := ^uint64(0)
+	live := 0
+	for _, n := range mw.nodes {
+		if n.proc.Failed() || n.down {
+			continue
+		}
+		live++
+		if r := n.cp.Ndc(); r < round {
+			round = r
+		}
+	}
+	if live == 0 || round == 0 {
+		return line, fmt.Errorf("live: no complete checkpoint round yet")
+	}
+	for id, n := range mw.nodes {
+		if n.proc.Failed() || n.down {
+			continue
+		}
+		c, err := n.cp.StableAtRound(round)
+		if err != nil {
+			return line, fmt.Errorf("live: recovery line: %v: %w", id, err)
+		}
+		line.Ckpts[id] = c
+	}
+	return line, nil
+}

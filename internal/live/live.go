@@ -21,8 +21,10 @@ import (
 
 	"github.com/synergy-ft/synergy/internal/app"
 	"github.com/synergy-ft/synergy/internal/at"
+	"github.com/synergy-ft/synergy/internal/chaos"
 	"github.com/synergy-ft/synergy/internal/mdcd"
 	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/storage"
 	"github.com/synergy-ft/synergy/internal/tb"
 	"github.com/synergy-ft/synergy/internal/trace"
 	"github.com/synergy-ft/synergy/internal/vtime"
@@ -48,7 +50,28 @@ type Config struct {
 	// Net selects the interconnect implementation (default: in-process
 	// channels; TCPTransport runs loopback sockets).
 	Net Transport
+	// StableDir, when non-empty, backs each node's stable storage with a
+	// durable append-only log at <StableDir>/<proc>.stable. Committed
+	// rounds then survive a node crash: KillNode/RestartNode reboot the
+	// node from the on-disk checkpoints. Empty keeps stable storage in
+	// memory (the simulator and fast tests).
+	StableDir string
+	// StableRetention deepens each node's retained stable history (rounds
+	// survivors must still hold when a crashed peer rejoins). Zero picks
+	// the default: durableRetention with StableDir, the storage package's
+	// minimum otherwise.
+	StableRetention int
+	// Chaos injects transport faults (drop, duplication, corruption,
+	// delay jitter, partitions) and crash-restart schedules into the run.
+	// Frame-level faults and partitions require TCPTransport; crash
+	// schedules additionally require StableDir so victims can reboot.
+	Chaos chaos.Spec
 }
+
+// durableRetention is the default stable history depth for durable runs:
+// deep enough that survivors still retain the common round after a peer
+// spends several checkpoint intervals down.
+const durableRetention = 8
 
 // DefaultConfig returns a millisecond-scale configuration suitable for tests
 // and demos.
@@ -88,6 +111,19 @@ func (c Config) Validate() error {
 	if err := c.Workload2.Validate(); err != nil {
 		return fmt.Errorf("workload2: %w", err)
 	}
+	if c.StableRetention < 0 {
+		return fmt.Errorf("live: negative stable retention")
+	}
+	if err := c.Chaos.Validate(); err != nil {
+		return err
+	}
+	if c.Net != TCPTransport && (c.Chaos.Drop > 0 || c.Chaos.Duplicate > 0 ||
+		c.Chaos.Corrupt > 0 || c.Chaos.MaxExtraDelay > 0 || len(c.Chaos.Partitions) > 0) {
+		return fmt.Errorf("live: frame-level chaos requires the TCP transport")
+	}
+	if len(c.Chaos.Crashes) > 0 && c.StableDir == "" {
+		return fmt.Errorf("live: crash schedules require durable stable storage (StableDir)")
+	}
 	return nil
 }
 
@@ -97,6 +133,7 @@ type Middleware struct {
 	start time.Time
 	rec   *lockedRecorder
 	net   transport
+	inj   *chaos.Injector
 
 	nodes map[msg.ProcID]*node
 
@@ -121,6 +158,14 @@ type node struct {
 	rng  *rand.Rand
 
 	timers *timerSet
+
+	// down marks the node crashed (KillNode): routing, workload and
+	// recovery skip it until RestartNode reboots it from durable storage.
+	down bool
+	// restarts counts reboots, salting the rebuilt node's seeds.
+	restarts int
+	// backend is the durable stable-storage log (nil without StableDir).
+	backend *storage.FileBackend
 }
 
 // withLock runs fn under the node's protocol lock.
@@ -146,6 +191,12 @@ func (l *lockedRecorder) Count(p msg.ProcID, k trace.Kind) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.r.Count(p, k)
+}
+
+func (l *lockedRecorder) Events() []trace.Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Events()
 }
 
 // timerSet tracks outstanding wall-clock timers so Stop can cancel them.

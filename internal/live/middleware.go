@@ -3,16 +3,26 @@ package live
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"time"
 
+	"github.com/synergy-ft/synergy/internal/chaos"
 	"github.com/synergy-ft/synergy/internal/checkpoint"
 	"github.com/synergy-ft/synergy/internal/mdcd"
 	"github.com/synergy-ft/synergy/internal/msg"
 	"github.com/synergy-ft/synergy/internal/stats"
+	"github.com/synergy-ft/synergy/internal/storage"
 	"github.com/synergy-ft/synergy/internal/tb"
 	"github.com/synergy-ft/synergy/internal/trace"
 	"github.com/synergy-ft/synergy/internal/vtime"
 )
+
+// nodeRoles assigns each process its MDCD role.
+var nodeRoles = map[msg.ProcID]mdcd.Role{
+	msg.P1Act: mdcd.RoleActive,
+	msg.P1Sdw: mdcd.RoleShadow,
+	msg.P2:    mdcd.RolePeer,
+}
 
 // New assembles a middleware instance running the coordinated scheme
 // (modified MDCD + adapted TB).
@@ -27,6 +37,13 @@ func New(cfg Config) (*Middleware, error) {
 		nodes: make(map[msg.ProcID]*node),
 		stop:  make(chan struct{}),
 	}
+	if cfg.Chaos.Active() {
+		inj, err := chaos.NewInjector(cfg.Chaos)
+		if err != nil {
+			return nil, err
+		}
+		mw.inj = inj
+	}
 	switch cfg.Net {
 	case TCPTransport:
 		tn, err := newTCPNet(mw, cfg.Seed^0x6e657477)
@@ -40,41 +57,96 @@ func New(cfg Config) (*Middleware, error) {
 	mw.metrics.RollbackByProc = make(map[msg.ProcID]*stats.Sample)
 
 	buildRng := rand.New(rand.NewSource(cfg.Seed))
-	roles := map[msg.ProcID]mdcd.Role{
-		msg.P1Act: mdcd.RoleActive,
-		msg.P1Sdw: mdcd.RoleShadow,
-		msg.P2:    mdcd.RolePeer,
-	}
 	for _, id := range msg.Processes() {
-		id := id
-		n := &node{
-			id:     id,
-			rng:    rand.New(rand.NewSource(cfg.Seed ^ int64(id)<<32)),
-			timers: newTimerSet(),
-		}
-		env := &liveEnv{mw: mw, n: n}
-		n.proc = mdcd.NewProcess(id, roles[id], mdcd.Config{
-			Mode:      mdcd.ModeModified,
-			GateOnNdc: true,
-			Test:      cfg.Test,
-		}, env)
-		clock := vtime.NewClock(cfg.Clock, buildRng)
-		cp, err := tb.NewCheckpointer(id, tb.Config{
-			Variant:  tb.Adapted,
-			Interval: cfg.CheckpointInterval,
-			Clock:    cfg.Clock,
-			MinDelay: cfg.MinDelay,
-			MaxDelay: cfg.MaxDelay,
-		}, clock, &liveRuntime{mw: mw, n: n}, liveHost{n: n}, mw.rec.Record)
-		if err != nil {
+		n := &node{id: id}
+		if err := mw.buildNode(n, buildRng); err != nil {
+			mw.net.close()
 			return nil, err
 		}
-		n.cp = cp
-		n.proc.DirtyChanged = cp.NotifyDirtyChanged
-		n.proc.UnackedProvider = cp.UnackedSnapshot
+		if err := mw.attachStable(n); err != nil {
+			mw.net.close()
+			return nil, err
+		}
 		mw.nodes[id] = n
 	}
 	return mw, nil
+}
+
+// buildNode (re)constructs a node's protocol state in place: fresh process,
+// checkpointer, timers and rng. clockRng seeds the node's local clock
+// model. It runs at assembly and again on every RestartNode reboot.
+func (mw *Middleware) buildNode(n *node, clockRng *rand.Rand) error {
+	cfg := mw.cfg
+	n.rng = rand.New(rand.NewSource(cfg.Seed ^ int64(n.id)<<32 ^ int64(n.restarts)<<8))
+	n.timers = newTimerSet()
+	env := &liveEnv{mw: mw, n: n}
+	n.proc = mdcd.NewProcess(n.id, nodeRoles[n.id], mdcd.Config{
+		Mode:      mdcd.ModeModified,
+		GateOnNdc: true,
+		Test:      cfg.Test,
+	}, env)
+	clock := vtime.NewClock(cfg.Clock, clockRng)
+	cp, err := tb.NewCheckpointer(n.id, tb.Config{
+		Variant:  tb.Adapted,
+		Interval: cfg.CheckpointInterval,
+		Clock:    cfg.Clock,
+		MinDelay: cfg.MinDelay,
+		MaxDelay: cfg.MaxDelay,
+	}, clock, &liveRuntime{mw: mw, n: n}, liveHost{n: n}, mw.rec.Record)
+	if err != nil {
+		return err
+	}
+	n.cp = cp
+	cp.Stable.SetRetention(mw.stableRetention())
+	n.proc.DirtyChanged = cp.NotifyDirtyChanged
+	n.proc.UnackedProvider = cp.UnackedSnapshot
+	return nil
+}
+
+// stableRetention resolves the configured stable history depth.
+func (mw *Middleware) stableRetention() int {
+	if mw.cfg.StableRetention > 0 {
+		return mw.cfg.StableRetention
+	}
+	if mw.cfg.StableDir != "" {
+		return durableRetention
+	}
+	return 0
+}
+
+// stablePath is the node's durable log location.
+func (mw *Middleware) stablePath(id msg.ProcID) string {
+	return filepath.Join(mw.cfg.StableDir, fmt.Sprintf("%v.stable", id))
+}
+
+// attachStable opens the node's durable stable-storage log (when configured)
+// and loads whatever rounds survive on disk into the checkpointer, restoring
+// the process from the newest recovered checkpoint. Damaged tails were
+// already discarded by the storage layer's recovery.
+func (mw *Middleware) attachStable(n *node) error {
+	if mw.cfg.StableDir == "" {
+		return nil
+	}
+	fb, info, err := storage.OpenFile(mw.stablePath(n.id))
+	if err != nil {
+		return fmt.Errorf("live: open stable log for %v: %w", n.id, err)
+	}
+	if err := n.cp.Stable.Load(info.Records); err != nil {
+		fb.Close()
+		return fmt.Errorf("live: load stable log for %v: %w", n.id, err)
+	}
+	n.cp.Stable.SetBackend(fb)
+	n.cp.Stable.SetRetention(mw.stableRetention())
+	n.backend = fb
+	if n.cp.Stable.LatestRound() > 0 {
+		restored, err := n.cp.ResumeFromStable()
+		if err != nil {
+			fb.Close()
+			return fmt.Errorf("live: resume %v from stable: %w", n.id, err)
+		}
+		n.proc.RestoreFrom(restored)
+	}
+	return nil
 }
 
 // Metrics aggregates the run's dependability outcomes.
@@ -105,13 +177,15 @@ func (mw *Middleware) Metrics() Metrics {
 // now returns middleware-relative virtual time (the wall clock).
 func (mw *Middleware) now() vtime.Time { return vtime.Time(time.Since(mw.start)) }
 
-// Start launches the checkpoint timers and the workload generators.
+// Start launches the checkpoint timers, the workload generators and (when a
+// chaos scenario schedules them) the crash-restart runners.
 func (mw *Middleware) Start() {
 	for _, n := range mw.nodes {
 		n := n
 		n.withLock(func() { n.cp.Start() })
 	}
 	mw.startWorkload()
+	mw.startCrashSchedule()
 }
 
 // Stop halts workload, timers and deliveries. It is idempotent.
@@ -129,7 +203,13 @@ func (mw *Middleware) Stop() {
 	mw.net.close()
 	for _, n := range mw.nodes {
 		n := n
-		n.withLock(func() { n.cp.Stop() })
+		n.withLock(func() {
+			n.cp.Stop()
+			if n.backend != nil {
+				n.backend.Close()
+				n.backend = nil
+			}
+		})
 		n.timers.stopAll()
 	}
 }
@@ -154,6 +234,9 @@ func (mw *Middleware) route(m msg.Message) {
 		return
 	}
 	n.withLock(func() {
+		if n.down {
+			return // crashed host: traffic vanishes until restart
+		}
 		if m.Kind == msg.Ack {
 			n.cp.OnAck(m)
 			return
@@ -229,6 +312,7 @@ func (mw *Middleware) Failure() (bool, string) {
 // Trace exposes the locked trace recorder.
 func (mw *Middleware) Trace() interface {
 	Count(p msg.ProcID, k trace.Kind) int
+	Events() []trace.Event
 } {
 	return mw.rec
 }

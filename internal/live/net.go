@@ -77,6 +77,13 @@ func (n *realNet) deliver(m msg.Message, epoch uint64) {
 	n.mw.route(m)
 }
 
+// dropNode is a no-op: the channel transport has no per-node endpoints to
+// sever — a down node's traffic is discarded at routing instead.
+func (n *realNet) dropNode(msg.ProcID) {}
+
+// rejoinNode is a no-op for the channel transport.
+func (n *realNet) rejoinNode(msg.ProcID) error { return nil }
+
 // flush invalidates all in-flight messages (system-wide rollback).
 func (n *realNet) flush() {
 	n.mu.Lock()

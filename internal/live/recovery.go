@@ -56,6 +56,9 @@ func (mw *Middleware) softwareRecovery(detector msg.ProcID) {
 	mw.net.flush()
 
 	for _, n := range []*node{sdw, p2} {
+		if n.down {
+			continue // crashed host rejoins via RestartNode
+		}
 		n.cp.AbortCycle()
 		n.cp.DropUnacked(msg.P1Act)
 		rolled, restored, err := n.proc.RecoverSoftware()
@@ -117,15 +120,24 @@ func (mw *Middleware) InjectHardwareFault(victim msg.ProcID) error {
 	defer unlock()
 
 	now := mw.now()
-	if n, ok := mw.nodes[victim]; ok {
+	if n, ok := mw.nodes[victim]; ok && !n.down {
 		n.proc.Volatile.Crash()
 		mw.rec.Record(trace.Event{At: now, Proc: victim, Kind: trace.NodeCrashed})
 	}
+	return mw.recoverLocked(now, "hardware recovery")
+}
+
+// recoverLocked performs system-wide hardware error recovery with every node
+// lock held: discard in-flight traffic, roll every live process back to the
+// highest round all of them have committed, re-send saved unacknowledged
+// messages, and restart checkpoint timers on a common tick. Down and failed
+// nodes sit out.
+func (mw *Middleware) recoverLocked(now vtime.Time, note string) error {
 	mw.net.flush()
 
 	round := ^uint64(0)
 	for _, n := range mw.nodes {
-		if n.proc.Failed() {
+		if n.proc.Failed() || n.down {
 			continue
 		}
 		if r := n.cp.Ndc(); r < round {
@@ -138,7 +150,7 @@ func (mw *Middleware) InjectHardwareFault(victim msg.ProcID) error {
 	mw.mu.Unlock()
 
 	for id, n := range mw.nodes {
-		if n.proc.Failed() {
+		if n.proc.Failed() || n.down {
 			continue
 		}
 		restored, err := n.cp.PrepareRecoveryAt(round)
@@ -161,12 +173,12 @@ func (mw *Middleware) InjectHardwareFault(victim msg.ProcID) error {
 		}
 		s.Add(dist)
 		mw.mu.Unlock()
-		mw.rec.Record(trace.Event{At: now, Proc: id, Kind: trace.RolledBack, Note: "hardware recovery"})
+		mw.rec.Record(trace.Event{At: now, Proc: id, Kind: trace.RolledBack, Note: note})
 	}
 	ival := int64(mw.cfg.CheckpointInterval)
 	target := vtime.Time((int64(now)/ival + 2) * ival)
 	for _, n := range mw.nodes {
-		if n.proc.Failed() {
+		if n.proc.Failed() || n.down {
 			continue
 		}
 		for _, m := range n.cp.UnackedSnapshot() {

@@ -1,0 +1,166 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/chaos"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/trace"
+)
+
+// KillNode crashes one node's host: its timers die, its volatile state is
+// lost, its durable stable log handle drops (committed rounds are already
+// fsynced), and the transport severs its connections — inbound and outbound
+// frames fail or vanish until RestartNode. Unlike InjectHardwareFault, the
+// survivors keep running; the system-wide rollback happens when the victim
+// rejoins.
+func (mw *Middleware) KillNode(victim msg.ProcID) error {
+	n, ok := mw.nodes[victim]
+	if !ok {
+		return fmt.Errorf("live: unknown process %v", victim)
+	}
+	already := false
+	n.withLock(func() {
+		if n.down {
+			already = true
+			return
+		}
+		n.down = true
+		n.cp.Stop()
+		n.proc.Volatile.Crash()
+		if n.backend != nil {
+			n.backend.Close()
+			n.backend = nil
+		}
+	})
+	if already {
+		return fmt.Errorf("live: %v is already down", victim)
+	}
+	n.timers.stopAll()
+	mw.net.dropNode(victim)
+	mw.rec.Record(trace.Event{At: mw.now(), Proc: victim, Kind: trace.NodeCrashed, Note: "node killed"})
+	return nil
+}
+
+// RestartNode boots a fresh instance of a killed node: protocol state is
+// rebuilt from scratch, the durable stable log is re-opened and recovered
+// (torn tails fall back to the newest intact round), the process restores
+// from the newest on-disk checkpoint, the transport listener comes back, and
+// a system-wide hardware recovery rolls every live process to the highest
+// round all of them — including the rejoiner — have committed, re-sending
+// saved unacknowledged messages over the fresh connections.
+func (mw *Middleware) RestartNode(victim msg.ProcID) error {
+	if failed, why := mw.Failure(); failed {
+		return fmt.Errorf("live: system already failed: %s", why)
+	}
+	n, ok := mw.nodes[victim]
+	if !ok {
+		return fmt.Errorf("live: unknown process %v", victim)
+	}
+	mw.mu.Lock()
+	demoted := mw.actDemoted
+	mw.mu.Unlock()
+	if demoted && victim == msg.P1Act {
+		return fmt.Errorf("live: %v was demoted by software recovery and cannot rejoin", victim)
+	}
+	unlock := mw.lockAll()
+	defer unlock()
+	if !n.down {
+		return fmt.Errorf("live: %v is not down", victim)
+	}
+	n.restarts++
+	clockRng := rand.New(rand.NewSource(mw.cfg.Seed ^ int64(victim)<<40 ^ int64(n.restarts)))
+	if err := mw.buildNode(n, clockRng); err != nil {
+		mw.failf("restart %v: %v", victim, err)
+		return err
+	}
+	if err := mw.attachStable(n); err != nil {
+		mw.failf("restart %v: %v", victim, err)
+		return err
+	}
+	if err := mw.net.rejoinNode(victim); err != nil {
+		mw.failf("restart %v: %v", victim, err)
+		return err
+	}
+	n.down = false
+	now := mw.now()
+	mw.rec.Record(trace.Event{At: now, Proc: victim, Kind: trace.NodeRestarted, Note: "rebooted from durable stable storage"})
+	return mw.recoverLocked(now, "crash-restart recovery")
+}
+
+// NodeDown reports whether the node is currently crashed.
+func (mw *Middleware) NodeDown(id msg.ProcID) bool {
+	n, ok := mw.nodes[id]
+	if !ok {
+		return false
+	}
+	var down bool
+	n.withLock(func() { down = n.down })
+	return down
+}
+
+// ChaosStats returns the fault injector's counters (zero without a chaos
+// scenario).
+func (mw *Middleware) ChaosStats() chaos.Stats {
+	if mw.inj == nil {
+		return chaos.Stats{}
+	}
+	return mw.inj.Stats()
+}
+
+// CRCDrops reports frames the TCP receivers dropped on integrity-check
+// failure (zero for other transports).
+func (mw *Middleware) CRCDrops() uint64 {
+	if tn, ok := mw.net.(*tcpNet); ok {
+		return tn.crcDropCount()
+	}
+	return 0
+}
+
+// startCrashSchedule launches one runner per scheduled chaos crash: it
+// sleeps to the kill time, crashes the victim, waits out the downtime and
+// reboots it from durable storage.
+func (mw *Middleware) startCrashSchedule() {
+	if mw.inj == nil {
+		return
+	}
+	for _, c := range mw.inj.Spec().Crashes {
+		c := c
+		mw.wg.Add(1)
+		go func() {
+			defer mw.wg.Done()
+			if !mw.sleepStop(time.Until(mw.start.Add(c.At))) {
+				return
+			}
+			if err := mw.KillNode(c.Victim); err != nil {
+				return // unknown victim or already down (validation prevents overlap)
+			}
+			if c.Downtime <= 0 {
+				return // scheduled to stay down
+			}
+			if !mw.sleepStop(c.Downtime) {
+				return
+			}
+			if err := mw.RestartNode(c.Victim); err != nil {
+				mw.failf("chaos restart %v: %v", c.Victim, err)
+			}
+		}()
+	}
+}
+
+// sleepStop waits out d, returning false if the middleware stopped first.
+func (mw *Middleware) sleepStop(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-mw.stop:
+		return false
+	}
+}

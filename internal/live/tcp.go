@@ -3,12 +3,14 @@ package live
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"github.com/synergy-ft/synergy/internal/chaos"
 	"github.com/synergy-ft/synergy/internal/msg"
 )
 
@@ -16,23 +18,35 @@ import (
 // connection per directed process pair (TCP's byte-stream ordering then
 // gives per-channel FIFO for free), and a per-pair writer goroutine that
 // injects the configured delivery delay before writing. Frames carry the
-// sender's epoch; a recovery flush bumps the epoch so queued and in-flight
-// frames are discarded at the receiver.
+// sender's epoch and a CRC32 over the wire bytes; a recovery flush bumps the
+// epoch so queued and in-flight frames are discarded at the receiver, and a
+// corrupted frame is detected and dropped without killing the connection
+// (fixed-size framing keeps the stream in sync).
+//
+// The writer survives transport faults: a failed dial or mid-write error
+// severs the connection, backs off with capped exponential delay plus
+// jitter, and retries the same frame over a fresh connection — so a node
+// crash-restart (dropNode/rejoinNode swaps the victim's listener) heals
+// without losing still-current frames.
 type tcpNet struct {
 	mw *Middleware
 
-	mu        sync.Mutex
-	rng       *rand.Rand
-	epoch     uint64
-	listeners map[msg.ProcID]net.Listener
-	addrs     map[msg.ProcID]string
-	writers   map[pair]chan frame
-	conns     []net.Conn
-	closed    bool
-	sent      uint64
-	delivered uint64
+	mu          sync.Mutex
+	rng         *rand.Rand
+	epoch       uint64
+	listeners   map[msg.ProcID]net.Listener
+	addrs       map[msg.ProcID]string
+	writers     map[pair]chan frame
+	writerConns map[pair]net.Conn
+	readers     map[msg.ProcID]map[net.Conn]struct{}
+	closed      bool
+	sent        uint64
+	delivered   uint64
+	crcDrops    uint64
+	seed        int64
 
-	wg sync.WaitGroup
+	done chan struct{}
+	wg   sync.WaitGroup
 }
 
 type frame struct {
@@ -41,16 +55,31 @@ type frame struct {
 	message msg.Message
 }
 
-// frameSize is the wire size of one frame: epoch + encoded message.
-const frameSize = 8 + msg.EncodedSize
+// frameSize is the wire size of one frame: epoch + CRC32 + encoded message.
+const frameSize = 8 + 4 + msg.EncodedSize
+
+// Transport fault-handling knobs.
+const (
+	tcpDialTimeout  = time.Second
+	tcpWriteTimeout = time.Second
+	tcpBackoffBase  = 2 * time.Millisecond
+	tcpBackoffCap   = 250 * time.Millisecond
+	// tcpRetransmitDelay emulates the link layer's retransmission timeout
+	// for a chaos-dropped first transmission.
+	tcpRetransmitDelay = 2 * time.Millisecond
+)
 
 func newTCPNet(mw *Middleware, seed int64) (*tcpNet, error) {
 	n := &tcpNet{
-		mw:        mw,
-		rng:       rand.New(rand.NewSource(seed)),
-		listeners: make(map[msg.ProcID]net.Listener),
-		addrs:     make(map[msg.ProcID]string),
-		writers:   make(map[pair]chan frame),
+		mw:          mw,
+		rng:         rand.New(rand.NewSource(seed)),
+		listeners:   make(map[msg.ProcID]net.Listener),
+		addrs:       make(map[msg.ProcID]string),
+		writers:     make(map[pair]chan frame),
+		writerConns: make(map[pair]net.Conn),
+		readers:     make(map[msg.ProcID]map[net.Conn]struct{}),
+		seed:        seed,
+		done:        make(chan struct{}),
 	}
 	for _, id := range msg.Processes() {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -61,12 +90,24 @@ func newTCPNet(mw *Middleware, seed int64) (*tcpNet, error) {
 		n.listeners[id] = l
 		n.addrs[id] = l.Addr().String()
 		n.wg.Add(1)
-		go n.acceptLoop(l)
+		go n.acceptLoop(id, l)
 	}
 	return n, nil
 }
 
 var _ transport = (*tcpNet)(nil)
+
+// appendFrame encodes one wire frame. The CRC covers the epoch and the
+// message bytes, so a flipped bit anywhere in the frame is detected.
+func appendFrame(buf []byte, epoch uint64, m msg.Message) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	buf = append(buf, 0, 0, 0, 0) // CRC slot, filled below
+	buf = msg.Encode(buf, m)
+	crc := crc32.ChecksumIEEE(buf[:8])
+	crc = crc32.Update(crc, crc32.IEEETable, buf[12:])
+	binary.LittleEndian.PutUint32(buf[8:12], crc)
+	return buf
+}
 
 func (n *tcpNet) send(m msg.Message) {
 	if m.To == msg.Device {
@@ -106,43 +147,197 @@ func (n *tcpNet) send(m msg.Message) {
 	n.mu.Unlock()
 }
 
+// sleep waits out d, returning false if the transport shut down first.
+func (n *tcpNet) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-n.done:
+		return false
+	}
+}
+
+// frameStale reports whether the frame's epoch was invalidated by a flush
+// (or the transport closed): retrying it would deliver pre-rollback state.
+func (n *tcpNet) frameStale(epoch uint64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return epoch != n.epoch || n.closed
+}
+
+// dialPeer connects to the destination's current listener and records the
+// connection so dropNode can sever it.
+func (n *tcpNet) dialPeer(ch pair) (net.Conn, error) {
+	n.mu.Lock()
+	addr, ok := n.addrs[ch.to]
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("live: transport closed")
+	}
+	if !ok {
+		return nil, fmt.Errorf("live: %v is down", ch.to)
+	}
+	c, err := net.DialTimeout("tcp", addr, tcpDialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("live: transport closed")
+	}
+	n.writerConns[ch] = c
+	n.mu.Unlock()
+	return c, nil
+}
+
+// dropWriterConn severs and forgets the pair's connection (if it is still
+// the tracked one).
+func (n *tcpNet) dropWriterConn(ch pair, c net.Conn) {
+	c.Close()
+	n.mu.Lock()
+	if n.writerConns[ch] == c {
+		delete(n.writerConns, ch)
+	}
+	n.mu.Unlock()
+}
+
 // writeLoop owns the connection for one directed channel: it dials lazily,
 // sleeps out each frame's artificial delay (single writer per channel keeps
-// FIFO), and writes length-fixed frames.
+// FIFO), and writes length-fixed frames via transmit, which retries through
+// connection failures and partition windows.
+//
+// Chaos faults model a noisy wire under a reliable link layer — the
+// protocol's channel contract (FIFO, no silent loss outside recovery
+// flushes) is preserved: a "dropped" frame costs a retransmission timeout, a
+// "corrupted" frame puts a bit-flipped copy on the wire (the receiver
+// CRC-drops it) followed by a clean retransmission, a duplicate is written
+// twice (the protocol's dedup re-acks it), and a partition stalls the writer
+// until heal. Frames are truly lost only when a recovery flush or a node
+// crash invalidates their epoch — exactly the losses the TB unacknowledged
+// logs re-cover. The per-frame verdict is drawn once, before any retrying,
+// so fault decisions form a deterministic per-link sequence regardless of
+// retry timing.
 func (n *tcpNet) writeLoop(ch pair, in <-chan frame) {
 	defer n.wg.Done()
-	var conn net.Conn
-	buf := make([]byte, 0, frameSize)
+	w := &chanWriter{
+		n:  n,
+		ch: ch,
+		// Backoff jitter is deterministic per pair given the run seed.
+		jrng: rand.New(rand.NewSource(n.seed ^ int64(ch.from)<<16 ^ int64(ch.to)<<24)),
+		buf:  make([]byte, 0, frameSize),
+	}
 	for f := range in {
-		if wait := time.Until(f.sendAt); wait > 0 {
-			time.Sleep(wait)
+		if !n.sleep(time.Until(f.sendAt)) {
+			return
 		}
-		if conn == nil {
-			n.mu.Lock()
-			addr, closed := n.addrs[ch.to], n.closed
-			n.mu.Unlock()
-			if closed {
+		v := chaos.Verdict{CorruptByte: -1}
+		if inj := n.mw.inj; inj != nil {
+			v = inj.FrameVerdict(ch.from, ch.to, time.Since(n.mw.start), frameSize)
+		}
+		if v.ExtraDelay > 0 && !n.sleep(v.ExtraDelay) {
+			return
+		}
+		if v.Drop {
+			// The wire ate the first transmission; the link layer's
+			// retransmission timeout passes before the copy below.
+			if !n.sleep(tcpRetransmitDelay) {
 				return
 			}
-			c, err := net.DialTimeout("tcp", addr, time.Second)
-			if err != nil {
-				continue // receiver gone; unacked logs re-cover
-			}
-			conn = c
-			n.mu.Lock()
-			n.conns = append(n.conns, c)
-			n.mu.Unlock()
 		}
-		buf = buf[:0]
-		buf = binary.LittleEndian.AppendUint64(buf, f.epoch)
-		buf = msg.Encode(buf, f.message)
-		if _, err := conn.Write(buf); err != nil {
-			return // connection torn down (shutdown)
+		if v.CorruptByte >= 0 {
+			// Corrupted copy first: the receiver detects the flip via
+			// CRC and drops it; the clean copy below is the
+			// retransmission that restores the stream.
+			if !w.transmit(f, v.CorruptByte, v.CorruptMask) {
+				return
+			}
+		}
+		if !w.transmit(f, -1, 0) {
+			return
+		}
+		if v.Duplicate && !w.transmit(f, -1, 0) {
+			return
 		}
 	}
 }
 
-func (n *tcpNet) acceptLoop(l net.Listener) {
+// chanWriter is one directed channel's connection state.
+type chanWriter struct {
+	n    *tcpNet
+	ch   pair
+	conn net.Conn
+	jrng *rand.Rand
+	buf  []byte
+}
+
+// transmit puts one wire copy of the frame on the channel, dialing lazily
+// and retrying with capped exponential backoff plus jitter through dial
+// failures, mid-write errors (the connection is severed and the frame
+// retried whole on a fresh one — fixed-size framing only stays in sync if a
+// connection starts clean) and chaos partition windows. The frame is
+// abandoned once its epoch goes stale; transmit reports false only when the
+// transport shuts down.
+func (w *chanWriter) transmit(f frame, corruptAt int, corruptMask byte) bool {
+	n := w.n
+	backoff := tcpBackoffBase
+	for {
+		if n.frameStale(f.epoch) {
+			return true
+		}
+		if inj := n.mw.inj; inj != nil && inj.Partitioned(w.ch.from, w.ch.to, time.Since(n.mw.start)) {
+			if !n.sleep(backoffJitter(&backoff, w.jrng)) {
+				return false
+			}
+			continue
+		}
+		if w.conn == nil {
+			c, err := n.dialPeer(w.ch)
+			if err != nil {
+				if !n.sleep(backoffJitter(&backoff, w.jrng)) {
+					return false
+				}
+				continue
+			}
+			w.conn = c
+		}
+		w.buf = appendFrame(w.buf[:0], f.epoch, f.message)
+		if corruptAt >= 0 {
+			w.buf[corruptAt] ^= corruptMask
+		}
+		_ = w.conn.SetWriteDeadline(time.Now().Add(tcpWriteTimeout))
+		if _, err := w.conn.Write(w.buf); err != nil {
+			n.dropWriterConn(w.ch, w.conn)
+			w.conn = nil
+			if !n.sleep(backoffJitter(&backoff, w.jrng)) {
+				return false
+			}
+			continue
+		}
+		return true
+	}
+}
+
+// backoffJitter returns the next retry delay — the current backoff plus up
+// to 50% jitter — and doubles the backoff toward the cap.
+func backoffJitter(backoff *time.Duration, rng *rand.Rand) time.Duration {
+	d := *backoff
+	d += time.Duration(rng.Int63n(int64(d)/2 + 1))
+	*backoff *= 2
+	if *backoff > tcpBackoffCap {
+		*backoff = tcpBackoffCap
+	}
+	return d
+}
+
+func (n *tcpNet) acceptLoop(id msg.ProcID, l net.Listener) {
 	defer n.wg.Done()
 	for {
 		conn, err := l.Accept()
@@ -150,22 +345,52 @@ func (n *tcpNet) acceptLoop(l net.Listener) {
 			return // listener closed
 		}
 		n.mu.Lock()
-		n.conns = append(n.conns, conn)
-		n.mu.Unlock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		set, ok := n.readers[id]
+		if !ok {
+			set = make(map[net.Conn]struct{})
+			n.readers[id] = set
+		}
+		set[conn] = struct{}{}
 		n.wg.Add(1)
-		go n.readLoop(conn)
+		n.mu.Unlock()
+		go n.readLoop(id, conn)
 	}
 }
 
-func (n *tcpNet) readLoop(conn net.Conn) {
+func (n *tcpNet) readLoop(id msg.ProcID, conn net.Conn) {
 	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		if set, ok := n.readers[id]; ok {
+			delete(set, conn)
+		}
+		n.mu.Unlock()
+	}()
 	buf := make([]byte, frameSize)
 	for {
 		if _, err := io.ReadFull(conn, buf); err != nil {
 			return
 		}
+		crc := crc32.ChecksumIEEE(buf[:8])
+		crc = crc32.Update(crc, crc32.IEEETable, buf[12:])
+		if crc != binary.LittleEndian.Uint32(buf[8:12]) {
+			// Corrupted in transit. The frame is dropped but the
+			// connection survives: fixed-size framing keeps the stream
+			// in sync, and the sender's unacknowledged log re-covers the
+			// loss at the next recovery.
+			n.mu.Lock()
+			n.crcDrops++
+			n.mu.Unlock()
+			continue
+		}
 		epoch := binary.LittleEndian.Uint64(buf)
-		m, _, err := msg.Decode(buf[8:])
+		m, _, err := msg.Decode(buf[12:])
 		if err != nil {
 			return // framing broken; drop the connection
 		}
@@ -182,18 +407,77 @@ func (n *tcpNet) readLoop(conn net.Conn) {
 	}
 }
 
+// dropNode severs the node's connectivity, emulating its host crashing: the
+// listener closes (dials fail until rejoin), accepted reader connections
+// drop, and writer connections touching the node break so the next write
+// errors immediately instead of draining into a dead socket.
+func (n *tcpNet) dropNode(id msg.ProcID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l, ok := n.listeners[id]; ok {
+		l.Close()
+		delete(n.listeners, id)
+		delete(n.addrs, id)
+	}
+	for c := range n.readers[id] {
+		c.Close()
+	}
+	for p, c := range n.writerConns {
+		if p.to == id || p.from == id {
+			c.Close()
+			delete(n.writerConns, p)
+		}
+	}
+}
+
+// rejoinNode restores connectivity for a restarted node with a fresh
+// listener; surviving writers' backoff loops find the new address on their
+// next dial.
+func (n *tcpNet) rejoinNode(id msg.ProcID) error {
+	// Listen outside the lock (a blocked listen under n.mu could stall
+	// frame delivery), then install under it, backing out on a race.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("live: relisten for %v: %w", id, err)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		l.Close()
+		return fmt.Errorf("live: transport closed")
+	}
+	if _, ok := n.listeners[id]; ok {
+		n.mu.Unlock()
+		l.Close()
+		return nil
+	}
+	n.listeners[id] = l
+	n.addrs[id] = l.Addr().String()
+	n.wg.Add(1)
+	n.mu.Unlock()
+	go n.acceptLoop(id, l)
+	return nil
+}
+
 func (n *tcpNet) flush() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.epoch++
 	// Queued-but-unsent frames carry the old epoch and will be discarded
-	// at the receivers; nothing else to do.
+	// at the receivers; writers abandon retries of stale frames.
 }
 
 func (n *tcpNet) stats() (uint64, uint64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.sent, n.delivered
+}
+
+// crcDropCount reports frames dropped by the receiver's integrity check.
+func (n *tcpNet) crcDropCount() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crcDrops
 }
 
 func (n *tcpNet) close() {
@@ -203,10 +487,16 @@ func (n *tcpNet) close() {
 		return
 	}
 	n.closed = true
+	close(n.done)
 	for _, l := range n.listeners {
 		l.Close()
 	}
-	for _, c := range n.conns {
+	for _, set := range n.readers {
+		for c := range set {
+			c.Close()
+		}
+	}
+	for _, c := range n.writerConns {
 		c.Close()
 	}
 	for _, w := range n.writers {

@@ -42,6 +42,11 @@ type transport interface {
 	flush()
 	// stats reports sent/delivered counters.
 	stats() (sent, delivered uint64)
+	// dropNode severs a crashed node's connectivity (no-op for
+	// transports without per-node endpoints).
+	dropNode(id msg.ProcID)
+	// rejoinNode restores connectivity for a restarted node.
+	rejoinNode(id msg.ProcID) error
 	// close releases sockets and goroutines.
 	close()
 }

@@ -73,7 +73,7 @@ func (mw *Middleware) appEvent(ids []msg.ProcID, fn func(p *mdcd.Process)) {
 	for _, id := range ids {
 		n := mw.nodes[id]
 		n.withLock(func() {
-			if n.proc.Failed() {
+			if n.proc.Failed() || n.down {
 				return
 			}
 			if n.cp.InBlocking() {
@@ -91,7 +91,7 @@ func (mw *Middleware) appEvent(ids []msg.ProcID, fn func(p *mdcd.Process)) {
 func (mw *Middleware) deferEvent(n *node, fn func(p *mdcd.Process)) {
 	n.timers.after(mw.cfg.MaxDelay+mw.cfg.Clock.MaxDeviation, func() {
 		n.withLock(func() {
-			if n.proc.Failed() {
+			if n.proc.Failed() || n.down {
 				return
 			}
 			if n.cp.InBlocking() {
@@ -107,7 +107,7 @@ func (mw *Middleware) deferEvent(n *node, fn func(p *mdcd.Process)) {
 func (mw *Middleware) ActivateSoftwareFault() {
 	n := mw.nodes[msg.P1Act]
 	n.withLock(func() {
-		if n.proc.Failed() {
+		if n.proc.Failed() || n.down {
 			return
 		}
 		n.proc.State.Corrupt()

@@ -60,7 +60,9 @@ func TestTruncateAbove(t *testing.T) {
 	var s Stable
 	commitRound(t, &s, 1, 10)
 	commitRound(t, &s, 2, 20)
-	s.TruncateAbove(1)
+	if err := s.TruncateAbove(1); err != nil {
+		t.Fatal(err)
+	}
 	if got := s.LatestRound(); got != 1 {
 		t.Fatalf("LatestRound after truncate = %d", got)
 	}
@@ -78,7 +80,9 @@ func TestTruncateAbove(t *testing.T) {
 func TestTruncateAboveZeroClearsEverything(t *testing.T) {
 	var s Stable
 	commitRound(t, &s, 1, 10)
-	s.TruncateAbove(0)
+	if err := s.TruncateAbove(0); err != nil {
+		t.Fatal(err)
+	}
 	if s.LatestRound() != 0 {
 		t.Fatal("all rounds should be gone")
 	}

@@ -35,6 +35,12 @@ type Stable struct {
 	inFlight  bool
 	retention int
 
+	// backend, when set, makes commits durable: every Commit is written
+	// through before it is acknowledged, and TruncateAbove rewrites the
+	// backing log. Nil (the default) keeps the area purely in-memory —
+	// the simulator's configuration.
+	backend Backend
+
 	// scratch is the recycled encode buffer behind pending. Commit hands
 	// the buffer over to the committed history, and the round evicted by
 	// the retention window donates its buffer back — so in steady state
@@ -97,13 +103,23 @@ func (s *Stable) Replace(c *checkpoint.Checkpoint) error {
 }
 
 // Commit makes the pending write durable as the given round. Rounds must be
-// committed in increasing order.
+// committed in increasing order. With a backend attached, the round is
+// written through (and fsynced) before the commit is acknowledged; a backend
+// failure abandons the write and leaves the previous committed rounds
+// intact, exactly as an aborted disk write would.
 func (s *Stable) Commit(round uint64) error {
 	if !s.inFlight {
 		return ErrNoWrite
 	}
 	if n := len(s.committed); n > 0 && s.committed[n-1].round >= round {
 		return fmt.Errorf("storage: commit round %d not above %d", round, s.committed[n-1].round)
+	}
+	if s.backend != nil {
+		keepFrom := s.keepFromAfter(round)
+		if err := s.backend.Commit(round, s.pending, keepFrom); err != nil {
+			s.Abandon()
+			return fmt.Errorf("storage: durable commit round %d: %w", round, err)
+		}
 	}
 	s.committed = append(s.committed, committedRound{round: round, data: s.pending})
 	// The committed history now owns the pending buffer; the next Begin
@@ -160,8 +176,10 @@ func (s *Stable) LatestRound() uint64 {
 }
 
 // TruncateAbove discards committed rounds newer than round: recovery to an
-// older round invalidates everything after it.
-func (s *Stable) TruncateAbove(round uint64) {
+// older round invalidates everything after it. With a backend attached the
+// truncation is durable before it returns — a restart must never resurrect
+// a rolled-back round.
+func (s *Stable) TruncateAbove(round uint64) error {
 	kept := s.committed[:0]
 	for _, c := range s.committed {
 		if c.round <= round {
@@ -169,6 +187,62 @@ func (s *Stable) TruncateAbove(round uint64) {
 		}
 	}
 	s.committed = kept
+	if s.backend != nil {
+		if err := s.backend.TruncateAbove(round); err != nil {
+			return fmt.Errorf("storage: durable truncate above %d: %w", round, err)
+		}
+	}
+	return nil
+}
+
+// keepFromAfter returns the lowest round the retention window will still
+// hold once the given round commits (the backend may discard older ones).
+func (s *Stable) keepFromAfter(round uint64) uint64 {
+	window := append([]uint64(nil), roundsOf(s.committed)...)
+	window = append(window, round)
+	if d := s.historyDepth(); len(window) > d {
+		window = window[len(window)-d:]
+	}
+	return window[0]
+}
+
+func roundsOf(cs []committedRound) []uint64 {
+	out := make([]uint64, len(cs))
+	for i, c := range cs {
+		out[i] = c.round
+	}
+	return out
+}
+
+// SetBackend attaches a durability backend. Rounds already committed in
+// memory are not retroactively persisted; attach before the first commit
+// (or immediately after Load, whose records came from the backend anyway).
+func (s *Stable) SetBackend(b Backend) { s.backend = b }
+
+// Backend returns the attached durability backend (nil when in-memory).
+func (s *Stable) Backend() Backend { return s.backend }
+
+// Load seeds the committed history from recovered records (oldest first,
+// strictly increasing rounds), replacing whatever the area held. It raises
+// retention to cover everything loaded so a following Commit does not
+// immediately evict recovered rounds.
+func (s *Stable) Load(recs []Record) error {
+	var last uint64
+	for _, r := range recs {
+		if r.Round <= last {
+			return fmt.Errorf("storage: load rounds not increasing (%d after %d)", r.Round, last)
+		}
+		last = r.Round
+	}
+	s.committed = s.committed[:0]
+	for _, r := range recs {
+		s.committed = append(s.committed, committedRound{round: r.Round, data: append([]byte(nil), r.Data...)})
+	}
+	s.SetRetention(len(recs))
+	s.pending = nil
+	s.scratch = nil
+	s.inFlight = false
+	return nil
 }
 
 func (s *Stable) decode(data []byte) (*checkpoint.Checkpoint, bool, error) {

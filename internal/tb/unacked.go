@@ -85,13 +85,34 @@ func (c *Checkpointer) PrepareRecoveryAt(round uint64) (*checkpoint.Checkpoint, 
 	if !ok {
 		return nil, fmt.Errorf("tb: round %d not retained (latest %d)", round, c.Stable.LatestRound())
 	}
-	c.Stable.TruncateAbove(round)
+	if err := c.Stable.TruncateAbove(round); err != nil {
+		return nil, err
+	}
 	c.ndc = round
 	c.unacked = nil
 	if len(cp.Unacked) > 0 {
 		c.unacked = make([]msg.Message, len(cp.Unacked))
 		copy(c.unacked, cp.Unacked)
 	}
+	return cp, nil
+}
+
+// ResumeFromStable aligns the checkpointer with a stable history loaded
+// from durable storage (Stable.Load after a node restart): Ndc advances to
+// the newest recovered round and the live unacknowledged set reverts to the
+// one stored with it — the messages the crashed process had produced but
+// never seen acknowledged, which hardware recovery re-sends over the
+// reconnect. The caller restores the process from the same checkpoint.
+func (c *Checkpointer) ResumeFromStable() (*checkpoint.Checkpoint, error) {
+	cp, ok, err := c.Stable.Latest()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, ErrNoStableCheckpoint
+	}
+	c.ndc = c.Stable.LatestRound()
+	c.AdoptUnacked(cp.Unacked)
 	return cp, nil
 }
 

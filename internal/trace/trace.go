@@ -53,6 +53,9 @@ const (
 	FaultActivated
 	// Resynced records a timer resynchronization.
 	Resynced
+	// NodeRestarted records a crashed node rebooting from durable
+	// stable storage.
+	NodeRestarted
 )
 
 // String implements fmt.Stringer.
@@ -76,6 +79,7 @@ func (k Kind) String() string {
 		TookOver:        "takeover",
 		FaultActivated:  "fault",
 		Resynced:        "resync",
+		NodeRestarted:   "restart",
 	}
 	if s, ok := names[k]; ok {
 		return s

@@ -3,6 +3,7 @@ package synergy
 import (
 	"time"
 
+	"github.com/synergy-ft/synergy/internal/chaos"
 	"github.com/synergy-ft/synergy/internal/live"
 	"github.com/synergy-ft/synergy/internal/mdcd"
 	"github.com/synergy-ft/synergy/internal/msg"
@@ -26,6 +27,14 @@ type MiddlewareConfig struct {
 	// listener per node, one connection per directed channel) instead of
 	// in-process channels.
 	UseTCP bool
+	// StableDir, when non-empty, backs each node's stable storage with a
+	// durable on-disk log, so nodes can be killed and restarted from
+	// their committed checkpoints (see KillNode/RestartNode).
+	StableDir string
+	// Chaos injects transport faults and crash-restart schedules into
+	// the run (frame-level faults require UseTCP; crash schedules require
+	// StableDir).
+	Chaos chaos.Spec
 }
 
 // Middleware runs the coordinated protocols under real concurrency.
@@ -56,6 +65,8 @@ func NewMiddleware(cfg MiddlewareConfig) (*Middleware, error) {
 	if cfg.UseTCP {
 		c.Net = live.TCPTransport
 	}
+	c.StableDir = cfg.StableDir
+	c.Chaos = cfg.Chaos
 	inner, err := live.New(c)
 	if err != nil {
 		return nil, err
@@ -83,6 +94,23 @@ func (m *Middleware) CommitUpgrade() bool { return m.inner.CommitUpgrade() }
 func (m *Middleware) InjectHardwareFault(p Process) error {
 	return m.inner.InjectHardwareFault(msg.ProcID(p))
 }
+
+// KillNode crashes a node's host: volatile state is lost and its transport
+// connections are severed until RestartNode (requires StableDir so the
+// node's committed rounds survive on disk).
+func (m *Middleware) KillNode(p Process) error {
+	return m.inner.KillNode(msg.ProcID(p))
+}
+
+// RestartNode reboots a killed node from its durable stable checkpoints and
+// runs a system-wide hardware recovery so it rejoins a consistent line.
+func (m *Middleware) RestartNode(p Process) error {
+	return m.inner.RestartNode(msg.ProcID(p))
+}
+
+// ChaosStats returns the chaos injector's fault counters (zero without a
+// scenario).
+func (m *Middleware) ChaosStats() chaos.Stats { return m.inner.ChaosStats() }
 
 // Report summarizes the run so far.
 func (m *Middleware) Report() Report {

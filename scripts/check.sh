@@ -11,6 +11,11 @@
 #   fuzz smoke   each codec fuzz target runs for FUZZTIME (default 10s) on
 #                top of its committed seed corpus, so decoder regressions
 #                that only arbitrary bytes would catch still surface pre-merge
+#   chaos soak   a seeded synergy-chaos run (lossy/duplicating/corrupting
+#                links, a partition, a P2 crash-restart from durable storage)
+#                must end healthy with a violation-free recovery line; on
+#                failure the protocol trace lands in chaos-trace.txt for CI
+#                to attach as an artifact
 #   bench smoke  every benchmark runs for one iteration, so a refactor that
 #                breaks a benchmark (or reintroduces hot-path allocations
 #                loud enough to fail an assertion) is caught before merge
@@ -53,12 +58,16 @@ fuzz_targets=(
     "./internal/msg FuzzRoundTrip"
     "./internal/checkpoint FuzzDecode"
     "./internal/checkpoint FuzzRoundTrip"
+    "./internal/storage FuzzStableLog"
 )
 for entry in "${fuzz_targets[@]}"; do
     pkg="${entry% *}" target="${entry#* }"
     echo "    $pkg $target"
     go test "$pkg" -run '^$' -fuzz "^${target}\$" -fuzztime "$fuzztime" > /dev/null
 done
+
+echo "==> chaos soak smoke (seeded: faults, partition, crash-restart)"
+go run ./cmd/synergy-chaos -seed 7 -duration 1500ms > /dev/null
 
 echo "==> bench smoke (1 iteration per benchmark)"
 go test -run '^$' -bench . -benchtime 1x ./... > /dev/null
