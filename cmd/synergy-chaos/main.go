@@ -23,6 +23,7 @@ import (
 	"github.com/synergy-ft/synergy/internal/live"
 	"github.com/synergy-ft/synergy/internal/mdcd"
 	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/obs"
 	"github.com/synergy-ft/synergy/internal/tb"
 )
 
@@ -49,6 +50,9 @@ func run() error {
 		stableDir = flag.String("stable-dir", "", "directory for durable stable logs (default: a fresh temp dir)")
 		traceOut  = flag.String("trace-out", "", "where to dump the protocol trace on failure (default: $CHAOS_TRACE or chaos-trace.txt)")
 		minRounds = flag.Uint64("min-rounds", 4, "stable rounds every node must commit for the liveness check")
+		metrics   = flag.String("metrics-addr", "", "also serve /metrics, /metrics.json and /debug/pprof/ during the soak (e.g. 127.0.0.1:0; empty disables the server, the registry always runs)")
+		metricsTo = flag.String("metrics-out", "", "where to write the final metrics snapshot as JSON (default: $CHAOS_METRICS or chaos-metrics.json)")
+		traceCap  = flag.Int("trace-cap", 65536, "bound the protocol trace to the newest N events (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -79,11 +83,27 @@ func run() error {
 		spec.Crashes = []chaos.Crash{{Victim: msg.P2, At: *crashAt, Downtime: *downtime}}
 	}
 
+	// The soak always runs instrumented: the final snapshot is the run's
+	// machine-readable outcome, and the assertions below cross-check the
+	// metrics pipeline against the injector's own counters.
+	reg := obs.NewRegistry()
+
 	cfg := live.DefaultConfig(*seed)
 	cfg.Net = live.TCPTransport
 	cfg.CheckpointInterval = *interval
 	cfg.StableDir = dir
 	cfg.Chaos = spec
+	cfg.Obs = reg
+	cfg.TraceCapacity = *traceCap
+
+	if *metrics != "" {
+		srv, err := obs.NewServer(*metrics, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics listening on %s\n", srv.Addr())
+	}
 
 	mw, err := live.New(cfg)
 	if err != nil {
@@ -132,6 +152,46 @@ func run() error {
 		}
 	}
 
+	// Cross-check the metrics pipeline: the registry's fault counters are
+	// fed by the same injector, so they must agree with its own stats
+	// exactly (the registry's get-or-create returns the run's counters).
+	co := chaos.NewObs(reg)
+	for _, chk := range []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"frames", co.Frames.Value(), st.Frames},
+		{"drop", co.Dropped.Value(), st.Dropped},
+		{"partition", co.Partitioned.Value(), st.Partitioned},
+		{"duplicate", co.Duplicated.Value(), st.Duplicated},
+		{"corrupt", co.Corrupted.Value(), st.Corrupted},
+		{"delay", co.Delayed.Value(), st.Delayed},
+	} {
+		if chk.got != chk.want {
+			problems = append(problems, fmt.Sprintf(
+				"metrics counter %q = %d disagrees with injector stats %d", chk.name, chk.got, chk.want))
+		}
+	}
+	snap := reg.Snapshot()
+	if n := familyTotal(snap, "synergy_tb_stable_commits_total"); n == 0 {
+		problems = append(problems, "metrics: no stable-checkpoint commits recorded")
+	}
+	if n := familyTotal(snap, "synergy_mdcd_checkpoints_total"); n == 0 {
+		problems = append(problems, "metrics: no volatile checkpoints recorded")
+	}
+	if n := familyTotal(snap, "synergy_live_transport_retries_total"); n == 0 && (*partAt > 0 || *crashAt > 0) {
+		problems = append(problems, "metrics: partition/crash scheduled but no transport retries recorded")
+	}
+	if n := familyTotal(snap, "synergy_chaos_injected_faults_total"); n == 0 && spec.Active() {
+		problems = append(problems, "metrics: chaos active but no injected faults recorded")
+	}
+	if path, err := writeMetrics(reg, *metricsTo); err != nil {
+		problems = append(problems, fmt.Sprintf("metrics snapshot: %v", err))
+	} else {
+		fmt.Println("metrics snapshot written to", path)
+	}
+
 	if len(problems) == 0 {
 		fmt.Println("chaos soak passed")
 		return nil
@@ -143,6 +203,40 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "trace written to", path)
 	}
 	return fmt.Errorf("%d assertion(s) failed", len(problems))
+}
+
+// familyTotal sums every series of one metric family in a snapshot.
+func familyTotal(s obs.Snapshot, name string) float64 {
+	var total float64
+	for _, f := range s.Families {
+		if f.Name != name {
+			continue
+		}
+		for _, ss := range f.Series {
+			total += ss.Value
+		}
+	}
+	return total
+}
+
+// writeMetrics writes the registry's final JSON snapshot, returning the path
+// written.
+func writeMetrics(reg *obs.Registry, path string) (string, error) {
+	if path == "" {
+		path = os.Getenv("CHAOS_METRICS")
+	}
+	if path == "" {
+		path = "chaos-metrics.json"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := reg.WriteJSON(f); err != nil {
+		return "", err
+	}
+	return path, f.Close()
 }
 
 // dumpTrace writes the run's full protocol trace for post-mortem, returning

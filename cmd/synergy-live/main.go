@@ -31,6 +31,8 @@ func run() error {
 		hwFault  = flag.Duration("hw-fault", 0, "inject a hardware fault this long after start (0 = never)")
 		swFault  = flag.Duration("sw-fault", 0, "activate the design fault this long after start (0 = never)")
 		useTCP   = flag.Bool("tcp", false, "run the interconnect over loopback TCP sockets")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address (e.g. 127.0.0.1:9090; empty disables)")
+		traceCap = flag.Int("trace-cap", 0, "bound the protocol trace to the newest N events (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -38,9 +40,14 @@ func run() error {
 		Seed:               *seed,
 		CheckpointInterval: *interval,
 		UseTCP:             *useTCP,
+		MetricsAddr:        *metrics,
+		TraceCapacity:      *traceCap,
 	})
 	if err != nil {
 		return err
+	}
+	if addr := mw.MetricsAddr(); addr != "" {
+		fmt.Printf("metrics listening on %s\n", addr)
 	}
 	mw.Start()
 	defer mw.Stop()

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/obs"
 )
 
 // Partition blocks frames between two processes for a window of run time.
@@ -169,9 +170,41 @@ type Stats struct {
 type Injector struct {
 	spec Spec
 
+	// Obs holds the injector's metrics; the zero value disables them. Set
+	// it before the run starts (FrameVerdict reads it under the lock).
+	Obs Obs
+
 	mu    sync.Mutex
 	links map[link]*rand.Rand
 	stats Stats
+}
+
+// Obs bundles the injector's metrics: issued verdicts plus injected faults
+// by kind. The zero value (all-nil metrics) is the disabled state.
+type Obs struct {
+	// Frames counts verdicts issued.
+	Frames *obs.Counter
+	// Dropped, Partitioned, Duplicated, Corrupted, Delayed count injected
+	// faults, labeled by kind on one family.
+	Dropped, Partitioned, Duplicated, Corrupted, Delayed *obs.Counter
+}
+
+// NewObs registers the injector metrics on r. A nil registry yields the zero
+// (disabled) bundle.
+func NewObs(r *obs.Registry) Obs {
+	fault := func(kind string) *obs.Counter {
+		return r.Counter("synergy_chaos_injected_faults_total",
+			"Faults injected into the transport, by kind.", obs.L("kind", kind))
+	}
+	return Obs{
+		Frames: r.Counter("synergy_chaos_frames_total",
+			"Frames the injector issued a verdict for."),
+		Dropped:     fault("drop"),
+		Partitioned: fault("partition"),
+		Duplicated:  fault("duplicate"),
+		Corrupted:   fault("corrupt"),
+		Delayed:     fault("delay"),
+	}
 }
 
 type link struct{ from, to msg.ProcID }
@@ -208,10 +241,12 @@ func (i *Injector) FrameVerdict(from, to msg.ProcID, elapsed time.Duration, fram
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	i.stats.Frames++
+	i.Obs.Frames.Inc()
 	v := Verdict{CorruptByte: -1}
 	for _, p := range i.spec.Partitions {
 		if p.covers(from, to, elapsed) {
 			i.stats.Partitioned++
+			i.Obs.Partitioned.Inc()
 			v.Drop = true
 			// No random draws for a partitioned frame: healing time,
 			// not traffic, ends the window, so the post-heal draw
@@ -222,21 +257,25 @@ func (i *Injector) FrameVerdict(from, to msg.ProcID, elapsed time.Duration, fram
 	rng := i.linkRand(link{from: from, to: to})
 	if i.spec.Drop > 0 && rng.Float64() < i.spec.Drop {
 		i.stats.Dropped++
+		i.Obs.Dropped.Inc()
 		v.Drop = true
 		return v
 	}
 	if i.spec.Duplicate > 0 && rng.Float64() < i.spec.Duplicate {
 		i.stats.Duplicated++
+		i.Obs.Duplicated.Inc()
 		v.Duplicate = true
 	}
 	if i.spec.Corrupt > 0 && rng.Float64() < i.spec.Corrupt && frameLen > 0 {
 		i.stats.Corrupted++
+		i.Obs.Corrupted.Inc()
 		v.CorruptByte = rng.Intn(frameLen)
 		v.CorruptMask = byte(1 << rng.Intn(8))
 	}
 	if i.spec.MaxExtraDelay > 0 {
 		if d := time.Duration(rng.Int63n(int64(i.spec.MaxExtraDelay) + 1)); d > 0 {
 			i.stats.Delayed++
+			i.Obs.Delayed.Inc()
 			v.ExtraDelay = d
 		}
 	}

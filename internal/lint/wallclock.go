@@ -27,6 +27,11 @@ func NewWallClock() *WallClock {
 			"github.com/synergy-ft/synergy/internal/live":     true,
 			"github.com/synergy-ft/synergy/cmd/synergy-live":  true,
 			"github.com/synergy-ft/synergy/cmd/synergy-chaos": true,
+			// obs owns the latency-timer indirection (StartTimer /
+			// ObserveSince) so instrumented packages never touch time.X
+			// themselves; its registry is only wired into live runs, so
+			// deterministic paths stay clock-free.
+			"github.com/synergy-ft/synergy/internal/obs": true,
 		},
 		Funcs: map[string]bool{
 			"Now": true, "Sleep": true, "After": true, "AfterFunc": true,

@@ -24,6 +24,7 @@ import (
 	"github.com/synergy-ft/synergy/internal/chaos"
 	"github.com/synergy-ft/synergy/internal/mdcd"
 	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/obs"
 	"github.com/synergy-ft/synergy/internal/storage"
 	"github.com/synergy-ft/synergy/internal/tb"
 	"github.com/synergy-ft/synergy/internal/trace"
@@ -66,6 +67,15 @@ type Config struct {
 	// Frame-level faults and partitions require TCPTransport; crash
 	// schedules additionally require StableDir so victims can reboot.
 	Chaos chaos.Spec
+	// Obs, when non-nil, registers runtime metrics for the run: the
+	// middleware-level transport/recovery counters plus per-process
+	// (proc-labeled) mdcd, tb and storage bundles. Nil disables all
+	// instrumentation (nil-safe no-ops), leaving behavior identical.
+	Obs *obs.Registry
+	// TraceCapacity, when > 0, bounds the trace recorder to the newest
+	// events (a ring buffer) so unbounded soaks don't grow memory without
+	// limit. Zero keeps the full history (tests and short runs).
+	TraceCapacity int
 }
 
 // durableRetention is the default stable history depth for durable runs:
@@ -114,6 +124,9 @@ func (c Config) Validate() error {
 	if c.StableRetention < 0 {
 		return fmt.Errorf("live: negative stable retention")
 	}
+	if c.TraceCapacity < 0 {
+		return fmt.Errorf("live: negative trace capacity")
+	}
 	if err := c.Chaos.Validate(); err != nil {
 		return err
 	}
@@ -134,6 +147,7 @@ type Middleware struct {
 	rec   *lockedRecorder
 	net   transport
 	inj   *chaos.Injector
+	obsm  liveObs
 
 	nodes map[msg.ProcID]*node
 

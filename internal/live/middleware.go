@@ -10,6 +10,7 @@ import (
 	"github.com/synergy-ft/synergy/internal/checkpoint"
 	"github.com/synergy-ft/synergy/internal/mdcd"
 	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/obs"
 	"github.com/synergy-ft/synergy/internal/stats"
 	"github.com/synergy-ft/synergy/internal/storage"
 	"github.com/synergy-ft/synergy/internal/tb"
@@ -30,10 +31,15 @@ func New(cfg Config) (*Middleware, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	rec := trace.New()
+	if cfg.TraceCapacity > 0 {
+		rec.SetCapacity(cfg.TraceCapacity)
+	}
 	mw := &Middleware{
 		cfg:   cfg,
 		start: time.Now(),
-		rec:   &lockedRecorder{r: trace.New()},
+		rec:   &lockedRecorder{r: rec},
+		obsm:  newLiveObs(cfg.Obs),
 		nodes: make(map[msg.ProcID]*node),
 		stop:  make(chan struct{}),
 	}
@@ -42,6 +48,7 @@ func New(cfg Config) (*Middleware, error) {
 		if err != nil {
 			return nil, err
 		}
+		inj.Obs = chaos.NewObs(cfg.Obs)
 		mw.inj = inj
 	}
 	switch cfg.Net {
@@ -85,6 +92,9 @@ func (mw *Middleware) buildNode(n *node, clockRng *rand.Rand) error {
 		GateOnNdc: true,
 		Test:      cfg.Test,
 	}, env)
+	// Metric identity is (name, proc label): a rebuilt node's bundle
+	// resolves to the same series, so counters survive KillNode/RestartNode.
+	n.proc.Obs = mdcd.NewObs(cfg.Obs, obs.L("proc", n.id.String()))
 	clock := vtime.NewClock(cfg.Clock, clockRng)
 	cp, err := tb.NewCheckpointer(n.id, tb.Config{
 		Variant:  tb.Adapted,
@@ -97,6 +107,7 @@ func (mw *Middleware) buildNode(n *node, clockRng *rand.Rand) error {
 		return err
 	}
 	n.cp = cp
+	cp.Obs = tb.NewObs(cfg.Obs, obs.L("proc", n.id.String()))
 	cp.Stable.SetRetention(mw.stableRetention())
 	n.proc.DirtyChanged = cp.NotifyDirtyChanged
 	n.proc.UnackedProvider = cp.UnackedSnapshot
@@ -130,6 +141,10 @@ func (mw *Middleware) attachStable(n *node) error {
 	fb, info, err := storage.OpenFile(mw.stablePath(n.id))
 	if err != nil {
 		return fmt.Errorf("live: open stable log for %v: %w", n.id, err)
+	}
+	fb.Obs = storage.NewFileObs(mw.cfg.Obs, obs.L("proc", n.id.String()))
+	if info.TailDamaged {
+		mw.obsm.tornTails.Inc()
 	}
 	if err := n.cp.Stable.Load(info.Records); err != nil {
 		fb.Close()
@@ -238,6 +253,7 @@ func (mw *Middleware) route(m msg.Message) {
 			return // crashed host: traffic vanishes until restart
 		}
 		if m.Kind == msg.Ack {
+			mw.obsm.acks.Inc()
 			n.cp.OnAck(m)
 			return
 		}

@@ -40,6 +40,7 @@ func (n *realNet) close() { n.timers.stopAll() }
 
 // send schedules delivery of m. Safe for concurrent use.
 func (n *realNet) send(m msg.Message) {
+	n.mw.obsm.msgsSent.Inc()
 	if m.To == msg.Device {
 		n.mu.Lock()
 		n.sent++
@@ -74,6 +75,7 @@ func (n *realNet) deliver(m msg.Message, epoch uint64) {
 	}
 	n.delivered++
 	n.mu.Unlock()
+	n.mw.obsm.msgsDelivered.Inc()
 	n.mw.route(m)
 }
 

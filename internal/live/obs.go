@@ -1,0 +1,63 @@
+package live
+
+import "github.com/synergy-ft/synergy/internal/obs"
+
+// liveObs bundles the middleware-level metrics (per-process protocol metrics
+// live on the mdcd/tb/storage bundles, labeled proc="..."). The zero value
+// (all-nil metrics) is the disabled state: every update is a nil-receiver
+// no-op, so a middleware built without Config.Obs behaves identically.
+type liveObs struct {
+	// msgsSent and msgsDelivered count transport-level message traffic.
+	msgsSent, msgsDelivered *obs.Counter
+	// acks counts acknowledgements routed to checkpointers.
+	acks *obs.Counter
+	// resends counts unacknowledged messages re-sent by recovery.
+	resends *obs.Counter
+	// connects counts successful transport dials; retries counts backoff
+	// rounds a writer spent on dial failures, write errors and partition
+	// stalls; crcDrops counts frames the receivers dropped on CRC mismatch.
+	connects, retries, crcDrops *obs.Counter
+	// recoveryLatency is the wall-clock duration of system-wide recovery
+	// passes (software takeover and hardware rollback), in seconds.
+	recoveryLatency *obs.Histogram
+	// kills and restarts count KillNode/RestartNode completions.
+	kills, restarts *obs.Counter
+	// tornTails counts damaged stable-log tails discarded at node attach.
+	tornTails *obs.Counter
+	// hwRecoveries and swRecoveries mirror the Metrics outcome counters.
+	hwRecoveries, swRecoveries *obs.Counter
+}
+
+// newLiveObs registers the middleware metrics on r. A nil registry yields
+// the zero (disabled) bundle.
+func newLiveObs(r *obs.Registry) liveObs {
+	return liveObs{
+		msgsSent: r.Counter("synergy_live_msgs_sent_total",
+			"Messages handed to the transport."),
+		msgsDelivered: r.Counter("synergy_live_msgs_delivered_total",
+			"Messages delivered to their destination node."),
+		acks: r.Counter("synergy_live_acks_total",
+			"Acknowledgements routed to TB checkpointers."),
+		resends: r.Counter("synergy_live_resends_total",
+			"Unacknowledged messages re-sent during recovery."),
+		connects: r.Counter("synergy_live_transport_connects_total",
+			"Successful transport dials (including reconnects)."),
+		retries: r.Counter("synergy_live_transport_retries_total",
+			"Writer backoff rounds (dial failures, write errors, partition stalls)."),
+		crcDrops: r.Counter("synergy_live_crc_dropped_frames_total",
+			"Frames dropped by the receiver's CRC integrity check."),
+		recoveryLatency: r.Histogram("synergy_live_recovery_seconds",
+			"Wall-clock duration of system-wide recovery passes.",
+			obs.ExpBuckets(0.0005, 2, 14)),
+		kills: r.Counter("synergy_live_node_kills_total",
+			"Nodes killed (KillNode completions)."),
+		restarts: r.Counter("synergy_live_node_restarts_total",
+			"Nodes rebooted from durable storage (RestartNode completions)."),
+		tornTails: r.Counter("synergy_live_torn_tail_recoveries_total",
+			"Damaged stable-log tails discarded while attaching a node."),
+		hwRecoveries: r.Counter("synergy_live_hw_recoveries_total",
+			"System-wide hardware recovery passes."),
+		swRecoveries: r.Counter("synergy_live_sw_recoveries_total",
+			"Software error recoveries (shadow takeovers)."),
+	}
+}

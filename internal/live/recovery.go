@@ -41,6 +41,7 @@ func (mw *Middleware) softwareRecovery(detector msg.ProcID) {
 	mw.recovering = true
 	mw.mu.Unlock()
 
+	recStart := mw.obsm.recoveryLatency.StartTimer()
 	unlock := mw.lockAll()
 	defer unlock()
 	mw.rec.Record(trace.Event{At: mw.now(), Proc: detector, Kind: trace.ATFailed, Note: "software error recovery initiated"})
@@ -73,6 +74,7 @@ func (mw *Middleware) softwareRecovery(detector msg.ProcID) {
 			n.proc.ReleaseHeld()
 		}
 		for _, m := range n.cp.UnackedSnapshot() {
+			mw.obsm.resends.Inc()
 			mw.net.send(m)
 		}
 	}
@@ -83,6 +85,8 @@ func (mw *Middleware) softwareRecovery(detector msg.ProcID) {
 	mw.recovering = false
 	mw.metrics.SWRecoveries++
 	mw.mu.Unlock()
+	mw.obsm.swRecoveries.Inc()
+	mw.obsm.recoveryLatency.ObserveSince(recStart)
 }
 
 // CommitUpgrade ends guarded operation with the upgraded version accepted
@@ -133,6 +137,7 @@ func (mw *Middleware) InjectHardwareFault(victim msg.ProcID) error {
 // messages, and restart checkpoint timers on a common tick. Down and failed
 // nodes sit out.
 func (mw *Middleware) recoverLocked(now vtime.Time, note string) error {
+	recStart := mw.obsm.recoveryLatency.StartTimer()
 	mw.net.flush()
 
 	round := ^uint64(0)
@@ -148,6 +153,7 @@ func (mw *Middleware) recoverLocked(now vtime.Time, note string) error {
 	mw.mu.Lock()
 	mw.metrics.HWFaults++
 	mw.mu.Unlock()
+	mw.obsm.hwRecoveries.Inc()
 
 	for id, n := range mw.nodes {
 		if n.proc.Failed() || n.down {
@@ -182,11 +188,13 @@ func (mw *Middleware) recoverLocked(now vtime.Time, note string) error {
 			continue
 		}
 		for _, m := range n.cp.UnackedSnapshot() {
+			mw.obsm.resends.Inc()
 			mw.net.send(m)
 		}
 		// Restart on a common tick so the round numbering stays aligned.
 		n.cp.StartAt(target)
 	}
+	mw.obsm.recoveryLatency.ObserveSince(recStart)
 	return nil
 }
 

@@ -40,6 +40,7 @@ func (mw *Middleware) KillNode(victim msg.ProcID) error {
 	}
 	n.timers.stopAll()
 	mw.net.dropNode(victim)
+	mw.obsm.kills.Inc()
 	mw.rec.Record(trace.Event{At: mw.now(), Proc: victim, Kind: trace.NodeCrashed, Note: "node killed"})
 	return nil
 }
@@ -86,6 +87,7 @@ func (mw *Middleware) RestartNode(victim msg.ProcID) error {
 	}
 	n.down = false
 	now := mw.now()
+	mw.obsm.restarts.Inc()
 	mw.rec.Record(trace.Event{At: now, Proc: victim, Kind: trace.NodeRestarted, Note: "rebooted from durable stable storage"})
 	return mw.recoverLocked(now, "crash-restart recovery")
 }

@@ -110,6 +110,7 @@ func appendFrame(buf []byte, epoch uint64, m msg.Message) []byte {
 }
 
 func (n *tcpNet) send(m msg.Message) {
+	n.mw.obsm.msgsSent.Inc()
 	if m.To == msg.Device {
 		n.mu.Lock()
 		n.sent++
@@ -195,6 +196,7 @@ func (n *tcpNet) dialPeer(ch pair) (net.Conn, error) {
 	}
 	n.writerConns[ch] = c
 	n.mu.Unlock()
+	n.mw.obsm.connects.Inc()
 	return c, nil
 }
 
@@ -293,6 +295,7 @@ func (w *chanWriter) transmit(f frame, corruptAt int, corruptMask byte) bool {
 			return true
 		}
 		if inj := n.mw.inj; inj != nil && inj.Partitioned(w.ch.from, w.ch.to, time.Since(n.mw.start)) {
+			n.mw.obsm.retries.Inc()
 			if !n.sleep(backoffJitter(&backoff, w.jrng)) {
 				return false
 			}
@@ -301,6 +304,7 @@ func (w *chanWriter) transmit(f frame, corruptAt int, corruptMask byte) bool {
 		if w.conn == nil {
 			c, err := n.dialPeer(w.ch)
 			if err != nil {
+				n.mw.obsm.retries.Inc()
 				if !n.sleep(backoffJitter(&backoff, w.jrng)) {
 					return false
 				}
@@ -316,6 +320,7 @@ func (w *chanWriter) transmit(f frame, corruptAt int, corruptMask byte) bool {
 		if _, err := w.conn.Write(w.buf); err != nil {
 			n.dropWriterConn(w.ch, w.conn)
 			w.conn = nil
+			n.mw.obsm.retries.Inc()
 			if !n.sleep(backoffJitter(&backoff, w.jrng)) {
 				return false
 			}
@@ -387,6 +392,7 @@ func (n *tcpNet) readLoop(id msg.ProcID, conn net.Conn) {
 			n.mu.Lock()
 			n.crcDrops++
 			n.mu.Unlock()
+			n.mw.obsm.crcDrops.Inc()
 			continue
 		}
 		epoch := binary.LittleEndian.Uint64(buf)
@@ -403,6 +409,7 @@ func (n *tcpNet) readLoop(id msg.ProcID, conn net.Conn) {
 		if stale {
 			continue
 		}
+		n.mw.obsm.msgsDelivered.Inc()
 		n.mw.route(m)
 	}
 }

@@ -1,0 +1,75 @@
+package mdcd
+
+import (
+	"github.com/synergy-ft/synergy/internal/checkpoint"
+	"github.com/synergy-ft/synergy/internal/obs"
+)
+
+// Obs bundles a process's containment-algorithm metrics. The zero value
+// (all-nil metrics) is the disabled state: updates are nil-receiver no-ops,
+// so simulator and campaign runs execute byte-identically with
+// instrumentation compiled in.
+type Obs struct {
+	// CkptType1, CkptType2, CkptPseudo count volatile checkpoints by kind.
+	CkptType1, CkptType2, CkptPseudo *obs.Counter
+	// DirtySet, DirtyCleared count effective-dirty-bit transitions.
+	DirtySet, DirtyCleared *obs.Counter
+	// ATsRun, ATsFailed count acceptance tests and detections.
+	ATsRun, ATsFailed *obs.Counter
+	// NdcDeferred counts passed-AT notifications the Ndc gate deferred past
+	// a blocking period; StaleRejected counts notifications whose coverage
+	// was below the receiver's component-1 influence.
+	NdcDeferred, StaleRejected *obs.Counter
+	// Duplicates counts re-delivered messages discarded by ChanSeq dedup.
+	Duplicates *obs.Counter
+}
+
+// NewObs registers the process metrics on r with the given fixed labels
+// (the live middleware passes proc="P1act" etc.). A nil registry yields the
+// zero (disabled) bundle.
+func NewObs(r *obs.Registry, labels ...obs.Label) Obs {
+	return Obs{
+		CkptType1: r.Counter("synergy_mdcd_checkpoints_total",
+			"Volatile checkpoints established, by kind.", append(labels, obs.L("kind", "type1"))...),
+		CkptType2: r.Counter("synergy_mdcd_checkpoints_total",
+			"Volatile checkpoints established, by kind.", append(labels, obs.L("kind", "type2"))...),
+		CkptPseudo: r.Counter("synergy_mdcd_checkpoints_total",
+			"Volatile checkpoints established, by kind.", append(labels, obs.L("kind", "pseudo"))...),
+		DirtySet: r.Counter("synergy_mdcd_dirty_set_total",
+			"Effective dirty-bit transitions to potentially contaminated.", labels...),
+		DirtyCleared: r.Counter("synergy_mdcd_dirty_cleared_total",
+			"Effective dirty-bit transitions to clean.", labels...),
+		ATsRun: r.Counter("synergy_mdcd_ats_total",
+			"Acceptance tests performed.", labels...),
+		ATsFailed: r.Counter("synergy_mdcd_at_failures_total",
+			"Acceptance-test failures (software error detections).", labels...),
+		NdcDeferred: r.Counter("synergy_mdcd_ndc_deferred_total",
+			"Passed-AT notifications deferred past a blocking period by the Ndc gate.", labels...),
+		StaleRejected: r.Counter("synergy_mdcd_stale_rejected_total",
+			"Passed-AT notifications ignored for the dirty bit due to stale coverage.", labels...),
+		Duplicates: r.Counter("synergy_mdcd_duplicates_total",
+			"Re-delivered messages discarded by ChanSeq dedup.", labels...),
+	}
+}
+
+// ckptCounter maps a checkpoint kind to its bundle counter (nil when the
+// bundle is disabled or the kind is not a volatile kind).
+func (o Obs) ckptCounter(kind checkpoint.Kind) *obs.Counter {
+	switch kind {
+	case checkpoint.Type1:
+		return o.CkptType1
+	case checkpoint.Type2:
+		return o.CkptType2
+	case checkpoint.Pseudo:
+		return o.CkptPseudo
+	}
+	return nil
+}
+
+// dirtyCounter maps an effective-dirty transition to its bundle counter.
+func (o Obs) dirtyCounter(dirty bool) *obs.Counter {
+	if dirty {
+		return o.DirtySet
+	}
+	return o.DirtyCleared
+}

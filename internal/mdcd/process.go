@@ -77,6 +77,9 @@ type Process struct {
 	// to recovery.
 	UnackedProvider func() []msg.Message
 
+	// Obs holds the process's metrics; the zero value disables them.
+	Obs Obs
+
 	stats Stats
 }
 
@@ -177,6 +180,7 @@ func (p *Process) setDirty(v bool) {
 	if v {
 		kind = trace.DirtySet
 	}
+	p.Obs.dirtyCounter(v).Inc()
 	p.env.Record(trace.Event{At: p.env.Now(), Proc: p.id, Kind: kind})
 	if p.DirtyChanged != nil && !(p.role == RoleActive && p.cfg.Mode == ModeModified) {
 		p.DirtyChanged(v)
@@ -214,6 +218,7 @@ func (p *Process) noteEffectiveChange(before bool, note string) {
 	if after {
 		kind = trace.DirtySet
 	}
+	p.Obs.dirtyCounter(after).Inc()
 	p.env.Record(trace.Event{At: p.env.Now(), Proc: p.id, Kind: kind, Note: note})
 	if p.DirtyChanged != nil {
 		p.DirtyChanged(after)

@@ -88,6 +88,7 @@ func (p *Process) handlePassedAT(m msg.Message) {
 	// accepting it is safe (it can only influence future checkpoints).
 	if p.cfg.GateOnNdc && p.env.InBlocking() && m.Ndc != p.env.Ndc() {
 		p.stats.RejectedNdc++
+		p.Obs.NdcDeferred.Inc()
 		p.hold(m)
 		p.env.Record(trace.Event{
 			At: p.env.Now(), Proc: p.id, Kind: trace.MsgDelivered,
@@ -115,6 +116,7 @@ func (p *Process) handlePassedAT(m msg.Message) {
 	// contamination into a "clean" baseline.
 	if m.ValidSN < p.actInfluence {
 		p.stats.RejectedStale++
+		p.Obs.StaleRejected.Inc()
 		p.env.Record(trace.Event{
 			At: p.env.Now(), Proc: p.id, Kind: trace.MsgDelivered,
 			Msg: m, Note: "passed_AT ignored for dirty bit: stale coverage",
@@ -139,6 +141,7 @@ func (p *Process) consumeApp(m msg.Message) {
 		// Duplicate from a post-recovery re-send; ack again so the
 		// sender clears its unacknowledged slot, but do not re-apply.
 		p.stats.Duplicates++
+		p.Obs.Duplicates.Inc()
 		p.ack(m)
 		return
 	}

@@ -42,6 +42,7 @@ func (p *Process) Snapshot(kind checkpoint.Kind) *checkpoint.Checkpoint {
 func (p *Process) takeVolatile(kind checkpoint.Kind) {
 	c := p.Snapshot(kind)
 	p.Volatile.Save(c)
+	p.Obs.ckptCounter(kind).Inc()
 	p.env.Record(trace.Event{At: p.env.Now(), Proc: p.id, Kind: trace.CheckpointTaken, Ckpt: kind})
 }
 

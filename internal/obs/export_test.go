@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func populated(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	r.Counter("ckpt_total", "checkpoints", L("proc", "P1act"), L("kind", "type1")).Add(3)
+	r.Gauge("up", "liveness").Set(1)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+	return r
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	var b strings.Builder
+	if err := populated(t).WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP ckpt_total checkpoints\n",
+		"# TYPE ckpt_total counter\n",
+		`ckpt_total{kind="type1",proc="P1act"} 3` + "\n",
+		"# TYPE up gauge\n",
+		"up 1\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="0.001"} 1` + "\n",
+		`lat_seconds_bucket{le="0.01"} 1` + "\n",
+		`lat_seconds_bucket{le="+Inf"} 2` + "\n",
+		"lat_seconds_sum 0.5005\n",
+		"lat_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", b.String())
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := populated(t).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ScrapedAt time.Time `json:"scraped_at"`
+		Families  []struct {
+			Name   string `json:"name"`
+			Kind   string `json:"kind"`
+			Series []struct {
+				Labels  string   `json:"labels"`
+				Value   *float64 `json:"value"`
+				Sum     *float64 `json:"sum"`
+				Count   *uint64  `json:"count"`
+				Buckets []struct {
+					LE    string `json:"le"`
+					Count uint64 `json:"count"`
+				} `json:"buckets"`
+			} `json:"series"`
+		} `json:"families"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if got.ScrapedAt.IsZero() {
+		t.Fatal("scraped_at missing")
+	}
+	if len(got.Families) != 3 {
+		t.Fatalf("families = %d, want 3", len(got.Families))
+	}
+	byName := map[string]int{}
+	for i, f := range got.Families {
+		byName[f.Name] = i
+	}
+	ck := got.Families[byName["ckpt_total"]]
+	if ck.Kind != "counter" || len(ck.Series) != 1 || ck.Series[0].Value == nil || *ck.Series[0].Value != 3 {
+		t.Fatalf("ckpt_total series wrong: %+v", ck)
+	}
+	lat := got.Families[byName["lat_seconds"]]
+	s := lat.Series[0]
+	if s.Count == nil || *s.Count != 2 || s.Sum == nil || *s.Sum != 0.5005 {
+		t.Fatalf("lat_seconds sum/count wrong: %+v", s)
+	}
+	if len(s.Buckets) != 3 || s.Buckets[2].LE != "+Inf" || s.Buckets[2].Count != 2 {
+		t.Fatalf("lat_seconds buckets wrong: %+v", s.Buckets)
+	}
+}
+
+func TestHandlerRoutes(t *testing.T) {
+	srv := httptest.NewServer(populated(t).Handler())
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(body, "ckpt_total{") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	body, ct = get("/metrics.json")
+	if ct != "application/json" {
+		t.Fatalf("/metrics.json content type = %q", ct)
+	}
+	if !json.Valid([]byte(body)) {
+		t.Fatalf("/metrics.json invalid JSON:\n%s", body)
+	}
+
+	body, _ = get("/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+}
+
+func TestServerServesAndCloses(t *testing.T) {
+	r := populated(t)
+	s, err := NewServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "up 1") {
+		t.Fatalf("served exposition missing gauge:\n%s", body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}

@@ -85,6 +85,9 @@ type FileBackend struct {
 	dir  string
 	f    *os.File
 
+	// Obs holds the backend's metrics; the zero value disables them.
+	Obs FileObs
+
 	// live mirrors the records currently relevant in the log, oldest
 	// first, so compaction can rewrite without re-reading the file.
 	live []Record
@@ -192,6 +195,7 @@ func (b *FileBackend) Commit(round uint64, data []byte, keepFrom uint64) error {
 	if b.f == nil {
 		return fmt.Errorf("storage: stable log %s is closed", b.path)
 	}
+	commitStart := b.Obs.CommitLatency.StartTimer()
 	rec := Record{Round: round, Data: append([]byte(nil), data...)}
 	kept := b.live[:0]
 	for _, r := range b.live {
@@ -204,13 +208,18 @@ func (b *FileBackend) Commit(round uint64, data []byte, keepFrom uint64) error {
 	if _, err := b.f.Write(AppendRecord(nil, rec)); err != nil {
 		return fmt.Errorf("storage: append round %d: %w", round, err)
 	}
+	fsyncStart := b.Obs.FsyncLatency.StartTimer()
 	if err := b.f.Sync(); err != nil {
 		return fmt.Errorf("storage: fsync round %d: %w", round, err)
 	}
+	b.Obs.FsyncLatency.ObserveSince(fsyncStart)
 	b.logged++
 	if b.logged > len(b.live)+compactSlack {
-		return b.compact()
+		err := b.compact()
+		b.Obs.CommitLatency.ObserveSince(commitStart)
+		return err
 	}
+	b.Obs.CommitLatency.ObserveSince(commitStart)
 	return nil
 }
 
@@ -230,6 +239,7 @@ func (b *FileBackend) TruncateAbove(round uint64) error {
 // compact rewrites the live records through a temp file, an fsync, an atomic
 // rename and a directory fsync, then reopens the log for appends.
 func (b *FileBackend) compact() error {
+	b.Obs.Compactions.Inc()
 	if b.f != nil {
 		b.f.Close()
 		b.f = nil

@@ -1,0 +1,32 @@
+package storage
+
+import "github.com/synergy-ft/synergy/internal/obs"
+
+// FileObs bundles the durable backend's metrics. The zero value (all-nil
+// metrics) is the disabled state; latency timers go through the histogram's
+// StartTimer/ObserveSince indirection, so this package never reads the clock
+// itself and a disabled bundle never touches it at all.
+type FileObs struct {
+	// CommitLatency is the full Commit duration (append + fsync +
+	// occasional compaction), in seconds.
+	CommitLatency *obs.Histogram
+	// FsyncLatency is the data-fsync portion of a commit, in seconds.
+	FsyncLatency *obs.Histogram
+	// Compactions counts log rewrites (slack-triggered, truncations and
+	// damaged-tail discards).
+	Compactions *obs.Counter
+}
+
+// NewFileObs registers the durable-backend metrics on r with the given fixed
+// labels. A nil registry yields the zero (disabled) bundle.
+func NewFileObs(r *obs.Registry, labels ...obs.Label) FileObs {
+	bounds := obs.ExpBuckets(0.0001, 2, 12) // 100µs .. ~0.2s
+	return FileObs{
+		CommitLatency: r.Histogram("synergy_storage_commit_seconds",
+			"Durable stable-checkpoint commit latency (append + fsync).", bounds, labels...),
+		FsyncLatency: r.Histogram("synergy_storage_fsync_seconds",
+			"Data-fsync latency within a stable commit.", bounds, labels...),
+		Compactions: r.Counter("synergy_storage_compactions_total",
+			"Stable-log compactions (rewrite + atomic rename).", labels...),
+	}
+}

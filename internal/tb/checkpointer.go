@@ -31,6 +31,9 @@ type Checkpointer struct {
 	// resynchronizes every node's clock and calls NoteResynced.
 	OnResyncRequest func()
 
+	// Obs holds the checkpointer's metrics; the zero value disables them.
+	Obs Obs
+
 	ndc         uint64 // committed stable checkpoints (local Ndc)
 	ndcAtResync uint64
 	nextLocal   vtime.Time // dCKPT_time: next expiry on the local clock
@@ -144,6 +147,7 @@ func (c *Checkpointer) createCKPT() {
 	}()
 	if c.Stable.InFlight() {
 		c.stats.SkippedBusy++
+		c.Obs.SkippedBusy.Inc()
 		return
 	}
 
@@ -165,6 +169,7 @@ func (c *Checkpointer) createCKPT() {
 	blocking := c.cfg.BlockingPeriod(c.host.EffectiveDirty(), c.elapsedSinceResync())
 	c.inBlocking = true
 	c.stats.BlockingTotal += blocking
+	c.Obs.Blocking.Observe(blocking.Seconds())
 	c.rec(trace.Event{At: c.rt.Now(), Proc: c.proc, Kind: trace.BlockStarted,
 		Note: fmt.Sprintf("τ(b)=%v", blocking)})
 	c.cancelBlock = c.rt.After(blocking, c.endBlocking)
@@ -213,6 +218,7 @@ func (c *Checkpointer) NotifyDirtyChanged(dirty bool) {
 	}
 	c.expectDirty = dirty
 	c.stats.Replaces++
+	c.Obs.StableReplaces.Inc()
 	c.rec(trace.Event{At: c.rt.Now(), Proc: c.proc, Kind: trace.StableReplaced, Ckpt: checkpoint.Stable,
 		Note: fmt.Sprintf("dirty bit flipped to %v", dirty)})
 }
@@ -226,6 +232,7 @@ func (c *Checkpointer) endBlocking() {
 		} else {
 			c.ndc++
 			c.stats.Commits++
+			c.Obs.StableCommits.Inc()
 			c.rec(trace.Event{At: c.rt.Now(), Proc: c.proc, Kind: trace.StableCommitted, Ckpt: checkpoint.Stable,
 				Note: fmt.Sprintf("Ndc=%d", c.ndc)})
 		}
@@ -248,6 +255,7 @@ func (c *Checkpointer) maybeRequestResync() {
 	skew := vtime.WorstCaseSkew(c.cfg.Clock, c.elapsedSinceResync())
 	if float64(skew) > c.cfg.resyncFraction()*float64(c.cfg.Interval) {
 		c.stats.ResyncRequests++
+		c.Obs.ResyncRequests.Inc()
 		c.OnResyncRequest()
 	}
 }

@@ -1,0 +1,42 @@
+package tb
+
+import "github.com/synergy-ft/synergy/internal/obs"
+
+// Obs bundles the checkpointer's metrics. The zero value (all-nil metrics)
+// is the disabled state: every update is a nil-receiver no-op, so the
+// deterministic simulator pays one branch and the protocol's event order is
+// untouched. τ(b) is observed from the protocol's own computed blocking
+// duration, never from the wall clock, so the histogram is exact in both the
+// simulator and the live middleware.
+type Obs struct {
+	// StableCommits counts committed stable checkpoints (Ndc increments).
+	StableCommits *obs.Counter
+	// StableReplaces counts abort-and-replace content adjustments.
+	StableReplaces *obs.Counter
+	// SkippedBusy counts timer expiries ignored because a write was in
+	// flight.
+	SkippedBusy *obs.Counter
+	// ResyncRequests counts clock-resynchronization requests.
+	ResyncRequests *obs.Counter
+	// Blocking is the τ(b) blocking-duration histogram, in seconds.
+	Blocking *obs.Histogram
+}
+
+// NewObs registers the checkpointer metrics on r with the given fixed labels
+// (the live middleware passes proc="P1act" etc.). A nil registry yields the
+// zero (disabled) bundle.
+func NewObs(r *obs.Registry, labels ...obs.Label) Obs {
+	return Obs{
+		StableCommits: r.Counter("synergy_tb_stable_commits_total",
+			"Committed stable checkpoints (Ndc increments).", labels...),
+		StableReplaces: r.Counter("synergy_tb_stable_replaces_total",
+			"Abort-and-replace adjustments of an in-flight stable write.", labels...),
+		SkippedBusy: r.Counter("synergy_tb_skipped_busy_total",
+			"Checkpoint timer expiries skipped because a stable write was still in flight.", labels...),
+		ResyncRequests: r.Counter("synergy_tb_resync_requests_total",
+			"Clock resynchronization requests issued.", labels...),
+		Blocking: r.Histogram("synergy_tb_blocking_seconds",
+			"TB blocking-period length tau(b) per stable checkpoint.",
+			obs.ExpBuckets(0.0005, 2, 12), labels...),
+	}
+}

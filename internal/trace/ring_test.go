@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"testing"
+
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// at builds a distinguishable event: the timestamp doubles as its identity.
+func at(i int) Event {
+	return Event{At: vtime.Time(i), Proc: msg.P2, Kind: ATPassed}
+}
+
+func times(evs []Event) []int {
+	out := make([]int, len(evs))
+	for i, e := range evs {
+		out[i] = int(e.At)
+	}
+	return out
+}
+
+func wantTimes(t *testing.T, evs []Event, want ...int) {
+	t.Helper()
+	got := times(evs)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRingUnderCapacityKeepsAll(t *testing.T) {
+	r := New()
+	r.SetCapacity(5)
+	for i := 1; i <= 3; i++ {
+		r.Record(at(i))
+	}
+	wantTimes(t, r.Events(), 1, 2, 3)
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := New()
+	r.SetCapacity(3)
+	for i := 1; i <= 7; i++ {
+		r.Record(at(i))
+	}
+	wantTimes(t, r.Events(), 5, 6, 7)
+	// The filter helpers must see the reordered view too.
+	wantTimes(t, r.ByProc(msg.P2), 5, 6, 7)
+	wantTimes(t, r.ByKind(ATPassed), 5, 6, 7)
+	if got := r.Count(msg.P2, ATPassed); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+}
+
+func TestRingExactlyFull(t *testing.T) {
+	r := New()
+	r.SetCapacity(3)
+	for i := 1; i <= 3; i++ {
+		r.Record(at(i))
+	}
+	wantTimes(t, r.Events(), 1, 2, 3)
+	r.Record(at(4))
+	wantTimes(t, r.Events(), 2, 3, 4)
+}
+
+func TestSetCapacityMidRunKeepsNewest(t *testing.T) {
+	r := New()
+	for i := 1; i <= 10; i++ {
+		r.Record(at(i))
+	}
+	r.SetCapacity(4)
+	wantTimes(t, r.Events(), 7, 8, 9, 10)
+	r.Record(at(11))
+	wantTimes(t, r.Events(), 8, 9, 10, 11)
+}
+
+func TestSetCapacityGrowKeepsEverything(t *testing.T) {
+	r := New()
+	r.SetCapacity(2)
+	for i := 1; i <= 5; i++ {
+		r.Record(at(i))
+	}
+	wantTimes(t, r.Events(), 4, 5)
+	r.SetCapacity(4)
+	wantTimes(t, r.Events(), 4, 5)
+	for i := 6; i <= 9; i++ {
+		r.Record(at(i))
+	}
+	wantTimes(t, r.Events(), 6, 7, 8, 9)
+}
+
+func TestSetCapacityZeroRestoresUnbounded(t *testing.T) {
+	r := New()
+	r.SetCapacity(2)
+	for i := 1; i <= 5; i++ {
+		r.Record(at(i))
+	}
+	r.SetCapacity(0)
+	for i := 6; i <= 9; i++ {
+		r.Record(at(i))
+	}
+	wantTimes(t, r.Events(), 4, 5, 6, 7, 8, 9)
+}
+
+func TestSetCapacityOnNilRecorder(t *testing.T) {
+	var r *Recorder
+	r.SetCapacity(4) // must not panic
+	r.Record(at(1))
+	if got := r.Events(); got != nil {
+		t.Fatalf("nil recorder returned events: %v", got)
+	}
+}
+
+func TestRingWrapBackToStartZero(t *testing.T) {
+	// Exactly 2*cap records puts start back at 0: Events must return the
+	// raw slice untouched (it is already in order).
+	r := New()
+	r.SetCapacity(3)
+	for i := 1; i <= 6; i++ {
+		r.Record(at(i))
+	}
+	wantTimes(t, r.Events(), 4, 5, 6)
+}

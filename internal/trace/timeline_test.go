@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/synergy-ft/synergy/internal/checkpoint"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// lane extracts the rendered lane body (between the pipes) for one process.
+func lane(t *testing.T, out string, p msg.ProcID) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, p.String()) {
+			continue
+		}
+		open := strings.IndexByte(line, '|')
+		close := strings.LastIndexByte(line, '|')
+		if open < 0 || close <= open {
+			t.Fatalf("lane for %v has no pipes: %q", p, line)
+		}
+		return line[open+1 : close]
+	}
+	t.Fatalf("no lane for %v in:\n%s", p, out)
+	return ""
+}
+
+func TestTimelineFullSymbolSet(t *testing.T) {
+	r := New()
+	sec := vtime.FromSeconds
+	for i, ev := range []Event{
+		{Kind: CheckpointTaken, Ckpt: checkpoint.Type1},
+		{Kind: CheckpointTaken, Ckpt: checkpoint.Type2},
+		{Kind: CheckpointTaken, Ckpt: checkpoint.Pseudo},
+		{Kind: StableCommitted, Ckpt: checkpoint.Stable},
+		{Kind: BlockStarted},
+		{Kind: BlockEnded},
+		{Kind: ATPassed},
+		{Kind: ATFailed},
+		{Kind: NodeCrashed},
+		{Kind: RolledBack},
+		{Kind: RolledForward},
+		{Kind: TookOver},
+		{Kind: FaultActivated},
+	} {
+		ev.At = sec(float64(i + 1))
+		ev.Proc = msg.P2
+		r.Record(ev)
+	}
+	out := Timeline{From: vtime.Zero, To: sec(14), Columns: 56, Procs: []msg.ProcID{msg.P2}}.Render(r)
+	body := lane(t, out, msg.P2)
+	for _, sym := range []string{"1", "2", "P", "S", "b", "e", "A", "X", "*", "R", "F", "T", "!"} {
+		if !strings.Contains(body, sym) {
+			t.Errorf("lane missing symbol %q:\n%s", sym, out)
+		}
+	}
+}
+
+func TestTimelineUnknownCheckpointKindRendersC(t *testing.T) {
+	r := New()
+	r.Record(Event{At: vtime.FromSeconds(1), Proc: msg.P2, Kind: CheckpointTaken, Ckpt: checkpoint.Kind(99)})
+	out := Timeline{From: vtime.Zero, To: vtime.FromSeconds(2), Columns: 10, Procs: []msg.ProcID{msg.P2}}.Render(r)
+	if !strings.Contains(lane(t, out, msg.P2), "C") {
+		t.Fatalf("unknown checkpoint kind should render 'C':\n%s", out)
+	}
+}
+
+func TestTimelineNonSymbolEventsLeaveLaneIdle(t *testing.T) {
+	r := New()
+	r.Record(Event{At: vtime.FromSeconds(1), Proc: msg.P2, Kind: MsgSent})
+	r.Record(Event{At: vtime.FromSeconds(2), Proc: msg.P2, Kind: MsgDelivered})
+	r.Record(Event{At: vtime.FromSeconds(3), Proc: msg.P2, Kind: Resynced})
+	out := Timeline{From: vtime.Zero, To: vtime.FromSeconds(4), Columns: 12, Procs: []msg.ProcID{msg.P2}}.Render(r)
+	if body := lane(t, out, msg.P2); body != strings.Repeat("-", 12) {
+		t.Fatalf("sends/delivers/resyncs should not mark the lane, got %q", body)
+	}
+}
+
+func TestTimelineClampsOutOfWindowEvents(t *testing.T) {
+	r := New()
+	r.Record(Event{At: vtime.Zero, Proc: msg.P2, Kind: ATPassed})                // before window
+	r.Record(Event{At: vtime.FromSeconds(100), Proc: msg.P2, Kind: NodeCrashed}) // after window
+	out := Timeline{From: vtime.FromSeconds(10), To: vtime.FromSeconds(20), Columns: 10, Procs: []msg.ProcID{msg.P2}}.Render(r)
+	body := lane(t, out, msg.P2)
+	if body[0] != 'A' {
+		t.Fatalf("early event should clamp to first column, got %q", body)
+	}
+	if body[len(body)-1] != '*' {
+		t.Fatalf("late event should clamp to last column, got %q", body)
+	}
+}
+
+func TestTimelineDefaultColumnsAndProcs(t *testing.T) {
+	out := Timeline{From: vtime.Zero, To: vtime.FromSeconds(1)}.Render(New())
+	for _, p := range msg.Processes() {
+		if body := lane(t, out, p); len(body) != 72 {
+			t.Fatalf("default lane width = %d, want 72", len(body))
+		}
+	}
+}
+
+func TestTimelineContaminationShadedUnderPointEvents(t *testing.T) {
+	// A checkpoint inside a dirty interval must stay visible on top of the
+	// shading, with '#' on both sides.
+	r := New()
+	sec := vtime.FromSeconds
+	r.Record(Event{At: sec(2), Proc: msg.P2, Kind: DirtySet})
+	r.Record(Event{At: sec(5), Proc: msg.P2, Kind: CheckpointTaken, Ckpt: checkpoint.Type2})
+	r.Record(Event{At: sec(8), Proc: msg.P2, Kind: DirtyCleared})
+	out := Timeline{From: vtime.Zero, To: sec(10), Columns: 20, Procs: []msg.ProcID{msg.P2}}.Render(r)
+	body := lane(t, out, msg.P2)
+	i := strings.IndexByte(body, '2')
+	if i < 0 {
+		t.Fatalf("checkpoint hidden by shading: %q", body)
+	}
+	if body[i-1] != '#' || body[i+1] != '#' {
+		t.Fatalf("checkpoint not embedded in contamination shading: %q", body)
+	}
+}
+
+func TestTimelineRendersRingTail(t *testing.T) {
+	// A bounded recorder renders whatever survived — the newest events.
+	r := New()
+	r.SetCapacity(2)
+	sec := vtime.FromSeconds
+	r.Record(Event{At: sec(1), Proc: msg.P2, Kind: ATFailed})
+	r.Record(Event{At: sec(5), Proc: msg.P2, Kind: ATPassed})
+	r.Record(Event{At: sec(9), Proc: msg.P2, Kind: TookOver})
+	out := Timeline{From: vtime.Zero, To: sec(10), Columns: 20, Procs: []msg.ProcID{msg.P2}}.Render(r)
+	body := lane(t, out, msg.P2)
+	if strings.Contains(body, "X") {
+		t.Fatalf("evicted event still rendered: %q", body)
+	}
+	for _, sym := range []string{"A", "T"} {
+		if !strings.Contains(body, sym) {
+			t.Fatalf("retained event %q missing: %q", sym, body)
+		}
+	}
+}

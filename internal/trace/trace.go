@@ -117,27 +117,85 @@ func (e Event) String() string {
 
 // Recorder accumulates events. A nil *Recorder is valid and records nothing,
 // so tracing can be disabled with zero overhead in hot experiment loops.
+//
+// By default the recorder grows without bound — the simulator's runs are
+// finite and tests assert on complete histories. Long live/chaos runs call
+// SetCapacity to turn it into a ring buffer that retains only the newest
+// events (a post-mortem tail is what a failure dump needs anyway).
 type Recorder struct {
 	events []Event
+	// cap, when > 0, bounds events as a ring; start is the ring's oldest
+	// element once it has wrapped.
+	cap     int
+	start   int
+	wrapped bool
 }
 
-// New returns an empty recorder.
+// New returns an empty, unbounded recorder.
 func New() *Recorder { return &Recorder{} }
 
-// Record appends an event. No-op on a nil recorder.
+// SetCapacity bounds the recorder to the newest n events (n <= 0 restores
+// unbounded growth). Calling it mid-run keeps the newest events already
+// recorded.
+func (r *Recorder) SetCapacity(n int) {
+	if r == nil {
+		return
+	}
+	evs := r.Events()
+	r.cap = 0
+	r.start = 0
+	r.wrapped = false
+	if n <= 0 {
+		r.events = evs
+		return
+	}
+	r.cap = n
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	r.events = append([]Event(nil), evs...)
+	if len(r.events) == r.cap {
+		r.wrapped = true
+	}
+}
+
+// Record appends an event. No-op on a nil recorder. With a capacity set, the
+// oldest event is overwritten once the ring is full.
 func (r *Recorder) Record(e Event) {
 	if r == nil {
 		return
 	}
-	r.events = append(r.events, e)
+	if r.cap <= 0 {
+		r.events = append(r.events, e)
+		return
+	}
+	if len(r.events) < r.cap {
+		r.events = append(r.events, e)
+		if len(r.events) == r.cap {
+			r.wrapped = true
+		}
+		return
+	}
+	r.events[r.start] = e
+	r.start++
+	if r.start == r.cap {
+		r.start = 0
+	}
 }
 
-// Events returns the recorded events in order.
+// Events returns the recorded events in order (for a wrapped ring, the
+// retained newest events, oldest first).
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
-	return r.events
+	if r.cap <= 0 || !r.wrapped || r.start == 0 {
+		return r.events
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
+	return out
 }
 
 // ByProc returns the events of one process, preserving order.

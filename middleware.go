@@ -7,6 +7,7 @@ import (
 	"github.com/synergy-ft/synergy/internal/live"
 	"github.com/synergy-ft/synergy/internal/mdcd"
 	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/obs"
 	"github.com/synergy-ft/synergy/internal/tb"
 )
 
@@ -35,11 +36,22 @@ type MiddlewareConfig struct {
 	// the run (frame-level faults require UseTCP; crash schedules require
 	// StableDir).
 	Chaos chaos.Spec
+	// MetricsAddr, when non-empty (e.g. "127.0.0.1:0"), serves the run's
+	// metrics registry over HTTP on that address: Prometheus text
+	// exposition at /metrics, a JSON snapshot at /metrics.json, and
+	// net/http/pprof under /debug/pprof/. Empty disables instrumentation
+	// entirely.
+	MetricsAddr string
+	// TraceCapacity, when > 0, bounds the protocol trace recorder to the
+	// newest events (a ring buffer) so long runs don't grow memory without
+	// limit. Zero keeps the full history.
+	TraceCapacity int
 }
 
 // Middleware runs the coordinated protocols under real concurrency.
 type Middleware struct {
 	inner *live.Middleware
+	msrv  *obs.Server
 }
 
 // NewMiddleware assembles a live middleware instance.
@@ -67,18 +79,47 @@ func NewMiddleware(cfg MiddlewareConfig) (*Middleware, error) {
 	}
 	c.StableDir = cfg.StableDir
 	c.Chaos = cfg.Chaos
+	c.TraceCapacity = cfg.TraceCapacity
+	var msrv *obs.Server
+	if cfg.MetricsAddr != "" {
+		reg := obs.NewRegistry()
+		srv, err := obs.NewServer(cfg.MetricsAddr, reg)
+		if err != nil {
+			return nil, err
+		}
+		c.Obs = reg
+		msrv = srv
+	}
 	inner, err := live.New(c)
 	if err != nil {
+		if msrv != nil {
+			msrv.Close()
+		}
 		return nil, err
 	}
-	return &Middleware{inner: inner}, nil
+	return &Middleware{inner: inner, msrv: msrv}, nil
+}
+
+// MetricsAddr returns the bound metrics-server address (empty when metrics
+// are disabled). With a ":0" config address this is where the OS actually
+// put the listener.
+func (m *Middleware) MetricsAddr() string {
+	if m.msrv == nil {
+		return ""
+	}
+	return m.msrv.Addr()
 }
 
 // Start launches timers and workload goroutines.
 func (m *Middleware) Start() { m.inner.Start() }
 
-// Stop halts the middleware; it is idempotent.
-func (m *Middleware) Stop() { m.inner.Stop() }
+// Stop halts the middleware (and its metrics server); it is idempotent.
+func (m *Middleware) Stop() {
+	m.inner.Stop()
+	if m.msrv != nil {
+		m.msrv.Close()
+	}
+}
 
 // Run drives the middleware for the given wall duration, then stops it.
 func (m *Middleware) Run(d time.Duration) { m.inner.Run(d) }

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# bench_diff.sh — compare two bench.sh snapshots and flag ns/op regressions.
+#
+#   scripts/bench_diff.sh old.json new.json        # default 15% threshold
+#   THRESHOLD=0.25 scripts/bench_diff.sh a.json b.json
+#   scripts/bench_diff.sh                          # two newest BENCH_*.json
+#
+# With no arguments the two most recent BENCH_*.json snapshots in the repo
+# root are compared, ordered by date then same-day suffix (bench.sh never
+# overwrites: the second run of a day is BENCH_<date>-1.json, and so on).
+# The exit status is nonzero when any benchmark regressed past the threshold,
+# so CI can choose whether regressions block. Single-iteration snapshots from
+# `scripts/bench.sh` are noisy — treat the report as advisory unless the
+# snapshots were produced with BENCHTIME set to a real duration.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+old="${1:-}" new="${2:-}"
+if [[ -z "$old" || -z "$new" ]]; then
+    mapfile -t snaps < <(
+        for f in BENCH_*.json; do
+            [[ -e "$f" ]] || continue
+            s="${f#BENCH_}" s="${s%.json}"
+            d="${s:0:10}" n="${s:11}"
+            printf '%s %s %s\n' "$d" "${n:-0}" "$f"
+        done | sort -k1,1 -k2,2n | awk '{print $3}' | tail -n 2
+    )
+    if (( ${#snaps[@]} < 2 )); then
+        echo "bench_diff.sh: need two BENCH_*.json snapshots (or pass two paths)" >&2
+        exit 2
+    fi
+    old="${snaps[0]}" new="${snaps[1]}"
+fi
+
+echo "==> bench diff: $old -> $new"
+go run ./scripts/internal/benchdiff -threshold "${THRESHOLD:-0.15}" "$old" "$new"

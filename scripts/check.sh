@@ -15,10 +15,18 @@
 #                links, a partition, a P2 crash-restart from durable storage)
 #                must end healthy with a violation-free recovery line; on
 #                failure the protocol trace lands in chaos-trace.txt for CI
-#                to attach as an artifact
+#                to attach as an artifact. The run's final metrics snapshot
+#                always lands in chaos-metrics.json (uploaded by CI), and
+#                the soak itself asserts its fault counters agree with the
+#                injector's
+#   metrics smoke  synergy-live is started with -metrics-addr 127.0.0.1:0
+#                and its /metrics endpoint scraped once: the exposition
+#                must be non-empty and well-typed
 #   bench smoke  every benchmark runs for one iteration, so a refactor that
 #                breaks a benchmark (or reintroduces hot-path allocations
 #                loud enough to fail an assertion) is caught before merge
+#   bench diff   advisory ns/op comparison of the two newest committed
+#                BENCH_*.json snapshots (never fails the gate)
 #   bench naming bench.sh's snapshot-name logic is asserted hermetically:
 #                same-day runs must suffix, never overwrite
 #
@@ -67,10 +75,32 @@ for entry in "${fuzz_targets[@]}"; do
 done
 
 echo "==> chaos soak smoke (seeded: faults, partition, crash-restart)"
-go run ./cmd/synergy-chaos -seed 7 -duration 1500ms > /dev/null
+go run ./cmd/synergy-chaos -seed 7 -duration 1500ms -metrics-out chaos-metrics.json > /dev/null
+
+echo "==> metrics smoke (synergy-live serves /metrics; one scrape must be non-empty)"
+go build -o "$tmp/synergy-live" ./cmd/synergy-live
+"$tmp/synergy-live" -duration 1500ms -metrics-addr 127.0.0.1:0 > "$tmp/live.out" &
+live_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(sed -n 's/^metrics listening on //p' "$tmp/live.out")"
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+    kill "$live_pid" 2>/dev/null || true
+    echo "synergy-live never reported its metrics address:" >&2
+    cat "$tmp/live.out" >&2
+    exit 1
+fi
+go run ./scripts/internal/scrape "http://$addr/metrics" "# TYPE synergy_live_msgs_sent_total counter"
+wait "$live_pid"
 
 echo "==> bench smoke (1 iteration per benchmark)"
 go test -run '^$' -bench . -benchtime 1x ./... > /dev/null
+
+echo "==> bench diff (advisory: ns/op movement between the two newest snapshots)"
+scripts/bench_diff.sh || echo "    (advisory only — single-iteration snapshots are noisy; see bench_diff.sh)"
 
 echo "==> bench snapshot naming (same-day runs suffix, never overwrite)"
 first="$(BENCH_DIR="$tmp" BENCH_DATE=2026-01-01 scripts/bench.sh --print-out)"

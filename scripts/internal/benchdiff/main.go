@@ -1,0 +1,127 @@
+// Command benchdiff compares two bench.sh JSON snapshots and reports per-
+// benchmark ns/op movement. Benchmarks whose ns/op regressed by more than
+// the threshold (default 15%) are flagged and make the exit status nonzero;
+// callers that only want the report (check.sh's non-fatal step) ignore the
+// status. Benchmarks present in only one snapshot are listed but never
+// flagged — an added or deleted benchmark is not a regression.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.15] old.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type snapshot struct {
+	Date       string      `json:"date"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Package string             `json:"package"`
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.15, "flag ns/op regressions above this fraction")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.15] old.json new.json")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath string, threshold float64) error {
+	oldSnap, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := load(newPath)
+	if err != nil {
+		return err
+	}
+
+	oldNs := index(oldSnap)
+	newNs := index(newSnap)
+
+	keys := make([]string, 0, len(oldNs))
+	for k := range oldNs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var regressions []string
+	for _, k := range keys {
+		before := oldNs[k]
+		after, ok := newNs[k]
+		if !ok {
+			fmt.Printf("  gone      %-40s (was %.0f ns/op)\n", k, before)
+			continue
+		}
+		delete(newNs, k)
+		if before <= 0 {
+			continue
+		}
+		delta := (after - before) / before
+		mark := "  "
+		if delta > threshold {
+			mark = "!!"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)", k, before, after, 100*delta))
+		}
+		fmt.Printf("%s %+7.1f%%  %-40s %.0f -> %.0f ns/op\n", mark, 100*delta, k, before, after)
+	}
+	added := make([]string, 0, len(newNs))
+	for k := range newNs {
+		added = append(added, k)
+	}
+	sort.Strings(added)
+	for _, k := range added {
+		fmt.Printf("  new       %-40s %.0f ns/op\n", k, newNs[k])
+	}
+
+	if len(regressions) > 0 {
+		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%% ns/op:\n", len(regressions), 100*threshold)
+		for _, r := range regressions {
+			fmt.Println("  " + r)
+		}
+		return fmt.Errorf("%d regression(s) over threshold", len(regressions))
+	}
+	fmt.Printf("\nno ns/op regression over %.0f%% (%d benchmarks compared)\n", 100*threshold, len(keys))
+	return nil
+}
+
+func load(path string) (snapshot, error) {
+	var s snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// index maps "package.Name" to ns/op; single-iteration noise is the caller's
+// problem (check.sh treats the report as advisory).
+func index(s snapshot) map[string]float64 {
+	m := make(map[string]float64, len(s.Benchmarks))
+	for _, b := range s.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok {
+			m[b.Package+"."+b.Name] = ns
+		}
+	}
+	return m
+}

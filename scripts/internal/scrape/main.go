@@ -1,0 +1,55 @@
+// Command scrape fetches a URL once and asserts the response looks like a
+// healthy metrics exposition: status 200, a non-empty body, and every extra
+// argument present as a substring. check.sh uses it to smoke-test the
+// /metrics endpoint without depending on curl being installed.
+//
+// Usage:
+//
+//	scrape <url> [required-substring ...]
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: scrape <url> [required-substring ...]")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1], os.Args[2:]); err != nil {
+		fmt.Fprintln(os.Stderr, "scrape:", err)
+		os.Exit(1)
+	}
+}
+
+func run(url string, want []string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %s", url, resp.Status)
+	}
+	if len(body) == 0 {
+		return fmt.Errorf("%s: empty body", url)
+	}
+	for _, w := range want {
+		if !strings.Contains(string(body), w) {
+			return fmt.Errorf("%s: body (%d bytes) missing %q", url, len(body), w)
+		}
+	}
+	fmt.Printf("scraped %s: %d bytes, %d lines\n", url, len(body), strings.Count(string(body), "\n"))
+	return nil
+}
