@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	synergy-lint [-rules] [dir|./...]
+//	synergy-lint [-rules] [-json] [dir|./...]
 //
 // The argument names the module root (a directory containing go.mod, or a
 // "./..." pattern rooted there); it defaults to the current directory. Every
@@ -13,10 +13,15 @@
 //
 //	//lint:ignore <rule> <reason>
 //
+// With -json the findings are emitted as a JSON array on stdout
+// ([{"file":…,"line":…,"col":…,"rule":…,"message":…}, …] — an empty array
+// when clean) for CI artifact consumption; exit codes are unchanged.
+//
 // Exit status: 0 clean, 1 findings, 2 usage or load failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +33,7 @@ import (
 
 func main() {
 	rules := flag.Bool("rules", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Parse()
 
 	analyzers := lint.DefaultAnalyzers()
@@ -65,8 +71,31 @@ func main() {
 		os.Exit(2)
 	}
 	findings := lint.Run(pkgs, analyzers)
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonOut {
+		type jsonFinding struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Rule    string `json:"rule"`
+			Message string `json:"message"`
+		}
+		report := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			report = append(report, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+				Rule: f.Rule, Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "synergy-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "synergy-lint: %d finding(s)\n", len(findings))

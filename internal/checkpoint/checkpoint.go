@@ -8,6 +8,8 @@
 package checkpoint
 
 import (
+	"maps"
+
 	"github.com/synergy-ft/synergy/internal/app"
 	"github.com/synergy-ft/synergy/internal/msg"
 	"github.com/synergy-ft/synergy/internal/vtime"
@@ -133,8 +135,6 @@ func (c *Checkpoint) UnackedTo(dst msg.ProcID) []msg.Message {
 
 func cloneCounts(m map[msg.ProcID]uint64) map[msg.ProcID]uint64 {
 	out := make(map[msg.ProcID]uint64, len(m))
-	for k, v := range m {
-		out[k] = v
-	}
+	maps.Copy(out, m)
 	return out
 }

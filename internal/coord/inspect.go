@@ -29,8 +29,12 @@ func (s *System) StableLine() (invariant.Line, error) {
 	if round == 0 {
 		return line, fmt.Errorf("stable line: no complete checkpoint round yet")
 	}
-	for id, cp := range s.cps {
-		if s.procs[id].Failed() {
+	// Fixed-order iteration keeps the result — in particular which
+	// process's error surfaces when several are unrestorable — independent
+	// of map order.
+	for _, id := range s.orderedProcs() {
+		cp := s.cps[id]
+		if cp == nil || s.procs[id].Failed() {
 			continue
 		}
 		r := round

@@ -265,8 +265,9 @@ func (s *System) RepairNode(node msg.NodeID) error {
 func (s *System) recoveryRound() uint64 {
 	round := ^uint64(0)
 	any := false
-	for id, cp := range s.cps {
-		if s.procs[id].Failed() {
+	for _, id := range s.orderedProcs() {
+		cp := s.cps[id]
+		if cp == nil || s.procs[id].Failed() {
 			continue
 		}
 		any = true

@@ -17,6 +17,7 @@ package invariant
 
 import (
 	"fmt"
+	"slices"
 
 	"github.com/synergy-ft/synergy/internal/checkpoint"
 	"github.com/synergy-ft/synergy/internal/msg"
@@ -157,7 +158,14 @@ func (l Line) checkChannels() []Violation {
 // not be corrupted in ground truth.
 func (l Line) checkContents() []Violation {
 	var out []Violation
-	for id, c := range l.Ckpts {
+	// Sorted iteration keeps the violation order stable across runs.
+	ids := make([]msg.ProcID, 0, len(l.Ckpts))
+	for id := range l.Ckpts {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		c := l.Ckpts[id]
 		if c.Dirty {
 			out = append(out, Violation{
 				Kind:   DirtyStableContent,

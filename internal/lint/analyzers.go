@@ -1,7 +1,9 @@
 package lint
 
-// DefaultAnalyzers returns the eleven protocol-aware rules configured for
-// this repository, in the order findings are most useful to read.
+// DefaultAnalyzers returns the fourteen protocol-aware rules configured for
+// this repository, in the order findings are most useful to read. The last
+// three are interprocedural: they share the whole-program call graph built
+// by internal/lint/dataflow through the cross-package fact store.
 func DefaultAnalyzers() []Analyzer {
 	return []Analyzer{
 		NewWallClock(),
@@ -15,5 +17,8 @@ func DefaultAnalyzers() []Analyzer {
 		NewVTimeMono(),
 		NewCampaignCapture(),
 		NewUncheckedErr(),
+		NewDetFlow(),
+		NewLockOrder(),
+		NewAtomicMix(),
 	}
 }

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix is the atomic-consistency rule: a struct field accessed through
+// sync/atomic anywhere in the program must be accessed atomically
+// everywhere. A field updated with atomic.AddUint64 in one package and read
+// with a plain load in another has no synchronization at all — the plain
+// access races the atomic one, and on the lock-free hot paths this
+// repository leans on (internal/obs counters, the tb dirty-bit machinery)
+// the race detector only catches the interleavings a test happens to
+// schedule. The check is inherently cross-package: the atomic and the plain
+// access are usually nowhere near each other, which is exactly why a
+// per-function pass cannot see the pair.
+//
+// The export pass records every sync/atomic call on a field address and
+// every plain field read/write (composite-literal initialization excluded —
+// a value not yet shared needs no atomicity) into the shared call graph;
+// the check pass joins them globally and reports each plain access to an
+// atomically-accessed field in the package making that access. Fields of
+// the typed atomic wrappers (atomic.Uint64 and friends) need no rule: their
+// type already forces every access through the atomic API.
+type AtomicMix struct{}
+
+// NewAtomicMix returns the rule.
+func NewAtomicMix() *AtomicMix { return &AtomicMix{} }
+
+// Name implements Analyzer.
+func (a *AtomicMix) Name() string { return "atomicmix" }
+
+// Doc implements Analyzer.
+func (a *AtomicMix) Doc() string {
+	return "a field accessed via sync/atomic anywhere must be accessed atomically everywhere"
+}
+
+// ExportFacts implements FactExporter: it grows the shared call graph,
+// whose nodes already carry the field-access records this rule joins.
+func (a *AtomicMix) ExportFacts(pkg *Package, facts *Facts) {
+	facts.Dataflow().Graph.AddPackage(DataflowPackage(pkg))
+}
+
+// atomicFields joins (once per run) every node's atomic accesses into the
+// global field → first-atomic-site map.
+func (a *AtomicMix) atomicFields(facts *Facts) map[*types.Var]token.Pos {
+	st := facts.Dataflow()
+	return st.Memo("atomicmix", func() any {
+		fields := make(map[*types.Var]token.Pos)
+		for _, n := range st.Graph.Nodes() {
+			for _, acc := range n.Atomics {
+				if _, ok := fields[acc.Field]; !ok {
+					fields[acc.Field] = acc.Pos
+				}
+			}
+		}
+		return fields
+	}).(map[*types.Var]token.Pos)
+}
+
+// Check implements Analyzer: plain reads and writes in this package of any
+// globally atomically-accessed field are findings.
+func (a *AtomicMix) Check(pkg *Package) []Finding {
+	if pkg.Facts == nil {
+		return nil
+	}
+	fields := a.atomicFields(pkg.Facts)
+	if len(fields) == 0 {
+		return nil
+	}
+	var out []Finding
+	report := func(pos token.Pos, field *types.Var, kind string) {
+		atomicAt := pkg.Fset.Position(fields[field])
+		out = append(out, Finding{
+			Pos:  pkg.Fset.Position(pos),
+			Rule: a.Name(),
+			Message: fmt.Sprintf("field %s is accessed atomically (e.g. %s:%d) but %s plainly here; mixed atomic/plain access is a data race — use sync/atomic at every access",
+				field.Name(), shortFile(atomicAt.Filename), atomicAt.Line, kind),
+		})
+	}
+	for _, n := range pkg.Facts.Dataflow().Graph.Nodes() {
+		if n.PkgPath != pkg.Path {
+			continue
+		}
+		for _, r := range n.Reads {
+			if _, ok := fields[r.Field]; ok {
+				report(r.Pos, r.Field, "read")
+			}
+		}
+		for _, w := range n.Writes {
+			if _, ok := fields[w.Field]; ok {
+				report(w.Pos, w.Field, "written")
+			}
+		}
+	}
+	return out
+}
+
+func shortFile(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' {
+			return name[i+1:]
+		}
+	}
+	return name
+}

@@ -1,0 +1,103 @@
+package lint
+
+import "testing"
+
+// A field updated through sync/atomic in its own package but read and written
+// plainly by an importer: both plain accesses are findings, in the package
+// making them.
+func TestAtomicMixCrossPackageMixedAccess(t *testing.T) {
+	got := runFixture(t, NewAtomicMix(), map[string]map[string]string{
+		"example.com/acc": {"acc.go": `package acc
+
+import "sync/atomic"
+
+type Counter struct{ N uint64 }
+
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.N, 1)
+}
+`},
+		"example.com/view": {"view.go": `package view
+
+import "example.com/acc"
+
+func Read(c *acc.Counter) uint64 {
+	return c.N
+}
+
+func Reset(c *acc.Counter) {
+	c.N = 0
+}
+`},
+	})
+	wantFindings(t, got, []struct {
+		line int
+		rule string
+		msg  string
+	}{
+		{6, "atomicmix", "but read plainly"},
+		{10, "atomicmix", "but written plainly"},
+	})
+}
+
+func TestAtomicMixAllAtomicIsClean(t *testing.T) {
+	got := runFixture(t, NewAtomicMix(), map[string]map[string]string{
+		"example.com/acc": {"acc.go": `package acc
+
+import "sync/atomic"
+
+type Counter struct{ N uint64 }
+
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.N, 1)
+}
+
+func (c *Counter) Get() uint64 {
+	return atomic.LoadUint64(&c.N)
+}
+`},
+	})
+	wantFindings(t, got, nil)
+}
+
+// Composite-literal initialization happens before the value is shared and
+// needs no atomicity.
+func TestAtomicMixCompositeLiteralExempt(t *testing.T) {
+	got := runFixture(t, NewAtomicMix(), map[string]map[string]string{
+		"example.com/acc": {"acc.go": `package acc
+
+import "sync/atomic"
+
+type Counter struct{ N uint64 }
+
+func New() *Counter {
+	return &Counter{N: 1}
+}
+
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.N, 1)
+}
+`},
+	})
+	wantFindings(t, got, nil)
+}
+
+func TestAtomicMixIgnoreDirective(t *testing.T) {
+	got := runFixture(t, NewAtomicMix(), map[string]map[string]string{
+		"example.com/acc": {"acc.go": `package acc
+
+import "sync/atomic"
+
+type Counter struct{ N uint64 }
+
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.N, 1)
+}
+
+func (c *Counter) Peek() uint64 {
+	return c.N //lint:ignore atomicmix advisory read; staleness is tolerated here
+}
+`},
+	})
+	wantFindings(t, got, nil)
+}

@@ -1,0 +1,304 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// fixturePkg is one in-memory package; slices are loaded in order, so list
+// dependencies first.
+type fixturePkg struct {
+	path string
+	src  string
+}
+
+// testImporter resolves fixture-internal imports from the checked set and
+// everything else through the toolchain, compiling from source as a
+// fallback.
+type testImporter struct {
+	checked map[string]*types.Package
+	gc      types.Importer
+	source  types.Importer
+}
+
+func (i testImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.checked[path]; ok {
+		return p, nil
+	}
+	if p, err := i.gc.Import(path); err == nil {
+		return p, nil
+	}
+	return i.source.Import(path)
+}
+
+// load parses, type-checks, and adds each fixture package to a fresh graph.
+func load(t *testing.T, pkgs ...fixturePkg) (*Graph, map[string]*types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	g := NewGraph()
+	checked := make(map[string]*types.Package, len(pkgs))
+	imp := testImporter{
+		checked: checked,
+		gc:      importer.Default(),
+		source:  importer.ForCompiler(fset, "source", nil),
+	}
+	for _, p := range pkgs {
+		file, err := parser.ParseFile(fset, p.path+"/fixture.go", p.src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", p.path, err)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		cfg := &types.Config{Importer: imp}
+		pkg, err := cfg.Check(p.path, fset, []*ast.File{file}, info)
+		if err != nil {
+			t.Fatalf("type-check %s: %v", p.path, err)
+		}
+		checked[p.path] = pkg
+		g.AddPackage(&Package{Path: p.path, Fset: fset, Files: []*ast.File{file}, Pkg: pkg, Info: info})
+	}
+	return g, checked
+}
+
+// lookupFunc resolves a package-level function or a Type.Method name.
+func lookupFunc(t *testing.T, pkg *types.Package, name string) *types.Func {
+	t.Helper()
+	if obj, ok := pkg.Scope().Lookup(name).(*types.Func); ok {
+		return obj
+	}
+	for _, tn := range pkg.Scope().Names() {
+		named, ok := pkg.Scope().Lookup(tn).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named.Type()), true, pkg, name)
+		if fn, ok := obj.(*types.Func); ok {
+			return fn
+		}
+	}
+	t.Fatalf("function %s not found in %s", name, pkg.Path())
+	return nil
+}
+
+// A function value passed as an argument — plain or a method value — is a
+// CallRef edge: whoever holds the value may invoke it.
+func TestGraphFunctionAndMethodValues(t *testing.T) {
+	g, pkgs := load(t, fixturePkg{path: "example.com/refs", src: `package refs
+
+func helper() int { return 1 }
+
+func run(f func() int) int { return f() }
+
+type T struct{}
+
+func (T) M() int { return 2 }
+
+func Use() int { return run(helper) }
+
+func UseMethod(v T) int { return run(v.M) }
+`})
+	p := pkgs["example.com/refs"]
+
+	useNode := g.Node(lookupFunc(t, p, "Use"))
+	if useNode == nil {
+		t.Fatal("no node for Use")
+	}
+	var gotRun, gotHelper bool
+	for _, c := range useNode.Calls {
+		switch {
+		case c.Kind == CallStatic && c.Callee.Name() == "run":
+			gotRun = true
+		case c.Kind == CallRef && c.Callee.Name() == "helper":
+			gotHelper = true
+		}
+	}
+	if !gotRun || !gotHelper {
+		t.Errorf("Use edges = %+v; want static run + ref helper", useNode.Calls)
+	}
+
+	methNode := g.Node(lookupFunc(t, p, "UseMethod"))
+	var gotM bool
+	for _, c := range methNode.Calls {
+		if c.Kind == CallRef && c.Callee.Name() == "M" {
+			gotM = true
+		}
+	}
+	if !gotM {
+		t.Errorf("UseMethod edges = %+v; want ref to method value M", methNode.Calls)
+	}
+}
+
+// An interface-method call fans out to every module type implementing the
+// interface: the over-approximation that keeps whole-program taint sound.
+func TestGraphInterfaceDispatchOverApproximation(t *testing.T) {
+	g, pkgs := load(t, fixturePkg{path: "example.com/iface", src: `package iface
+
+type Doer interface{ Do() int }
+
+type A struct{}
+
+func (A) Do() int { return 1 }
+
+type B struct{}
+
+func (B) Do() int { return 2 }
+
+func Run(d Doer) int { return d.Do() }
+`})
+	p := pkgs["example.com/iface"]
+	g.Resolve()
+
+	runNode := g.Node(lookupFunc(t, p, "Run"))
+	var dyn *Call
+	for i, c := range runNode.Calls {
+		if c.Kind == CallDynamic {
+			dyn = &runNode.Calls[i]
+		}
+	}
+	if dyn == nil {
+		t.Fatalf("Run edges = %+v; want a dynamic edge for d.Do()", runNode.Calls)
+	}
+	targets := g.Callees(*dyn)
+	if len(targets) != 2 {
+		t.Fatalf("dynamic fan-out = %v; want both A.Do and B.Do", targets)
+	}
+	names := map[string]bool{}
+	for _, fn := range targets {
+		names[types.TypeString(fn.Type().(*types.Signature).Recv().Type(), nil)] = true
+	}
+	if !names["example.com/iface.A"] || !names["example.com/iface.B"] {
+		t.Errorf("fan-out receivers = %v; want A and B", names)
+	}
+}
+
+func timeSource(fn *types.Func) string {
+	if fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+		return "wall clock"
+	}
+	return ""
+}
+
+// Taint flows out of a closure into the field it initializes and onward to
+// every reader of that field: closures fold into their enclosing function,
+// and a tainted writer taints the fields it writes.
+func TestTaintThroughClosureAndStructField(t *testing.T) {
+	g, pkgs := load(t, fixturePkg{path: "example.com/field", src: `package field
+
+import "time"
+
+type S struct{ stamp int64 }
+
+func (s *S) Mark() {
+	f := func() int64 { return time.Now().UnixNano() }
+	s.stamp = f()
+}
+
+func (s *S) Get() int64 { return s.stamp }
+`})
+	p := pkgs["example.com/field"]
+	eng := NewEngine(g, TaintConfig{Source: timeSource, WriterTaintsFields: true})
+
+	mark := lookupFunc(t, p, "Mark")
+	if eng.TaintOf(mark) == nil {
+		t.Fatal("Mark not tainted: closure body should fold into the enclosing method")
+	}
+	get := lookupFunc(t, p, "Get")
+	chain := eng.TaintOf(get)
+	if chain == nil {
+		t.Fatal("Get not tainted: field taint should reach its readers")
+	}
+	if root := chain.Root(); root.Desc != "time.Now (wall clock)" {
+		t.Errorf("root cause = %q; want the time.Now source", root.Desc)
+	}
+}
+
+// A sanitizer stops propagation even when its own body calls a source.
+func TestTaintSanitizerStopsPropagation(t *testing.T) {
+	g, pkgs := load(t, fixturePkg{path: "example.com/san", src: `package san
+
+import "time"
+
+func now() int64 { return time.Now().UnixNano() }
+
+func Use() int64 { return now() }
+`})
+	p := pkgs["example.com/san"]
+	eng := NewEngine(g, TaintConfig{
+		Source:    timeSource,
+		Sanitizer: func(fn *types.Func) bool { return fn.Name() == "now" },
+	})
+	if eng.TaintOf(lookupFunc(t, p, "Use")) != nil {
+		t.Error("Use tainted despite calling only a sanitizer")
+	}
+}
+
+// Map ranges are sources only in functions that do not sort.
+func TestTaintMapRangeSortSanitizes(t *testing.T) {
+	g, pkgs := load(t, fixturePkg{path: "example.com/mr", src: `package mr
+
+import "sort"
+
+func Unsorted(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func Sorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+`})
+	p := pkgs["example.com/mr"]
+	eng := NewEngine(g, TaintConfig{MapRangeSource: true})
+	if eng.TaintOf(lookupFunc(t, p, "Unsorted")) == nil {
+		t.Error("Unsorted map range not tainted")
+	}
+	if eng.TaintOf(lookupFunc(t, p, "Sorted")) != nil {
+		t.Error("Sorted function tainted despite its sort call")
+	}
+}
+
+// Taint crosses package boundaries through the shared graph: the fixture
+// mirrors the real tree's experiment → coord → mdcd layering in miniature.
+func TestTaintCrossPackageChain(t *testing.T) {
+	g, pkgs := load(t,
+		fixturePkg{path: "example.com/clock", src: `package clock
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`},
+		fixturePkg{path: "example.com/top", src: `package top
+
+import "example.com/clock"
+
+func Result() int64 { return clock.Stamp() }
+`})
+	eng := NewEngine(g, TaintConfig{Source: timeSource})
+	chain := eng.TaintOf(lookupFunc(t, pkgs["example.com/top"], "Result"))
+	if chain == nil {
+		t.Fatal("Result not tainted across the package boundary")
+	}
+	hops := 0
+	for h := chain; h != nil; h = h.Next {
+		hops++
+	}
+	if hops != 2 {
+		t.Errorf("chain length = %d; want 2 (call hop + source)", hops)
+	}
+}

@@ -27,6 +27,9 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
+
+	"github.com/synergy-ft/synergy/internal/lint/dataflow"
 )
 
 // Finding is one rule violation at a source position.
@@ -79,6 +82,9 @@ type Facts struct {
 	// non-empty when the function invokes that func-typed parameter while
 	// holding the named lock (see WithLock).
 	lockedParams map[types.Object][]string
+	// df is the shared whole-program dataflow state (call graph, taint
+	// engines, lock graph) the interprocedural analyzers build on.
+	df *dataflow.State
 }
 
 func newFacts() *Facts {
@@ -86,6 +92,30 @@ func newFacts() *Facts {
 		counters:     make(map[types.Object]bool),
 		paramMut:     make(map[types.Object][]bool),
 		lockedParams: make(map[types.Object][]string),
+		df:           dataflow.NewState(),
+	}
+}
+
+// Dataflow returns the run's shared interprocedural dataflow state. The
+// dataflow-based analyzers grow its call graph during their export passes
+// (serial, dependency-ordered) and solve it memoized during the parallel
+// check phase.
+func (f *Facts) Dataflow() *dataflow.State {
+	if f == nil {
+		return nil
+	}
+	return f.df
+}
+
+// DataflowPackage adapts a lint package into the dataflow layer's mirror
+// type.
+func DataflowPackage(pkg *Package) *dataflow.Package {
+	return &dataflow.Package{
+		Path:  pkg.Path,
+		Fset:  pkg.Fset,
+		Files: pkg.Files,
+		Pkg:   pkg.Pkg,
+		Info:  pkg.Info,
 	}
 }
 
@@ -159,8 +189,16 @@ type Analyzer interface {
 
 // Run applies every analyzer to every package, filters findings through the
 // packages' //lint:ignore directives, and returns the survivors sorted by
-// position. Malformed or unused directives produce their own findings under
-// the "lint-directive" rule.
+// position. Malformed directives produce their own findings under the
+// "lint-directive" rule; a directive naming an active rule that suppressed
+// nothing is reported under "staleignore" (the stale-ignore audit that keeps
+// the allow-list honest as analyzers evolve).
+//
+// Export passes run serially in dependency order — facts about a package
+// must be complete before its importers are analyzed — but the check phase
+// fans packages out across goroutines: the loaded packages and the fact
+// store are read-only by then, and analyzers keep no mutable check state
+// (whole-program solves go through Facts.Dataflow().Memo).
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 	// Facts must be complete for a package before any importer is checked,
 	// and callers (the driver walks the filesystem, fixture tests iterate a
@@ -176,17 +214,36 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 			}
 		}
 	}
-	var out []Finding
-	for _, pkg := range pkgs {
-		dirs := collectDirectives(pkg)
-		for _, a := range analyzers {
-			for _, f := range a.Check(pkg) {
-				if !dirs.suppress(f) {
-					out = append(out, f)
+	// active names the rules whose directives the stale audit can judge: a
+	// directive for a rule that did not run might suppress a real finding.
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		active[a.Name()] = true
+	}
+	perPkg := make([][]Finding, len(pkgs))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			dirs := collectDirectives(pkg)
+			var out []Finding
+			for _, a := range analyzers {
+				for _, f := range a.Check(pkg) {
+					if !dirs.suppress(f) {
+						out = append(out, f)
+					}
 				}
 			}
-		}
-		out = append(out, dirs.problems...)
+			out = append(out, dirs.problems...)
+			out = append(out, dirs.stale(active)...)
+			perPkg[i] = out
+		}(i, pkg)
+	}
+	wg.Wait()
+	var out []Finding
+	for _, fs := range perPkg {
+		out = append(out, fs...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
@@ -231,15 +288,19 @@ func topoPackages(pkgs []*Package) []*Package {
 	return out
 }
 
-// directive is one parsed //lint:ignore comment.
-type directive struct {
-	rules map[string]bool
-	line  int // the source line the directive suppresses
+// dirEntry is one rule of one parsed //lint:ignore comment, tracked so the
+// stale audit can tell which directives actually suppressed something.
+type dirEntry struct {
+	rule string
+	pos  token.Position // the directive's own position (stale reports here)
+	used bool
 }
 
 type directiveSet struct {
-	// byFile maps filename → suppressed line → rules.
-	byFile   map[string]map[int][]string
+	// byFile maps filename → suppressed line → directive entries.
+	byFile map[string]map[int][]*dirEntry
+	// entries preserves parse order for deterministic stale reporting.
+	entries  []*dirEntry
 	problems []Finding
 }
 
@@ -249,7 +310,7 @@ const directivePrefix = "//lint:ignore"
 // trailing directive suppresses its own line; a standalone directive
 // suppresses the line below it.
 func collectDirectives(pkg *Package) *directiveSet {
-	ds := &directiveSet{byFile: make(map[string]map[int][]string)}
+	ds := &directiveSet{byFile: make(map[string]map[int][]*dirEntry)}
 	for _, file := range pkg.Files {
 		starts := codeLineStarts(pkg.Fset, file)
 		for _, cg := range file.Comments {
@@ -275,10 +336,14 @@ func collectDirectives(pkg *Package) *directiveSet {
 				}
 				m := ds.byFile[pos.Filename]
 				if m == nil {
-					m = make(map[int][]string)
+					m = make(map[int][]*dirEntry)
 					ds.byFile[pos.Filename] = m
 				}
-				m[line] = append(m[line], strings.Split(fields[0], ",")...)
+				for _, rule := range strings.Split(fields[0], ",") {
+					e := &dirEntry{rule: rule, pos: pos}
+					ds.entries = append(ds.entries, e)
+					m[line] = append(m[line], e)
+				}
 			}
 		}
 	}
@@ -310,12 +375,34 @@ func codeLineStarts(fset *token.FileSet, file *ast.File) map[int]int {
 }
 
 func (ds *directiveSet) suppress(f Finding) bool {
-	for _, rule := range ds.byFile[f.Pos.Filename][f.Pos.Line] {
-		if rule == f.Rule {
+	for _, e := range ds.byFile[f.Pos.Filename][f.Pos.Line] {
+		if e.rule == f.Rule {
+			e.used = true
 			return true
 		}
 	}
 	return false
+}
+
+// stale reports every directive that names an active rule yet suppressed no
+// finding. A suppression that outlives its violation is an allow-list entry
+// nobody can audit — the code may have been fixed, the rule may have grown
+// smarter, or the directive may sit on the wrong line; in all three cases
+// the honest move is deleting or correcting it.
+func (ds *directiveSet) stale(active map[string]bool) []Finding {
+	var out []Finding
+	for _, e := range ds.entries {
+		if e.used || !active[e.rule] {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:  e.pos,
+			Rule: "staleignore",
+			Message: fmt.Sprintf("//lint:ignore %s suppresses no finding; the violation it excused is gone (or the directive is misplaced) — delete it so the allow-list stays auditable",
+				e.rule),
+		})
+	}
+	return out
 }
 
 // enclosingFunc returns the name of the innermost function declaration

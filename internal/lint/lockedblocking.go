@@ -91,6 +91,10 @@ type lockWalker struct {
 	// lock state held at that point (the withlock analyzer uses it to
 	// discover helpers that invoke a parameter under a lock).
 	onCall func(call *ast.CallExpr, held lockState)
+	// onLock, when set, observes every Lock/RLock together with the
+	// receiver selector and the locks already held at that point (the
+	// lockorder analyzer uses it to build the acquisition graph).
+	onLock func(sel *ast.SelectorExpr, key string, pos token.Pos, held lockState)
 }
 
 // stmts analyzes a statement list, threading the held-lock state through it,
@@ -105,9 +109,12 @@ func (w *lockWalker) stmts(list []ast.Stmt, held lockState) lockState {
 func (w *lockWalker) stmt(stmt ast.Stmt, held lockState) lockState {
 	switch s := stmt.(type) {
 	case *ast.ExprStmt:
-		if key, op, ok := w.mutexOp(s.X); ok {
+		if key, op, sel, ok := w.mutexOp(s.X); ok {
 			switch op {
 			case "Lock", "RLock":
+				if w.onLock != nil {
+					w.onLock(sel, key, s.Pos(), held)
+				}
 				held = held.clone()
 				held[key] = s.Pos()
 			case "Unlock", "RUnlock":
@@ -120,7 +127,7 @@ func (w *lockWalker) stmt(stmt ast.Stmt, held lockState) lockState {
 	case *ast.DeferStmt:
 		// A deferred unlock keeps the lock held for the remainder of the
 		// function; anything else deferred runs at exit, analyzed fresh.
-		if _, op, ok := w.mutexOp(s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+		if _, op, _, ok := w.mutexOp(s.Call); ok && (op == "Unlock" || op == "RUnlock") {
 			return held
 		}
 		for _, arg := range s.Call.Args {
@@ -308,28 +315,29 @@ func (w *lockWalker) scan(expr ast.Expr, held lockState) {
 
 // mutexOp recognizes x.Lock / x.RLock / x.Unlock / x.RUnlock where the
 // method belongs to sync.Mutex or sync.RWMutex (directly or embedded),
-// returning the receiver's source rendering and the operation.
-func (w *lockWalker) mutexOp(expr ast.Expr) (key, op string, ok bool) {
+// returning the receiver's source rendering, the operation, and the call's
+// selector.
+func (w *lockWalker) mutexOp(expr ast.Expr) (key, op string, sel *ast.SelectorExpr, ok bool) {
 	call, isCall := expr.(*ast.CallExpr)
 	if !isCall {
-		return "", "", false
+		return "", "", nil, false
 	}
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel {
-		return "", "", false
+		return "", "", nil, false
 	}
 	name := sel.Sel.Name
 	switch name {
 	case "Lock", "RLock", "Unlock", "RUnlock":
 	default:
-		return "", "", false
+		return "", "", nil, false
 	}
 	obj := w.pkg.Info.Uses[sel.Sel]
 	fn, isFn := obj.(*types.Func)
 	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", "", false
+		return "", "", nil, false
 	}
-	return types.ExprString(sel.X), name, true
+	return types.ExprString(sel.X), name, sel, true
 }
 
 // blockingCall classifies a call as potentially blocking: time.Sleep,

@@ -3,6 +3,7 @@ package mdcd
 import (
 	"errors"
 	"fmt"
+	"maps"
 
 	"github.com/synergy-ft/synergy/internal/checkpoint"
 	"github.com/synergy-ft/synergy/internal/msg"
@@ -23,15 +24,9 @@ func (p *Process) Snapshot(kind checkpoint.Kind) *checkpoint.Checkpoint {
 	c.Dirty = p.EffectiveDirty()
 	c.MsgSN = p.msgSN
 	c.State = p.State.Clone()
-	for k, v := range p.sentTo {
-		c.SentTo[k] = v
-	}
-	for k, v := range p.recvFrom {
-		c.RecvFrom[k] = v
-	}
-	for k, v := range p.validSN {
-		c.ValidSN[k] = v
-	}
+	maps.Copy(c.SentTo, p.sentTo)
+	maps.Copy(c.RecvFrom, p.recvFrom)
+	maps.Copy(c.ValidSN, p.validSN)
 	if p.UnackedProvider != nil {
 		c.Unacked = p.UnackedProvider()
 	}
@@ -56,17 +51,11 @@ func (p *Process) RestoreFrom(c *checkpoint.Checkpoint) {
 	p.State = c.State.Clone()
 	p.msgSN = c.MsgSN
 	p.sentTo = make(map[msg.ProcID]uint64, len(c.SentTo))
-	for k, v := range c.SentTo {
-		p.sentTo[k] = v
-	}
+	maps.Copy(p.sentTo, c.SentTo)
 	p.recvFrom = make(map[msg.ProcID]uint64, len(c.RecvFrom))
-	for k, v := range c.RecvFrom {
-		p.recvFrom[k] = v
-	}
+	maps.Copy(p.recvFrom, c.RecvFrom)
 	p.validSN = make(map[msg.ProcID]uint64, len(c.ValidSN))
-	for k, v := range c.ValidSN {
-		p.validSN[k] = v
-	}
+	maps.Copy(p.validSN, c.ValidSN)
 	// lastSN high-water marks shrink with the restored views: the restored
 	// state has seen nothing beyond its receive counters.
 	p.lastSN = make(map[msg.ProcID]uint64)

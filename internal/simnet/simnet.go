@@ -7,6 +7,7 @@ package simnet
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"github.com/synergy-ft/synergy/internal/msg"
@@ -167,13 +168,16 @@ func (n *Network) Ack(m msg.Message) {
 // from before the rollback.
 func (n *Network) Flush() {
 	n.epoch++
-	for k, c := range n.inTransit {
-		n.stats.Flushed += uint64(c)
+	kinds := make([]msg.Kind, 0, len(n.inTransit))
+	for k := range n.inTransit {
+		kinds = append(kinds, k)
+	}
+	slices.Sort(kinds)
+	for _, k := range kinds {
+		n.stats.Flushed += uint64(n.inTransit[k])
 		n.inTransit[k] = 0
 	}
-	for ch := range n.lastArrival {
-		delete(n.lastArrival, ch)
-	}
+	clear(n.lastArrival)
 }
 
 // InTransit returns the number of live in-flight messages of kind k.

@@ -52,8 +52,22 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> synergy-lint ./..."
-go run ./cmd/synergy-lint ./...
+# The lint budget guards the shared-type-check + parallel-check design: the
+# dataflow analyzers (detflow/lockorder/atomicmix) solve whole-program
+# fixpoints, and the budget is 2x the pre-dataflow wall time, so an analyzer
+# that re-type-checks or serializes the check phase fails loudly here rather
+# than slowly taxing every PR. Override with LINT_BUDGET_SECONDS for slow
+# machines.
+lint_budget="${LINT_BUDGET_SECONDS:-4}"
+echo "==> synergy-lint ./... (budget ${lint_budget}s)"
+go build -o "$tmp/synergy-lint" ./cmd/synergy-lint
+lint_start=$SECONDS
+"$tmp/synergy-lint" ./...
+lint_elapsed=$(( SECONDS - lint_start ))
+if (( lint_elapsed > lint_budget )); then
+    echo "synergy-lint took ${lint_elapsed}s, over the ${lint_budget}s budget (2x the pre-dataflow baseline)" >&2
+    exit 1
+fi
 
 echo "==> go test -race ./..."
 go test -race ./...
