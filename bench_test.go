@@ -3,9 +3,11 @@ package synergy
 import (
 	"path/filepath"
 	"testing"
+	"time"
 
 	"github.com/synergy-ft/synergy/internal/checkpoint"
 	"github.com/synergy-ft/synergy/internal/experiment"
+	"github.com/synergy-ft/synergy/internal/live"
 	"github.com/synergy-ft/synergy/internal/msg"
 	"github.com/synergy-ft/synergy/internal/storage"
 )
@@ -168,6 +170,55 @@ func benchStableCommit(b *testing.B, durable bool) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchLiveTransport pushes probe messages through the live loopback-TCP
+// interconnect on one directed channel and waits for every probe to be
+// consumed at the far side, so ns/op is true end-to-end cost per delivered
+// message. The middleware is assembled but not started: no workload or
+// checkpoint traffic shares the wire, and zero delivery delay isolates the
+// transport itself. batchFrames=1 degenerates the writer to one wire batch
+// (and one syscall) per message — the pre-batching baseline — while 0 keeps
+// the default coalescing.
+func benchLiveTransport(b *testing.B, batchFrames int) {
+	b.Helper()
+	cfg := live.DefaultConfig(1)
+	cfg.Net = live.TCPTransport
+	cfg.MinDelay, cfg.MaxDelay = 0, 0
+	cfg.BatchMaxFrames = batchFrames
+	mw, err := live.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mw.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mw.SendProbe(msg.P1Act, msg.P2)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		sent, delivered := mw.ProbeStats()
+		if delivered >= sent {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("probes did not drain: sent=%d delivered=%d", sent, delivered)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/sec")
+}
+
+// BenchmarkLiveTransportThroughput compares per-message framing (the
+// pre-batching wire behavior: BatchMaxFrames=1, one write syscall per
+// message) against the default coalescing writer on the same loopback
+// channel. The batched path's msgs/sec gain is the syscall amortization the
+// ROADMAP's high-throughput item calls for.
+func BenchmarkLiveTransportThroughput(b *testing.B) {
+	b.Run("per-message", func(b *testing.B) { benchLiveTransport(b, 1) })
+	b.Run("batched", func(b *testing.B) { benchLiveTransport(b, 0) })
 }
 
 // BenchmarkStableCommitMemory is the in-memory stable-storage baseline every

@@ -27,6 +27,7 @@ func NewWallClock() *WallClock {
 			"github.com/synergy-ft/synergy/internal/live":     true,
 			"github.com/synergy-ft/synergy/cmd/synergy-live":  true,
 			"github.com/synergy-ft/synergy/cmd/synergy-chaos": true,
+			"github.com/synergy-ft/synergy/cmd/synergy-load":  true,
 			// obs owns the latency-timer indirection (StartTimer /
 			// ObserveSince) so instrumented packages never touch time.X
 			// themselves; its registry is only wired into live runs, so

@@ -51,6 +51,20 @@ type Config struct {
 	// Net selects the interconnect implementation (default: in-process
 	// channels; TCPTransport runs loopback sockets).
 	Net Transport
+	// BatchFlushDeadline bounds how long a TCP writer coalesces queued
+	// frames before putting a partial batch on the wire (default 200µs).
+	// Larger values amortize more syscalls per batch at the cost of added
+	// delivery latency up to the deadline.
+	BatchFlushDeadline time.Duration
+	// BatchMaxFrames caps sub-frames per wire batch (default 256). Setting
+	// it to 1 degenerates to per-message framing — the benchmark baseline.
+	BatchMaxFrames int
+	// BatchMaxBytes caps a batch's wire size in bytes (default 64KiB).
+	BatchMaxBytes int
+	// WriterQueue bounds each directed channel's writer queue in frames
+	// (default 1024). A full queue blocks the sender until the writer
+	// drains (backpressure) — frames are never silently dropped.
+	WriterQueue int
 	// StableDir, when non-empty, backs each node's stable storage with a
 	// durable append-only log at <StableDir>/<proc>.stable. Committed
 	// rounds then survive a node crash: KillNode/RestartNode reboot the
@@ -124,6 +138,9 @@ func (c Config) Validate() error {
 	if c.StableRetention < 0 {
 		return fmt.Errorf("live: negative stable retention")
 	}
+	if c.BatchFlushDeadline < 0 || c.BatchMaxFrames < 0 || c.BatchMaxBytes < 0 || c.WriterQueue < 0 {
+		return fmt.Errorf("live: negative transport batching knob")
+	}
 	if c.TraceCapacity < 0 {
 		return fmt.Errorf("live: negative trace capacity")
 	}
@@ -157,6 +174,9 @@ type Middleware struct {
 	recovering  bool
 	failure     string
 	metrics     Metrics
+	// probeSN numbers transport-level probe messages (SendProbe); it only
+	// ever increments, under mu.
+	probeSN uint64
 
 	stop chan struct{}
 	wg   sync.WaitGroup

@@ -236,8 +236,19 @@ func (mw *Middleware) Run(d time.Duration) {
 	mw.Stop()
 }
 
-// route delivers a message to its destination node.
-func (mw *Middleware) route(m msg.Message) {
+// route delivers a message to its destination node. It takes a pointer so
+// the transports' delivery loops hand over their decoded message without
+// another copy — route runs once per delivered message.
+func (mw *Middleware) route(m *msg.Message) {
+	if m.Kind == msg.Probe {
+		// Probes are load-driver traffic: counted and consumed below the
+		// protocol layer, before any per-node locking, so open-loop load
+		// generation measures the transport without perturbing protocol
+		// state. The obs counter is the single source of truth (ProbeStats
+		// reads it back) — no second counter on the hot path.
+		mw.obsm.probesDelivered.Inc()
+		return
+	}
 	mw.mu.Lock()
 	demoted := mw.actDemoted
 	mw.mu.Unlock()
@@ -254,10 +265,10 @@ func (mw *Middleware) route(m msg.Message) {
 		}
 		if m.Kind == msg.Ack {
 			mw.obsm.acks.Inc()
-			n.cp.OnAck(m)
+			n.cp.OnAck(*m)
 			return
 		}
-		n.proc.Receive(m)
+		n.proc.Receive(*m)
 	})
 }
 
@@ -335,6 +346,32 @@ func (mw *Middleware) Trace() interface {
 
 // NetworkStats returns total sent and delivered message counts.
 func (mw *Middleware) NetworkStats() (sent, delivered uint64) { return mw.net.stats() }
+
+// SendProbe injects one transport-level probe message on the from→to
+// channel. Probes ride the interconnect exactly like protocol frames
+// (delivery delay, batching, CRC, epoch checks, chaos verdicts) but are
+// consumed by the router without touching any process, so load drivers and
+// benchmarks can push the transport at arbitrary rates. A full writer queue
+// blocks the caller (backpressure). Probes carry no delivery guarantee
+// across recovery flushes: a flush may discard in-flight probes.
+func (mw *Middleware) SendProbe(from, to msg.ProcID) {
+	mw.mu.Lock()
+	mw.probeSN++
+	m := msg.Message{Kind: msg.Probe, From: from, To: to, SN: mw.probeSN, ChanSeq: mw.probeSN}
+	mw.mu.Unlock()
+	mw.obsm.probesSent.Inc()
+	mw.net.send(m)
+}
+
+// ProbeStats reports probes injected via SendProbe and probes the router
+// consumed. They converge once in-flight traffic drains (absent recovery
+// flushes, which legitimately discard in-flight probes).
+func (mw *Middleware) ProbeStats() (sent, delivered uint64) {
+	mw.mu.Lock()
+	sent = mw.probeSN
+	mw.mu.Unlock()
+	return sent, mw.obsm.probesDelivered.Value()
+}
 
 // Inspect runs fn with the node's process and checkpointer under the node
 // lock, for tests and demos.

@@ -76,7 +76,7 @@ func (n *realNet) deliver(m msg.Message, epoch uint64) {
 	n.delivered++
 	n.mu.Unlock()
 	n.mw.obsm.msgsDelivered.Inc()
-	n.mw.route(m)
+	n.mw.route(&m)
 }
 
 // dropNode is a no-op: the channel transport has no per-node endpoints to

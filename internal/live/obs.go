@@ -26,12 +26,27 @@ type liveObs struct {
 	tornTails *obs.Counter
 	// hwRecoveries and swRecoveries mirror the Metrics outcome counters.
 	hwRecoveries, swRecoveries *obs.Counter
+	// batchFrames and batchBytes size the TCP writer's coalesced batches:
+	// sub-frames per batch (including corrupted/duplicate chaos copies)
+	// and wire bytes per batch.
+	batchFrames, batchBytes *obs.Histogram
+	// deliveryLatency measures transport enqueue→delivery per message, in
+	// seconds (sender and receiver share the process clock).
+	deliveryLatency *obs.Histogram
+	// sendBlocked counts sends that found their writer queue full and
+	// blocked (backpressure engaged; nothing was dropped).
+	sendBlocked *obs.Counter
+	// probesSent and probesDelivered count load-driver probe traffic
+	// injected via SendProbe and consumed by the router.
+	probesSent, probesDelivered *obs.Counter
 }
 
 // newLiveObs registers the middleware metrics on r. A nil registry yields
-// the zero (disabled) bundle.
+// the zero (disabled) bundle — except the probe counters, which double as
+// ProbeStats' source of truth and therefore fall back to unregistered (but
+// live) counters so probe accounting works without instrumentation.
 func newLiveObs(r *obs.Registry) liveObs {
-	return liveObs{
+	lo := liveObs{
 		msgsSent: r.Counter("synergy_live_msgs_sent_total",
 			"Messages handed to the transport."),
 		msgsDelivered: r.Counter("synergy_live_msgs_delivered_total",
@@ -59,5 +74,27 @@ func newLiveObs(r *obs.Registry) liveObs {
 			"System-wide hardware recovery passes."),
 		swRecoveries: r.Counter("synergy_live_sw_recoveries_total",
 			"Software error recoveries (shadow takeovers)."),
+		batchFrames: r.Histogram("synergy_live_batch_frames",
+			"Sub-frames coalesced per TCP wire batch.",
+			obs.ExpBuckets(1, 2, 10)),
+		batchBytes: r.Histogram("synergy_live_batch_bytes",
+			"Wire bytes per TCP batch (length prefix included).",
+			obs.ExpBuckets(64, 4, 8)),
+		deliveryLatency: r.Histogram("synergy_live_delivery_latency_seconds",
+			"Transport enqueue-to-delivery latency per message.",
+			obs.ExpBuckets(2e-5, 2, 18)),
+		sendBlocked: r.Counter("synergy_live_send_blocked_total",
+			"Sends that found a full writer queue and blocked (backpressure)."),
+		probesSent: r.Counter("synergy_live_probes_sent_total",
+			"Load-driver probes injected via SendProbe."),
+		probesDelivered: r.Counter("synergy_live_probes_delivered_total",
+			"Load-driver probes consumed by the router."),
 	}
+	if lo.probesSent == nil {
+		lo.probesSent = &obs.Counter{}
+	}
+	if lo.probesDelivered == nil {
+		lo.probesDelivered = &obs.Counter{}
+	}
+	return lo
 }

@@ -80,6 +80,13 @@ const (
 	// Ack acknowledges receipt of an application-purpose message; the TB
 	// protocol saves unacknowledged messages into the next checkpoint.
 	Ack
+	// Probe is transport-level load-driver traffic: it rides the
+	// interconnect like any frame (batching, CRC, epoch checks) but the
+	// middleware counts and discards it at routing instead of handing it
+	// to a process, so open-loop load generation never perturbs protocol
+	// state. Probes are not application-purpose and carry no delivery
+	// guarantee across recovery flushes.
+	Probe
 )
 
 // String implements fmt.Stringer.
@@ -93,6 +100,8 @@ func (k Kind) String() string {
 		return "passed_AT"
 	case Ack:
 		return "ack"
+	case Probe:
+		return "probe"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

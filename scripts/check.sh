@@ -22,6 +22,10 @@
 #   metrics smoke  synergy-live is started with -metrics-addr 127.0.0.1:0
 #                and its /metrics endpoint scraped once: the exposition
 #                must be non-empty and well-typed
+#   load smoke   a 5s open-loop Poisson synergy-load run must clear a
+#                conservative msgs/sec floor with every probe delivered
+#                (obs counter == driver count); its JSON result snapshot
+#                lands in load-result.json for CI to upload
 #   bench smoke  every benchmark runs for one iteration, so a refactor that
 #                breaks a benchmark (or reintroduces hot-path allocations
 #                loud enough to fail an assertion) is caught before merge
@@ -109,6 +113,15 @@ if [[ -z "$addr" ]]; then
 fi
 go run ./scripts/internal/scrape "http://$addr/metrics" "# TYPE synergy_live_msgs_sent_total counter"
 wait "$live_pid"
+
+echo "==> load smoke (synergy-load Poisson: floor on msgs/sec, every probe delivered)"
+# Open-loop Poisson at a modest offered rate: the floor is deliberately far
+# under the transport's measured capacity so only a real regression (or a
+# stall) trips it, and -expect-all-delivered cross-checks the obs
+# delivered-probe counter against the driver's own send count after draining.
+# The JSON result snapshot is uploaded by CI alongside the bench snapshots.
+go run ./cmd/synergy-load -schedule poisson -rate 2000 -duration 5s \
+    -min-rate 500 -expect-all-delivered -out load-result.json > /dev/null
 
 echo "==> bench smoke (1 iteration per benchmark)"
 go test -run '^$' -bench . -benchtime 1x ./... > /dev/null
