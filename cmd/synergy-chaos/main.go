@@ -1,30 +1,28 @@
-// Command synergy-chaos runs a deterministic seeded chaos soak against the
-// live middleware: lossy, duplicating, corrupting, jittery loopback-TCP
-// links, a mid-run bidirectional partition and a scheduled crash-restart of
-// P2 from durable stable storage — then verifies the system came through
-// with a violation-free recovery line, checkpoint liveness on every node and
-// every requested fault kind actually exercised.
+// Command synergy-chaos runs a chaos soak against the live middleware. It is
+// a thin wrapper over the scenario engine: the soak's whole configuration —
+// fault rates, partition and crash schedule, expectations — lives in a
+// committed scenario spec (default specs/030-chaos-soak.json), so the CLI,
+// the CI smoke and the scenario corpus can never drift apart.
 //
-// On any failed assertion the full protocol trace is written to the path in
-// -trace-out (or $CHAOS_TRACE), so CI can attach it as an artifact.
+// On any failed expectation the full protocol trace is written to the path
+// in -trace-out (or $CHAOS_TRACE), so CI can attach it as an artifact. The
+// run's final metrics snapshot always lands in -metrics-out (or
+// $CHAOS_METRICS).
 //
 // Example:
 //
-//	synergy-chaos -seed 7 -duration 1500ms
+//	synergy-chaos -spec specs/030-chaos-soak.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"sort"
 
-	"github.com/synergy-ft/synergy/internal/chaos"
-	"github.com/synergy-ft/synergy/internal/live"
-	"github.com/synergy-ft/synergy/internal/mdcd"
-	"github.com/synergy-ft/synergy/internal/msg"
 	"github.com/synergy-ft/synergy/internal/obs"
-	"github.com/synergy-ft/synergy/internal/tb"
+	"github.com/synergy-ft/synergy/internal/scenario"
+	"github.com/synergy-ft/synergy/internal/trace"
 )
 
 func main() {
@@ -36,66 +34,24 @@ func main() {
 
 func run() error {
 	var (
-		seed      = flag.Int64("seed", 7, "chaos and workload seed; the same seed replays the same per-link fault sequences")
-		duration  = flag.Duration("duration", 1500*time.Millisecond, "wall-clock run time")
-		interval  = flag.Duration("interval", 100*time.Millisecond, "TB checkpoint interval Δ")
-		drop      = flag.Float64("drop", 0.05, "per-frame probability the first transmission is lost (link layer retransmits)")
-		duplicate = flag.Float64("duplicate", 0.05, "per-frame duplication probability")
-		corrupt   = flag.Float64("corrupt", 0.05, "per-frame probability of a bit-flipped wire copy (receiver CRC-drops it)")
-		jitter    = flag.Duration("jitter", time.Millisecond, "max extra delivery delay per frame")
-		partAt    = flag.Duration("partition-at", 400*time.Millisecond, "bidirectional P1act<->P2 partition start (0 disables)")
-		partEnd   = flag.Duration("partition-end", 550*time.Millisecond, "partition heal time")
-		crashAt   = flag.Duration("crash-at", 700*time.Millisecond, "kill P2's host this long after start (0 disables)")
-		downtime  = flag.Duration("crash-downtime", 250*time.Millisecond, "how long P2 stays down before rebooting from durable storage")
+		specPath  = flag.String("spec", "specs/030-chaos-soak.json", "scenario spec to soak with (run live)")
 		stableDir = flag.String("stable-dir", "", "directory for durable stable logs (default: a fresh temp dir)")
 		traceOut  = flag.String("trace-out", "", "where to dump the protocol trace on failure (default: $CHAOS_TRACE or chaos-trace.txt)")
-		minRounds = flag.Uint64("min-rounds", 4, "stable rounds every node must commit for the liveness check")
 		metrics   = flag.String("metrics-addr", "", "also serve /metrics, /metrics.json and /debug/pprof/ during the soak (e.g. 127.0.0.1:0; empty disables the server, the registry always runs)")
 		metricsTo = flag.String("metrics-out", "", "where to write the final metrics snapshot as JSON (default: $CHAOS_METRICS or chaos-metrics.json)")
-		traceCap  = flag.Int("trace-cap", 65536, "bound the protocol trace to the newest N events (0 = unbounded)")
+		jsonOut   = flag.Bool("json", false, "emit the machine-readable report to stdout")
 	)
 	flag.Parse()
 
-	dir := *stableDir
-	if dir == "" {
-		tmp, err := os.MkdirTemp("", "synergy-chaos-*")
-		if err != nil {
-			return err
-		}
-		defer os.RemoveAll(tmp)
-		dir = tmp
-	}
-
-	spec := chaos.Spec{
-		Seed:          *seed,
-		Drop:          *drop,
-		Duplicate:     *duplicate,
-		Corrupt:       *corrupt,
-		MaxExtraDelay: *jitter,
-	}
-	if *partAt > 0 {
-		spec.Partitions = []chaos.Partition{{
-			A: msg.P1Act, B: msg.P2, Bidirectional: true,
-			Start: *partAt, End: *partEnd,
-		}}
-	}
-	if *crashAt > 0 {
-		spec.Crashes = []chaos.Crash{{Victim: msg.P2, At: *crashAt, Downtime: *downtime}}
+	spec, err := scenario.LoadFile(*specPath)
+	if err != nil {
+		return err
 	}
 
 	// The soak always runs instrumented: the final snapshot is the run's
-	// machine-readable outcome, and the assertions below cross-check the
-	// metrics pipeline against the injector's own counters.
+	// machine-readable outcome, and the spec's fault_counters_match
+	// expectation cross-checks the metrics pipeline against the injector.
 	reg := obs.NewRegistry()
-
-	cfg := live.DefaultConfig(*seed)
-	cfg.Net = live.TCPTransport
-	cfg.CheckpointInterval = *interval
-	cfg.StableDir = dir
-	cfg.Chaos = spec
-	cfg.Obs = reg
-	cfg.TraceCapacity = *traceCap
-
 	if *metrics != "" {
 		srv, err := obs.NewServer(*metrics, reg)
 		if err != nil {
@@ -105,118 +61,51 @@ func run() error {
 		fmt.Printf("metrics listening on %s\n", srv.Addr())
 	}
 
-	mw, err := live.New(cfg)
+	res, err := scenario.RunLive(spec, scenario.LiveOptions{
+		Registry:  reg,
+		StableDir: *stableDir,
+	})
 	if err != nil {
 		return err
 	}
-	mw.Run(*duration)
+	r := res.Report
 
-	st := mw.ChaosStats()
-	sent, delivered := mw.NetworkStats()
-	fmt.Printf("soak: seed=%d duration=%v frames=%d (sent=%d delivered=%d)\n",
-		*seed, *duration, st.Frames, sent, delivered)
-	fmt.Printf("faults: dropped=%d duplicated=%d corrupted=%d (crc-caught=%d) delayed=%d partitioned=%d\n",
-		st.Dropped, st.Duplicated, st.Corrupted, mw.CRCDrops(), st.Delayed, st.Partitioned)
-
-	var problems []string
-	if failed, why := mw.Failure(); failed {
-		problems = append(problems, fmt.Sprintf("middleware failed: %s", why))
-	}
-	for _, id := range msg.Processes() {
-		var rounds uint64
-		_ = mw.Inspect(id, func(_ *mdcd.Process, cp *tb.Checkpointer) { rounds = cp.Ndc() })
-		fmt.Printf("stable rounds %v: %d\n", id, rounds)
-		if rounds < *minRounds {
-			problems = append(problems, fmt.Sprintf("%v committed only %d stable rounds, want >= %d", id, rounds, *minRounds))
+	if *jsonOut {
+		data, err := r.EncodeJSON()
+		if err != nil {
+			return err
 		}
-	}
-	if line, err := mw.RecoveryLine(); err != nil {
-		problems = append(problems, fmt.Sprintf("recovery line: %v", err))
-	} else if vs := line.Check(); len(vs) > 0 {
-		for _, v := range vs {
-			problems = append(problems, fmt.Sprintf("recovery-line violation: %v", v))
-		}
+		os.Stdout.Write(data)
 	} else {
-		fmt.Println("recovery line: clean")
-	}
-	for kind, fired := range map[string]bool{
-		"drop":      *drop == 0 || st.Dropped > 0,
-		"duplicate": *duplicate == 0 || st.Duplicated > 0,
-		"corrupt":   *corrupt == 0 || st.Corrupted > 0,
-		"crc-catch": *corrupt == 0 || mw.CRCDrops() > 0,
-		"jitter":    *jitter == 0 || st.Delayed > 0,
-		"partition": *partAt == 0 || st.Partitioned > 0,
-	} {
-		if !fired {
-			problems = append(problems, fmt.Sprintf("fault kind %q never fired; run longer or raise its rate", kind))
+		fmt.Printf("soak: spec=%s seed=%d duration=%v frames=%d (sent=%d delivered=%d)\n",
+			r.Name, r.Seed, r.Duration.D(), r.Stats.ChaosFrames, r.Stats.MsgsSent, r.Stats.MsgsDelivered)
+		ids := make([]string, 0, len(r.Stats.StableRounds))
+		for id := range r.Stats.StableRounds {
+			ids = append(ids, id)
 		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Printf("stable rounds %s: %d\n", id, r.Stats.StableRounds[id])
+		}
+		fmt.Println(r.Summary())
 	}
 
-	// Cross-check the metrics pipeline: the registry's fault counters are
-	// fed by the same injector, so they must agree with its own stats
-	// exactly (the registry's get-or-create returns the run's counters).
-	co := chaos.NewObs(reg)
-	for _, chk := range []struct {
-		name string
-		got  uint64
-		want uint64
-	}{
-		{"frames", co.Frames.Value(), st.Frames},
-		{"drop", co.Dropped.Value(), st.Dropped},
-		{"partition", co.Partitioned.Value(), st.Partitioned},
-		{"duplicate", co.Duplicated.Value(), st.Duplicated},
-		{"corrupt", co.Corrupted.Value(), st.Corrupted},
-		{"delay", co.Delayed.Value(), st.Delayed},
-	} {
-		if chk.got != chk.want {
-			problems = append(problems, fmt.Sprintf(
-				"metrics counter %q = %d disagrees with injector stats %d", chk.name, chk.got, chk.want))
-		}
-	}
-	snap := reg.Snapshot()
-	if n := familyTotal(snap, "synergy_tb_stable_commits_total"); n == 0 {
-		problems = append(problems, "metrics: no stable-checkpoint commits recorded")
-	}
-	if n := familyTotal(snap, "synergy_mdcd_checkpoints_total"); n == 0 {
-		problems = append(problems, "metrics: no volatile checkpoints recorded")
-	}
-	if n := familyTotal(snap, "synergy_live_transport_retries_total"); n == 0 && (*partAt > 0 || *crashAt > 0) {
-		problems = append(problems, "metrics: partition/crash scheduled but no transport retries recorded")
-	}
-	if n := familyTotal(snap, "synergy_chaos_injected_faults_total"); n == 0 && spec.Active() {
-		problems = append(problems, "metrics: chaos active but no injected faults recorded")
-	}
 	if path, err := writeMetrics(reg, *metricsTo); err != nil {
-		problems = append(problems, fmt.Sprintf("metrics snapshot: %v", err))
+		fmt.Fprintln(os.Stderr, "FAIL: metrics snapshot:", err)
 	} else {
 		fmt.Println("metrics snapshot written to", path)
 	}
 
-	if len(problems) == 0 {
-		fmt.Println("chaos soak passed")
+	if r.Passed {
 		return nil
 	}
-	for _, p := range problems {
-		fmt.Fprintln(os.Stderr, "FAIL:", p)
+	for _, c := range r.Failures() {
+		fmt.Fprintf(os.Stderr, "FAIL: %s: %s\n", c.Name, c.Detail)
 	}
-	if path := dumpTrace(mw, *traceOut); path != "" {
+	if path := dumpTrace(res.Trace, *traceOut); path != "" {
 		fmt.Fprintln(os.Stderr, "trace written to", path)
 	}
-	return fmt.Errorf("%d assertion(s) failed", len(problems))
-}
-
-// familyTotal sums every series of one metric family in a snapshot.
-func familyTotal(s obs.Snapshot, name string) float64 {
-	var total float64
-	for _, f := range s.Families {
-		if f.Name != name {
-			continue
-		}
-		for _, ss := range f.Series {
-			total += ss.Value
-		}
-	}
-	return total
+	return fmt.Errorf("%d expectation(s) failed", len(r.Failures()))
 }
 
 // writeMetrics writes the registry's final JSON snapshot, returning the path
@@ -241,7 +130,7 @@ func writeMetrics(reg *obs.Registry, path string) (string, error) {
 
 // dumpTrace writes the run's full protocol trace for post-mortem, returning
 // the path it wrote (empty if the write failed).
-func dumpTrace(mw *live.Middleware, path string) string {
+func dumpTrace(events []trace.Event, path string) string {
 	if path == "" {
 		path = os.Getenv("CHAOS_TRACE")
 	}
@@ -254,7 +143,7 @@ func dumpTrace(mw *live.Middleware, path string) string {
 		return ""
 	}
 	defer f.Close()
-	for _, e := range mw.Trace().Events() {
+	for _, e := range events {
 		fmt.Fprintln(f, e)
 	}
 	return path

@@ -37,6 +37,7 @@ import (
 	"github.com/synergy-ft/synergy/internal/live"
 	"github.com/synergy-ft/synergy/internal/msg"
 	"github.com/synergy-ft/synergy/internal/obs"
+	"github.com/synergy-ft/synergy/internal/scenario"
 )
 
 func main() {
@@ -61,6 +62,7 @@ type options struct {
 
 func run() error {
 	var (
+		specPath = flag.String("spec", "", "derive seed, duration, interval, schedule, rates and assertions from a scenario spec's workload.probes (flags below then act as overrides only where noted)")
 		seed     = flag.Int64("seed", 1, "workload and schedule seed")
 		duration = flag.Duration("duration", 2*time.Second, "wall-clock run time per schedule")
 		schedule = flag.String("schedule", "all", "arrival schedule: poisson, ramp, burst, diurnal, or all")
@@ -75,6 +77,34 @@ func run() error {
 		metrics  = flag.String("metrics-addr", "", "serve /metrics and /metrics.json during the run (e.g. 127.0.0.1:0; empty disables)")
 	)
 	flag.Parse()
+
+	if *specPath != "" {
+		sp, err := scenario.LoadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		p := sp.Workload.Probes
+		if p == nil {
+			return fmt.Errorf("spec %s: no workload.probes to drive", sp.Name)
+		}
+		*seed = sp.Seed
+		*duration = sp.Duration.D()
+		*interval = sp.Topology.Interval()
+		*schedule = p.Schedule
+		*rate = p.Rate
+		if p.Rate2 != 0 {
+			*rate2 = p.Rate2
+		}
+		if p.Period > 0 {
+			*period = p.Period.D()
+		}
+		if *minRate == 0 {
+			*minRate = sp.Expect.MinProbeRate
+		}
+		if sp.Expect.AllProbesDelivered != nil && *sp.Expect.AllProbesDelivered {
+			*expect = true
+		}
+	}
 
 	if *rate <= 0 {
 		return fmt.Errorf("-rate must be positive")
@@ -232,7 +262,12 @@ func runSchedule(schedule string, o options) (result, error) {
 	}
 
 	rng := rand.New(rand.NewSource(o.seed))
-	gap := newScheduleGaps(schedule, o, rng)
+	// The arrival generators live in internal/scenario so the load driver
+	// and the scenario engine share one schedule definition.
+	gap := scenario.Probes{
+		Schedule: schedule, Rate: o.rate, Rate2: o.rate2,
+		Period: scenario.Duration(o.period),
+	}.Gaps(o.duration, rng)
 	start := time.Now()
 	next := start
 	var sends uint64
@@ -281,40 +316,6 @@ func runSchedule(schedule string, o options) (result, error) {
 	res.tbCount, res.tbMean, _, _ = histQuantiles(snap, "synergy_tb_blocking_seconds", 0.50, 0.99)
 	res.tbSum = res.tbMean * float64(res.tbCount)
 	return res, nil
-}
-
-// newScheduleGaps returns the inter-arrival generator for one schedule. The
-// returned func maps elapsed run time to the gap before the next arrival.
-func newScheduleGaps(schedule string, o options, rng *rand.Rand) func(time.Duration) time.Duration {
-	secs := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
-	switch schedule {
-	case "poisson":
-		return func(time.Duration) time.Duration {
-			return secs(rng.ExpFloat64() / o.rate)
-		}
-	case "ramp":
-		return func(elapsed time.Duration) time.Duration {
-			frac := float64(elapsed) / float64(o.duration)
-			r := o.rate + (o.rate2-o.rate)*frac
-			return secs(1 / r)
-		}
-	case "burst":
-		return func(elapsed time.Duration) time.Duration {
-			half := o.period / 2
-			r := o.rate
-			if (elapsed/half)%2 == 1 {
-				r = o.rate2
-			}
-			return secs(1 / r)
-		}
-	case "diurnal":
-		return func(elapsed time.Duration) time.Duration {
-			phase := 2 * math.Pi * float64(elapsed) / float64(o.period)
-			r := o.rate * (1 + 0.8*math.Sin(phase))
-			return secs(1 / r)
-		}
-	}
-	panic("unreachable: schedule validated in run()")
 }
 
 // histQuantiles merges every series of the named histogram family and

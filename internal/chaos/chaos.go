@@ -50,6 +50,14 @@ func (p Partition) covers(from, to msg.ProcID, elapsed time.Duration) bool {
 	return p.Bidirectional && p.A == to && p.B == from
 }
 
+// RetransmitDelay is the modeled link-layer retransmission timeout a
+// chaos-dropped first transmission costs before its copy reaches the wire.
+// Both interconnects charge it — the live TCP writer sleeps it out before
+// appending the retransmission sub-frame, and the simulated network adds it
+// to the frame's delivery delay — so a drop means the same thing in both
+// execution paths.
+const RetransmitDelay = 2 * time.Millisecond
+
 // Crash schedules a node kill and (optionally) its restart.
 type Crash struct {
 	// Victim is the node to kill.
@@ -61,8 +69,28 @@ type Crash struct {
 	Downtime time.Duration
 }
 
+// FsyncStall schedules a window during which the victim node's durable
+// stable-log fsyncs each take Stall longer — a seized disk or a saturated
+// write cache. The node keeps running; only its stable commits slow down, so
+// the checkpoint rounds it completes late exercise the survivors' retention
+// depth rather than any crash path.
+type FsyncStall struct {
+	// Victim is the node whose stable log stalls.
+	Victim msg.ProcID
+	// Start and End bound the window in elapsed run time (End exclusive).
+	Start, End time.Duration
+	// Stall is the extra latency added to each fsync in the window.
+	Stall time.Duration
+}
+
+// Covers reports whether the stall window is open at the given elapsed run
+// time.
+func (f FsyncStall) Covers(elapsed time.Duration) bool {
+	return elapsed >= f.Start && elapsed < f.End
+}
+
 // Spec is a chaos scenario: per-frame fault probabilities plus scheduled
-// partitions and crash-restarts. The zero Spec injects nothing.
+// partitions, crash-restarts and fsync stalls. The zero Spec injects nothing.
 type Spec struct {
 	// Seed drives every random decision. Two runs of the same spec see
 	// identical per-link fault sequences.
@@ -87,13 +115,19 @@ type Spec struct {
 	Partitions []Partition
 	// Crashes lists scheduled node crash-restarts.
 	Crashes []Crash
+	// FsyncStalls lists scheduled durable-storage stall windows.
+	FsyncStalls []FsyncStall
 }
 
 // Validate checks probabilities and schedules.
 func (s Spec) Validate() error {
-	for name, p := range map[string]float64{"drop": s.Drop, "duplicate": s.Duplicate, "corrupt": s.Corrupt} {
-		if p < 0 || p > 1 {
-			return fmt.Errorf("chaos: %s probability %v outside [0,1]", name, p)
+	probs := []struct {
+		name string
+		p    float64
+	}{{"drop", s.Drop}, {"duplicate", s.Duplicate}, {"corrupt", s.Corrupt}}
+	for _, c := range probs {
+		if c.p < 0 || c.p > 1 {
+			return fmt.Errorf("chaos: %s probability %v outside [0,1]", c.name, c.p)
 		}
 	}
 	if s.MaxExtraDelay < 0 {
@@ -122,13 +156,29 @@ func (s Spec) Validate() error {
 			}
 		}
 	}
+	for i, f := range s.FsyncStalls {
+		if f.Start < 0 || f.End <= f.Start {
+			return fmt.Errorf("chaos: fsync stall %d window [%v, %v) is empty", i, f.Start, f.End)
+		}
+		if f.Stall <= 0 {
+			return fmt.Errorf("chaos: fsync stall %d adds no latency (%v)", i, f.Stall)
+		}
+	}
 	return nil
 }
 
 // Active reports whether the spec injects anything at all.
 func (s Spec) Active() bool {
 	return s.Drop > 0 || s.Duplicate > 0 || s.Corrupt > 0 || s.MaxExtraDelay > 0 ||
-		len(s.Partitions) > 0 || len(s.Crashes) > 0
+		len(s.Partitions) > 0 || len(s.Crashes) > 0 || len(s.FsyncStalls) > 0
+}
+
+// FrameFaults reports whether the spec injects frame-level faults (anything
+// the transport must apply per frame, as opposed to scheduled crashes and
+// storage stalls).
+func (s Spec) FrameFaults() bool {
+	return s.Drop > 0 || s.Duplicate > 0 || s.Corrupt > 0 || s.MaxExtraDelay > 0 ||
+		len(s.Partitions) > 0
 }
 
 // Verdict is the injector's decision for one frame.
@@ -161,6 +211,8 @@ type Stats struct {
 	Corrupted uint64
 	// Delayed counts frames given extra jitter.
 	Delayed uint64
+	// FsyncStalled counts stable-log fsyncs slowed by a stall window.
+	FsyncStalled uint64
 }
 
 // Injector makes deterministic per-frame decisions for one run of a Spec.
@@ -184,9 +236,9 @@ type Injector struct {
 type Obs struct {
 	// Frames counts verdicts issued.
 	Frames *obs.Counter
-	// Dropped, Partitioned, Duplicated, Corrupted, Delayed count injected
-	// faults, labeled by kind on one family.
-	Dropped, Partitioned, Duplicated, Corrupted, Delayed *obs.Counter
+	// Dropped, Partitioned, Duplicated, Corrupted, Delayed, Stalled count
+	// injected faults, labeled by kind on one family.
+	Dropped, Partitioned, Duplicated, Corrupted, Delayed, Stalled *obs.Counter
 }
 
 // NewObs registers the injector metrics on r. A nil registry yields the zero
@@ -204,6 +256,7 @@ func NewObs(r *obs.Registry) Obs {
 		Duplicated:  fault("duplicate"),
 		Corrupted:   fault("corrupt"),
 		Delayed:     fault("delay"),
+		Stalled:     fault("fsync-stall"),
 	}
 }
 
@@ -291,6 +344,42 @@ func (i *Injector) Partitioned(from, to msg.ProcID, elapsed time.Duration) bool 
 		}
 	}
 	return false
+}
+
+// HealAt returns the earliest elapsed time at or after the given one when the
+// from→to link is open, walking overlapping or back-to-back partition
+// windows. If the link is already open it returns elapsed unchanged.
+func (i *Injector) HealAt(from, to msg.ProcID, elapsed time.Duration) time.Duration {
+	t := elapsed
+	for changed := true; changed; {
+		changed = false
+		for _, p := range i.spec.Partitions {
+			if p.covers(from, to, t) && p.End > t {
+				t = p.End
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+// FsyncStall returns the extra latency the victim node's stable-log fsync
+// pays at the given elapsed run time, counting an injected fault when a stall
+// window is open. Windows targeting the same victim stack.
+func (i *Injector) FsyncStall(victim msg.ProcID, elapsed time.Duration) time.Duration {
+	var d time.Duration
+	for _, f := range i.spec.FsyncStalls {
+		if f.Victim == victim && f.Covers(elapsed) {
+			d += f.Stall
+		}
+	}
+	if d > 0 {
+		i.mu.Lock()
+		i.stats.FsyncStalled++
+		i.Obs.Stalled.Inc()
+		i.mu.Unlock()
+	}
+	return d
 }
 
 // Stats returns a snapshot of the fault counters.

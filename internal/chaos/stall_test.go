@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/msg"
+)
+
+func TestFsyncStallValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    Spec
+		wantErr bool
+	}{
+		{name: "ok", spec: Spec{FsyncStalls: []FsyncStall{
+			{Victim: msg.P2, Start: time.Millisecond, End: 2 * time.Millisecond, Stall: time.Millisecond}}}},
+		{name: "empty window", spec: Spec{FsyncStalls: []FsyncStall{
+			{Victim: msg.P2, Start: 5, End: 5, Stall: time.Millisecond}}}, wantErr: true},
+		{name: "non-positive stall", spec: Spec{FsyncStalls: []FsyncStall{
+			{Victim: msg.P2, Start: 0, End: 5, Stall: 0}}}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() = %v, wantErr=%v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestFsyncStallAccounting(t *testing.T) {
+	spec := Spec{FsyncStalls: []FsyncStall{
+		{Victim: msg.P2, Start: 10 * time.Millisecond, End: 20 * time.Millisecond, Stall: 3 * time.Millisecond},
+		{Victim: msg.P2, Start: 15 * time.Millisecond, End: 30 * time.Millisecond, Stall: 4 * time.Millisecond},
+	}}
+	inj, err := NewInjector(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := inj.FsyncStall(msg.P2, 5*time.Millisecond); d != 0 {
+		t.Fatalf("stall before any window = %v, want 0", d)
+	}
+	if d := inj.FsyncStall(msg.P1Act, 12*time.Millisecond); d != 0 {
+		t.Fatalf("stall for wrong victim = %v, want 0", d)
+	}
+	if d := inj.FsyncStall(msg.P2, 12*time.Millisecond); d != 3*time.Millisecond {
+		t.Fatalf("single-window stall = %v, want 3ms", d)
+	}
+	// Overlapping windows compound.
+	if d := inj.FsyncStall(msg.P2, 17*time.Millisecond); d != 7*time.Millisecond {
+		t.Fatalf("overlapping stall = %v, want 7ms", d)
+	}
+	if got := inj.Stats().FsyncStalled; got != 2 {
+		t.Fatalf("FsyncStalled = %d, want 2 (only stalled syncs count)", got)
+	}
+}
+
+func TestHealAt(t *testing.T) {
+	spec := Spec{Partitions: []Partition{
+		{A: msg.P1Act, B: msg.P2, Bidirectional: true, Start: 10 * time.Millisecond, End: 20 * time.Millisecond},
+		// A second window opening before the first heals: the heal must
+		// chain through both.
+		{A: msg.P1Act, B: msg.P2, Bidirectional: true, Start: 18 * time.Millisecond, End: 35 * time.Millisecond},
+	}}
+	inj, err := NewInjector(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.HealAt(msg.P1Act, msg.P2, 12*time.Millisecond); got != 35*time.Millisecond {
+		t.Fatalf("HealAt through chained partitions = %v, want 35ms", got)
+	}
+	if got := inj.HealAt(msg.P1Act, msg.P2, 40*time.Millisecond); got != 40*time.Millisecond {
+		t.Fatalf("HealAt after all windows = %v, want the elapsed time back", got)
+	}
+	if got := inj.HealAt(msg.P1Sdw, msg.P2, 12*time.Millisecond); got != 12*time.Millisecond {
+		t.Fatalf("HealAt on an unpartitioned link = %v, want the elapsed time back", got)
+	}
+}
+
+func TestFrameFaults(t *testing.T) {
+	if (Spec{Crashes: []Crash{{Victim: msg.P2, At: 1, Downtime: 1}}}).FrameFaults() {
+		t.Fatal("crash-only spec reports frame faults")
+	}
+	if (Spec{FsyncStalls: []FsyncStall{{Victim: msg.P2, End: 5, Stall: 1}}}).FrameFaults() {
+		t.Fatal("stall-only spec reports frame faults")
+	}
+	if !(Spec{Drop: 0.1}).FrameFaults() {
+		t.Fatal("drop spec must report frame faults")
+	}
+	if !(Spec{Partitions: []Partition{{A: msg.P1Act, B: msg.P2, End: 5}}}).FrameFaults() {
+		t.Fatal("partition spec must report frame faults")
+	}
+}

@@ -11,6 +11,8 @@ import (
 
 	"github.com/synergy-ft/synergy/internal/app"
 	"github.com/synergy-ft/synergy/internal/at"
+	"github.com/synergy-ft/synergy/internal/chaos"
+	"github.com/synergy-ft/synergy/internal/obs"
 	"github.com/synergy-ft/synergy/internal/simnet"
 	"github.com/synergy-ft/synergy/internal/tb"
 	"github.com/synergy-ft/synergy/internal/vtime"
@@ -118,6 +120,17 @@ type Config struct {
 	// TraceEnabled records protocol events (costs memory; off for
 	// long campaigns).
 	TraceEnabled bool
+	// Chaos injects link faults below the interconnect's reliable-delivery
+	// abstraction, mirroring the live transport's semantics in virtual time
+	// (see simnet.SetChaos). Crashes in the spec are NOT scheduled here —
+	// drive them through CrashNode/RepairNode so the caller controls repair
+	// — and fsync stalls have no simulated storage to stall; both validate
+	// but are ignored. The zero Spec injects nothing.
+	Chaos chaos.Spec
+	// Obs, when non-nil, registers the run's metrics (TB blocking
+	// histograms, MDCD counters, chaos fault counters) so scenario
+	// expectations can read the same families the live stack exports.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the baseline parameters used across the experiments:
@@ -166,6 +179,9 @@ func (c Config) Validate() error {
 	}
 	if c.Test == nil {
 		return fmt.Errorf("coord: nil acceptance test")
+	}
+	if err := c.Chaos.Validate(); err != nil {
+		return err
 	}
 	if c.Scheme.UsesTBTimers() {
 		return c.tbConfig().Validate()

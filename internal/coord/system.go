@@ -5,9 +5,11 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/synergy-ft/synergy/internal/chaos"
 	"github.com/synergy-ft/synergy/internal/checkpoint"
 	"github.com/synergy-ft/synergy/internal/mdcd"
 	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/obs"
 	"github.com/synergy-ft/synergy/internal/sim"
 	"github.com/synergy-ft/synergy/internal/simnet"
 	"github.com/synergy-ft/synergy/internal/stats"
@@ -41,6 +43,7 @@ type System struct {
 	eng *sim.Engine
 	net *simnet.Network
 	rec *trace.Recorder
+	inj *chaos.Injector
 
 	procs  map[msg.ProcID]*mdcd.Process
 	cps    map[msg.ProcID]*tb.Checkpointer
@@ -78,11 +81,21 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s.net = net
+	if cfg.Chaos.FrameFaults() {
+		inj, err := chaos.NewInjector(cfg.Chaos)
+		if err != nil {
+			return nil, err
+		}
+		inj.Obs = chaos.NewObs(cfg.Obs)
+		s.inj = inj
+		s.net.SetChaos(inj)
+	}
 
 	for _, spec := range s.processSpecs() {
 		spec := spec
 		env := &procEnv{sys: s, proc: spec.id}
 		p := mdcd.NewProcess(spec.id, spec.role, s.mdcdConfig(), env)
+		p.Obs = mdcd.NewObs(cfg.Obs, obs.L("proc", spec.id.String()))
 		s.procs[spec.id] = p
 		s.metrics.RollbackByProc[spec.id] = &stats.Sample{}
 
@@ -93,6 +106,7 @@ func NewSystem(cfg Config) (*System, error) {
 			if err != nil {
 				return nil, err
 			}
+			cp.Obs = tb.NewObs(cfg.Obs, obs.L("proc", spec.id.String()))
 			cp.OnResyncRequest = s.resyncAll
 			if cfg.MaxRepair > 0 {
 				cp.Stable.SetRetention(2 + int(cfg.MaxRepair/cfg.CheckpointInterval) + 1)
@@ -194,6 +208,15 @@ func (s *System) Network() *simnet.Network { return s.net }
 
 // Recorder returns the trace recorder (nil unless TraceEnabled).
 func (s *System) Recorder() *trace.Recorder { return s.rec }
+
+// ChaosStats returns the fault injector's counters, and whether a frame-fault
+// injector is installed at all.
+func (s *System) ChaosStats() (chaos.Stats, bool) {
+	if s.inj == nil {
+		return chaos.Stats{}, false
+	}
+	return s.inj.Stats(), true
+}
 
 // Process returns a participant by ID (nil if absent in this scheme).
 func (s *System) Process(id msg.ProcID) *mdcd.Process { return s.procs[id] }

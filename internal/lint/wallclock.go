@@ -28,6 +28,11 @@ func NewWallClock() *WallClock {
 			"github.com/synergy-ft/synergy/cmd/synergy-live":  true,
 			"github.com/synergy-ft/synergy/cmd/synergy-chaos": true,
 			"github.com/synergy-ft/synergy/cmd/synergy-load":  true,
+			// scenario's live runner drives wall-clock probe schedules and
+			// fault timers; its sim runner stays on virtual time, which the
+			// determinism property test enforces end to end.
+			"github.com/synergy-ft/synergy/internal/scenario":    true,
+			"github.com/synergy-ft/synergy/cmd/synergy-scenario": true,
 			// obs owns the latency-timer indirection (StartTimer /
 			// ObserveSince) so instrumented packages never touch time.X
 			// themselves; its registry is only wired into live runs, so

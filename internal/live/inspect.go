@@ -8,6 +8,17 @@ import (
 	"github.com/synergy-ft/synergy/internal/msg"
 )
 
+// ActiveC1 returns the process currently embodying the active side of
+// component 1 (P1sdw after a software recovery demoted the original active).
+func (mw *Middleware) ActiveC1() msg.ProcID {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	if mw.actDemoted {
+		return msg.P1Sdw
+	}
+	return msg.P1Act
+}
+
 // RecoveryLine assembles the recovery line a hardware fault right now would
 // restore: every live node's stable checkpoint at the highest round all of
 // them have committed. Down and failed (demoted) nodes sit out, exactly as

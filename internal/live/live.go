@@ -147,12 +147,14 @@ func (c Config) Validate() error {
 	if err := c.Chaos.Validate(); err != nil {
 		return err
 	}
-	if c.Net != TCPTransport && (c.Chaos.Drop > 0 || c.Chaos.Duplicate > 0 ||
-		c.Chaos.Corrupt > 0 || c.Chaos.MaxExtraDelay > 0 || len(c.Chaos.Partitions) > 0) {
+	if c.Net != TCPTransport && c.Chaos.FrameFaults() {
 		return fmt.Errorf("live: frame-level chaos requires the TCP transport")
 	}
 	if len(c.Chaos.Crashes) > 0 && c.StableDir == "" {
 		return fmt.Errorf("live: crash schedules require durable stable storage (StableDir)")
+	}
+	if len(c.Chaos.FsyncStalls) > 0 && c.StableDir == "" {
+		return fmt.Errorf("live: fsync-stall schedules require durable stable storage (StableDir)")
 	}
 	return nil
 }

@@ -143,6 +143,16 @@ func (mw *Middleware) attachStable(n *node) error {
 		return fmt.Errorf("live: open stable log for %v: %w", n.id, err)
 	}
 	fb.Obs = storage.NewFileObs(mw.cfg.Obs, obs.L("proc", n.id.String()))
+	if mw.inj != nil && len(mw.cfg.Chaos.FsyncStalls) > 0 {
+		// The storage layer owns no clock; the middleware hands it a
+		// closure that sleeps out any open stall window before the fsync.
+		id := n.id
+		fb.PreSync = func() {
+			if d := mw.inj.FsyncStall(id, time.Since(mw.start)); d > 0 {
+				mw.sleepStop(d)
+			}
+		}
+	}
 	if info.TailDamaged {
 		mw.obsm.tornTails.Inc()
 	}

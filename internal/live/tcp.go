@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/synergy-ft/synergy/internal/chaos"
 	"github.com/synergy-ft/synergy/internal/msg"
 	"github.com/synergy-ft/synergy/internal/obs"
 )
@@ -229,8 +230,9 @@ const (
 	tcpBackoffBase  = 2 * time.Millisecond
 	tcpBackoffCap   = 250 * time.Millisecond
 	// tcpRetransmitDelay emulates the link layer's retransmission timeout
-	// for a chaos-dropped first transmission.
-	tcpRetransmitDelay = 2 * time.Millisecond
+	// for a chaos-dropped first transmission. Shared with the simulated
+	// interconnect so a drop costs the same in both execution paths.
+	tcpRetransmitDelay = chaos.RetransmitDelay
 )
 
 // crcTable is the Castagnoli polynomial: same detection strength as IEEE for

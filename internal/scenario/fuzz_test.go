@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzScenarioSpec feeds arbitrary bytes to the spec codec. Parse must never
+// panic, and any spec it accepts must be stable under re-encoding:
+// Parse → Encode → Parse → Encode is a byte-for-byte fixpoint, so the
+// committed corpus format is canonical. The committed seeds cover every
+// corpus spec plus the rejection edges (bare-number durations, negative
+// rates, unknown schemes and fields).
+func FuzzScenarioSpec(f *testing.F) {
+	// Every committed corpus spec is a seed: the fuzzer mutates real
+	// scenarios, not just minimal documents.
+	entries, err := os.ReadDir("../../specs")
+	if err == nil {
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) != ".json" {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join("../../specs", e.Name()))
+			if err == nil {
+				f.Add(data)
+			}
+		}
+	}
+	f.Add([]byte(`{"name":"min","seed":1,"duration":"100ms","expect":{"no_failure":true}}`))
+	f.Add([]byte(`{"name":"bad","duration":"-5s","expect":{"no_failure":true}}`))
+	f.Add([]byte(`{"name":"bad","duration":100,"expect":{"no_failure":true}}`))
+	f.Add([]byte(`{"name":"bad","duration":"1s","scheme":"quantum","expect":{"no_failure":true}}`))
+	f.Add([]byte(`{"name":"bad","duration":"1s","chaos":{"drop":-0.5},"expect":{"no_failure":true}}`))
+	f.Add([]byte(`{"name":"bad","duration":"1s","expect":{}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		enc, err := s.Encode()
+		if err != nil {
+			t.Fatalf("accepted spec failed to encode: %v", err)
+		}
+		s2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("re-parse of encoded spec failed: %v\nencoded:\n%s", err, enc)
+		}
+		enc2, err := s2.Encode()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode is not a fixpoint:\n first:\n%s\nsecond:\n%s", enc, enc2)
+		}
+	})
+}

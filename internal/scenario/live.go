@@ -1,0 +1,204 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/live"
+	"github.com/synergy-ft/synergy/internal/mdcd"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/obs"
+	"github.com/synergy-ft/synergy/internal/tb"
+	"github.com/synergy-ft/synergy/internal/trace"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// LiveOptions tunes a live execution without touching the spec.
+type LiveOptions struct {
+	// Registry receives the run's metrics; nil creates a private one.
+	// Callers pass their own to serve /metrics or write snapshots.
+	Registry *obs.Registry
+	// StableDir overrides the durable-log location; empty uses a fresh
+	// temp dir (removed after the run) when the spec needs durability.
+	StableDir string
+	// TraceCapacity bounds the protocol trace ring (0 = engine default).
+	TraceCapacity int
+}
+
+// defaultTraceCapacity bounds live protocol traces so soaks can't grow
+// memory without limit while still leaving enough history for post-mortems.
+const defaultTraceCapacity = 65536
+
+// LiveResult is a live execution's report plus its post-mortem artifacts.
+type LiveResult struct {
+	// Report is the evaluated outcome.
+	Report *Report
+	// Trace is the run's protocol trace (newest defaultTraceCapacity
+	// events), for the failure artifact.
+	Trace []trace.Event
+}
+
+// drainDeadline bounds how long RunLive waits for in-flight probes after the
+// send window closes.
+const drainDeadline = 10 * time.Second
+
+// RunLive executes the spec against the live middleware: real goroutines,
+// wall-clock timers, loopback TCP when the spec needs it, and on-disk
+// stable logs when it schedules crashes or stalls. Only the coordinated
+// scheme runs live; other schemes are simulator baselines.
+func RunLive(spec *Spec, opts LiveOptions) (*LiveResult, error) {
+	if spec.SchemeName() != "coordinated" {
+		return nil, fmt.Errorf("scenario %s: scheme %s runs only in the simulator", spec.Name, spec.SchemeName())
+	}
+	chaosSpec, err := spec.ChaosSpec()
+	if err != nil {
+		return nil, err
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+
+	cfg := live.DefaultConfig(spec.Seed)
+	cfg.Clock = vtime.ClockConfig{MaxDeviation: spec.Topology.Deviation(), DriftRate: spec.Topology.Drift()}
+	cfg.MinDelay, cfg.MaxDelay = spec.Topology.Delays()
+	cfg.CheckpointInterval = spec.Topology.Interval()
+	cfg.Workload1 = spec.Workload.Load(spec.Workload.Component1)
+	cfg.Workload2 = spec.Workload.Load(spec.Workload.Component2)
+	cfg.Test = spec.Test()
+	cfg.Chaos = chaosSpec
+	cfg.Obs = reg
+	cfg.StableRetention = spec.Topology.StableRetention
+	cfg.TraceCapacity = opts.TraceCapacity
+	if cfg.TraceCapacity == 0 {
+		cfg.TraceCapacity = defaultTraceCapacity
+	}
+	if spec.NeedsTCP() {
+		cfg.Net = live.TCPTransport
+	}
+	if spec.NeedsDurable() {
+		dir := opts.StableDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "synergy-scenario-*")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		cfg.StableDir = dir
+	}
+
+	mw, err := live.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer mw.Stop()
+
+	// Software faults fire on wall-clock timers relative to Start.
+	var faultTimers []*time.Timer
+	for _, t := range spec.Faults.Software {
+		faultTimers = append(faultTimers, time.AfterFunc(t.D(), mw.ActivateSoftwareFault))
+	}
+	defer func() {
+		for _, t := range faultTimers {
+			t.Stop()
+		}
+	}()
+
+	start := time.Now()
+	mw.Start()
+	if p := spec.Workload.Probes; p != nil {
+		driveProbes(mw, *p, spec.Seed, spec.Duration.D())
+	} else {
+		time.Sleep(spec.Duration.D())
+	}
+	if spec.Workload.Probes != nil {
+		// Open loop has closed; wait for in-flight probes to land.
+		deadline := time.Now().Add(drainDeadline)
+		for {
+			s, d := mw.ProbeStats()
+			if d >= s || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	wall := time.Since(start).Seconds()
+	mw.Stop()
+
+	o := collectLive(spec, mw, reg, wall)
+	return &LiveResult{
+		Report: evaluate(spec, o),
+		Trace:  mw.Trace().Events(),
+	}, nil
+}
+
+// driveProbes runs the open-loop probe driver for the send window: arrivals
+// follow the schedule relative to the previous arrival, never to completion,
+// so overload behaves like overload.
+func driveProbes(mw *live.Middleware, p Probes, seed int64, duration time.Duration) {
+	pairs := [][2]msg.ProcID{
+		{msg.P1Act, msg.P2}, {msg.P2, msg.P1Act},
+		{msg.P1Sdw, msg.P2}, {msg.P2, msg.P1Sdw},
+		{msg.P1Act, msg.P1Sdw}, {msg.P1Sdw, msg.P1Act},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	gap := p.Gaps(duration, rng)
+	start := time.Now()
+	next := start
+	var sends uint64
+	for {
+		now := time.Now()
+		if now.Before(next) {
+			time.Sleep(next.Sub(now))
+			now = next
+		}
+		elapsed := now.Sub(start)
+		if elapsed >= duration {
+			return
+		}
+		pair := pairs[sends%uint64(len(pairs))]
+		mw.SendProbe(pair[0], pair[1])
+		sends++
+		next = next.Add(gap(elapsed))
+	}
+}
+
+// collectLive gathers the outcome from a stopped middleware.
+func collectLive(spec *Spec, mw *live.Middleware, reg *obs.Registry, wall float64) *outcome {
+	o := &outcome{
+		mode:        ModeLive,
+		activeC1:    mw.ActiveC1(),
+		snapshot:    reg.Snapshot(),
+		wallSeconds: wall,
+	}
+	o.failed, o.failReason = mw.Failure()
+	o.line, o.lineErr = mw.RecoveryLine()
+
+	m := mw.Metrics()
+	o.hwFaults = m.HWFaults
+	o.swRecoveries = m.SWRecoveries
+
+	o.stableRounds = make(map[msg.ProcID]uint64)
+	for _, id := range msg.Processes() {
+		_ = mw.Inspect(id, func(_ *mdcd.Process, cp *tb.Checkpointer) {
+			o.stableRounds[id] = cp.Ndc()
+		})
+	}
+
+	o.sent, o.delivered = mw.NetworkStats()
+	o.probesSent, o.probesDelivered = mw.ProbeStats()
+
+	if hasScheduledChaos(spec) {
+		st := mw.ChaosStats()
+		o.chaosStats = &st
+	}
+	if spec.NeedsTCP() {
+		crc := mw.CRCDrops()
+		o.crcDrops = &crc
+	}
+	return o
+}

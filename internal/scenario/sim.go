@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/synergy-ft/synergy/internal/chaos"
+	"github.com/synergy-ft/synergy/internal/coord"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/obs"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// RunSim executes the spec in the discrete-event simulator. The run is a
+// pure function of the spec: virtual time, seeded randomness and fixed
+// iteration orders make the returned report byte-identical across
+// executions, machines and worker counts.
+func RunSim(spec *Spec) (*Report, error) {
+	scheme, err := spec.SchemeID()
+	if err != nil {
+		return nil, err
+	}
+	chaosSpec, err := spec.ChaosSpec()
+	if err != nil {
+		return nil, err
+	}
+	tmin, tmax := spec.Topology.Delays()
+	reg := obs.NewRegistry()
+
+	cfg := coord.DefaultConfig(scheme, spec.Seed)
+	cfg.Clock = vtime.ClockConfig{MaxDeviation: spec.Topology.Deviation(), DriftRate: spec.Topology.Drift()}
+	cfg.Net.MinDelay, cfg.Net.MaxDelay = tmin, tmax
+	cfg.CheckpointInterval = spec.Topology.Interval()
+	cfg.Workload1 = spec.Workload.Load(spec.Workload.Component1)
+	cfg.Workload2 = spec.Workload.Load(spec.Workload.Component2)
+	cfg.Test = spec.Test()
+	cfg.Chaos = chaosSpec
+	cfg.Obs = reg
+	// Size the retained stable history to the longest scheduled downtime,
+	// so survivors still hold the eventual common recovery round.
+	for _, c := range chaosSpec.Crashes {
+		if c.Downtime > cfg.MaxRepair {
+			cfg.MaxRepair = c.Downtime
+		}
+	}
+
+	sys, err := coord.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng := sys.Engine()
+
+	// Schedule crashes through the hardware fault path: CrashNode fails
+	// the host, RepairNode reboots it and runs system-wide recovery.
+	var schedErrs []string
+	for i, c := range chaosSpec.Crashes {
+		node, ok := sys.Network().NodeOf(c.Victim)
+		if !ok {
+			return nil, fmt.Errorf("scenario %s: crash victim %v not in this scheme", spec.Name, c.Victim)
+		}
+		i, c, node := i, c, node
+		eng.After(c.At, func() { sys.CrashNode(node) })
+		if c.Downtime > 0 {
+			eng.After(c.At+c.Downtime, func() {
+				if err := sys.RepairNode(node); err != nil {
+					schedErrs = append(schedErrs, fmt.Sprintf("crash %d repair: %v", i, err))
+				}
+			})
+		}
+	}
+	for _, t := range spec.Faults.Software {
+		eng.After(t.D(), sys.ActivateSoftwareFault)
+	}
+
+	sys.Start()
+	sys.RunUntil(vtime.Zero.Add(spec.Duration.D()))
+	sys.Quiesce()
+
+	o := collectSim(spec, sys, reg)
+	for _, e := range schedErrs {
+		o.failed = true
+		if o.failReason != "" {
+			o.failReason += "; "
+		}
+		o.failReason += e
+	}
+	return evaluate(spec, o), nil
+}
+
+// collectSim gathers the outcome from a quiesced system.
+func collectSim(spec *Spec, sys *coord.System, reg *obs.Registry) *outcome {
+	o := &outcome{
+		mode:     ModeSim,
+		activeC1: sys.ActiveC1(),
+		snapshot: reg.Snapshot(),
+	}
+	o.failed, o.failReason = sys.Failed()
+	o.line, o.lineErr = sys.StableLine()
+	conv := sys.ReplicasConverged()
+	o.converged = &conv
+
+	m := sys.Metrics()
+	o.hwFaults = m.HWFaults
+	o.swRecoveries = m.SWRecoveries
+
+	o.stableRounds = make(map[msg.ProcID]uint64)
+	for _, id := range msg.Processes() {
+		if cp := sys.Checkpointer(id); cp != nil {
+			o.stableRounds[id] = cp.Ndc()
+		}
+	}
+
+	ns := sys.Network().Stats()
+	o.sent, o.delivered = ns.Sent, ns.Delivered
+
+	if st, ok := sys.ChaosStats(); ok {
+		stCopy := st
+		o.chaosStats = &stCopy
+	} else if hasScheduledChaos(spec) {
+		// Crash/stall-only scenarios install no frame injector; report
+		// zero frame stats so fault_kinds can still evaluate.
+		o.chaosStats = &chaos.Stats{}
+	}
+	return o
+}
+
+// hasScheduledChaos reports whether the spec schedules any chaos at all.
+func hasScheduledChaos(spec *Spec) bool {
+	sp, err := spec.ChaosSpec()
+	return err == nil && sp.Active()
+}

@@ -10,6 +10,7 @@ import (
 	"slices"
 	"time"
 
+	"github.com/synergy-ft/synergy/internal/chaos"
 	"github.com/synergy-ft/synergy/internal/msg"
 	"github.com/synergy-ft/synergy/internal/sim"
 	"github.com/synergy-ft/synergy/internal/vtime"
@@ -66,6 +67,9 @@ type Network struct {
 	inTransit map[msg.Kind]int
 	// observer, when set, sees every delivered message (tracing).
 	observer func(m msg.Message)
+	// chaos, when set, injects link faults below the reliable-delivery
+	// abstraction (see SetChaos).
+	chaos *chaos.Injector
 }
 
 type endpoint struct {
@@ -103,6 +107,23 @@ func (n *Network) Register(p msg.ProcID, node msg.NodeID, h Handler) {
 
 // Observe installs a delivery observer used for tracing. Pass nil to remove.
 func (n *Network) Observe(fn func(m msg.Message)) { n.observer = fn }
+
+// SetChaos installs a fault injector below the reliable-delivery abstraction,
+// mirroring the live TCP transport's semantics in virtual time: a random drop
+// costs the retransmission timeout, a partition hit holds the frame until the
+// window heals plus the retransmission timeout (head-of-line: per-channel
+// FIFO delays everything queued behind it), jitter adds delay, a duplicate is
+// delivered twice, and a corrupted copy is CRC-dropped at the receiver so it
+// only counts as an injected fault. All chaos delay lands on top of the
+// clamped [tmin, tmax] base delay, exactly as the live writer sleeps outside
+// the modeled propagation bounds. Pass nil to remove.
+func (n *Network) SetChaos(inj *chaos.Injector) { n.chaos = inj }
+
+// chaosFrameLen is the wire-size proxy handed to the injector for its
+// corrupt-byte draw: the simulator has no encoded frame, so a fixed typical
+// frame length keeps the draw count per corrupt verdict identical to the live
+// path (two draws) without depending on codec details.
+const chaosFrameLen = 64
 
 // SetNodeDown marks a node as failed (true) or repaired (false). Messages
 // arriving at a down node are dropped; sends from processes on a down node
@@ -143,6 +164,25 @@ func (n *Network) SendWithDelay(m msg.Message, d time.Duration) {
 		// External messages leave the system; nothing to deliver.
 		return
 	}
+	duplicate := false
+	if n.chaos != nil {
+		elapsed := n.eng.Now().Sub(vtime.Zero)
+		v := n.chaos.FrameVerdict(m.From, m.To, elapsed, chaosFrameLen)
+		if v.Drop {
+			if heal := n.chaos.HealAt(m.From, m.To, elapsed); heal > elapsed {
+				// Partition hit: the frame waits out the window, then
+				// pays the retransmission timeout like any other drop.
+				d += heal - elapsed
+			}
+			d += chaos.RetransmitDelay
+		}
+		// A corrupt verdict needs no delay model: the live writer puts the
+		// bit-flipped copy and the clean retransmission in the same batch
+		// and the receiver's CRC drops the garbage, so corruption is pure
+		// fault accounting here.
+		d += v.ExtraDelay
+		duplicate = v.Duplicate
+	}
 	n.inTransit[m.Kind]++
 	epoch := n.epoch
 	// Per-channel FIFO: a later send never arrives before an earlier one.
@@ -153,6 +193,14 @@ func (n *Network) SendWithDelay(m msg.Message, d time.Duration) {
 	}
 	n.lastArrival[ch] = arrival
 	n.eng.Schedule(arrival, func() { n.deliver(m, epoch) })
+	if duplicate {
+		// The second copy lands right behind the first; the protocol's
+		// ChanSeq dedup discards and re-acks it.
+		n.inTransit[m.Kind]++
+		dupArrival := arrival + 1
+		n.lastArrival[ch] = dupArrival
+		n.eng.Schedule(dupArrival, func() { n.deliver(m, epoch) })
+	}
 }
 
 // Ack emits the delivery acknowledgement for an application-purpose message,

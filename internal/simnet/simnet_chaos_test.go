@@ -1,0 +1,166 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/chaos"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+func withChaos(t *testing.T, cfg Config, spec chaos.Spec) (*chaosNet, *chaos.Injector) {
+	t.Helper()
+	eng, n := newNet(t, cfg)
+	inj, err := chaos.NewInjector(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetChaos(inj)
+	return &chaosNet{eng: eng, n: n}, inj
+}
+
+type chaosNet struct {
+	eng interface {
+		Now() vtime.Time
+		Run()
+	}
+	n *Network
+}
+
+func TestChaosDropAddsRetransmitDelay(t *testing.T) {
+	cfg := Config{MinDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	// Drop every frame: each delivery pays exactly one retransmit delay on
+	// top of the (degenerate) base delay.
+	cn, inj := withChaos(t, cfg, chaos.Spec{Seed: 1, Drop: 1})
+	var at []vtime.Time
+	cn.n.Register(msg.P2, 3, func(m msg.Message) { at = append(at, cn.eng.Now()) })
+	cn.n.Register(msg.P1Act, 1, func(m msg.Message) {})
+	for i := 0; i < 10; i++ {
+		cn.n.Send(msg.Message{Kind: msg.Internal, From: msg.P1Act, To: msg.P2, SN: uint64(i)})
+	}
+	cn.eng.Run()
+	if len(at) != 10 {
+		t.Fatalf("delivered %d, want 10 (drops must retransmit, not lose)", len(at))
+	}
+	// All frames are sent at t=0 on one channel: each delivery pays the
+	// base delay plus the retransmit delay, and the FIFO tiebreak spaces
+	// successive arrivals by 1ns.
+	want := cfg.MaxDelay + chaos.RetransmitDelay
+	for i, a := range at {
+		if got := a.Sub(vtime.Zero); got != want+time.Duration(i) {
+			t.Fatalf("dropped-frame delivery %d at +%v, want +%v", i, got, want+time.Duration(i))
+		}
+	}
+	if st := inj.Stats(); st.Dropped != 10 {
+		t.Fatalf("Dropped = %d, want 10", st.Dropped)
+	}
+}
+
+func TestChaosDuplicateDeliversTwice(t *testing.T) {
+	cfg := Config{MinDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	cn, inj := withChaos(t, cfg, chaos.Spec{Seed: 1, Duplicate: 1})
+	got := 0
+	cn.n.Register(msg.P2, 3, func(m msg.Message) { got++ })
+	cn.n.Register(msg.P1Act, 1, func(m msg.Message) {})
+	for i := 0; i < 5; i++ {
+		cn.n.Send(msg.Message{Kind: msg.Internal, From: msg.P1Act, To: msg.P2, SN: uint64(i)})
+	}
+	cn.eng.Run()
+	if got != 10 {
+		t.Fatalf("delivered %d copies, want 10 (each frame twice)", got)
+	}
+	if st := inj.Stats(); st.Duplicated != 5 {
+		t.Fatalf("Duplicated = %d, want 5", st.Duplicated)
+	}
+	ns := cn.n.Stats()
+	if ns.Delivered != 10 {
+		t.Fatalf("network counted %d deliveries, want 10", ns.Delivered)
+	}
+}
+
+func TestChaosPartitionHoldsUntilHeal(t *testing.T) {
+	cfg := Config{MinDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	heal := 50 * time.Millisecond
+	cn, _ := withChaos(t, cfg, chaos.Spec{Seed: 1, Partitions: []chaos.Partition{
+		{A: msg.P1Act, B: msg.P2, Bidirectional: true, Start: 0, End: heal},
+	}})
+	var at vtime.Time
+	cn.n.Register(msg.P2, 3, func(m msg.Message) { at = cn.eng.Now() })
+	cn.n.Register(msg.P1Act, 1, func(m msg.Message) {})
+	cn.n.Send(msg.Message{Kind: msg.Internal, From: msg.P1Act, To: msg.P2})
+	cn.eng.Run()
+	// The frame sent mid-partition arrives after the heal plus one
+	// retransmit delay — mirroring the live TCP retry loop.
+	want := heal + chaos.RetransmitDelay + cfg.MaxDelay
+	if at.Sub(vtime.Zero) != want {
+		t.Fatalf("partitioned delivery at +%v, want +%v", at.Sub(vtime.Zero), want)
+	}
+}
+
+func TestChaosCorruptIsAccountingOnly(t *testing.T) {
+	cfg := Config{MinDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	cn, inj := withChaos(t, cfg, chaos.Spec{Seed: 1, Corrupt: 1})
+	var at []vtime.Time
+	cn.n.Register(msg.P2, 3, func(m msg.Message) { at = append(at, cn.eng.Now()) })
+	cn.n.Register(msg.P1Act, 1, func(m msg.Message) {})
+	for i := 0; i < 8; i++ {
+		cn.n.Send(msg.Message{Kind: msg.Internal, From: msg.P1Act, To: msg.P2, SN: uint64(i)})
+	}
+	cn.eng.Run()
+	// Live, the CRC-failed copy is dropped and the clean copy of the same
+	// batch still lands: corruption costs nothing in the simulator either.
+	if len(at) != 8 {
+		t.Fatalf("delivered %d, want 8", len(at))
+	}
+	for i, a := range at {
+		want := cfg.MaxDelay + time.Duration(i) // FIFO tiebreak spaces same-instant sends by 1ns
+		if got := a.Sub(vtime.Zero); got != want {
+			t.Fatalf("corrupt-frame delivery %d at +%v, want +%v (no delay cost)", i, got, want)
+		}
+	}
+	if st := inj.Stats(); st.Corrupted != 8 {
+		t.Fatalf("Corrupted = %d, want 8", st.Corrupted)
+	}
+}
+
+func TestChaosPreservesPerChannelFIFO(t *testing.T) {
+	cfg := Config{MinDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	cn, _ := withChaos(t, cfg, chaos.Spec{
+		Seed: 3, Drop: 0.3, Duplicate: 0.3, MaxExtraDelay: 5 * time.Millisecond,
+		Partitions: []chaos.Partition{
+			{A: msg.P1Act, B: msg.P2, Bidirectional: true, Start: 5 * time.Millisecond, End: 15 * time.Millisecond},
+		},
+	})
+	var sns []uint64
+	cn.n.Register(msg.P2, 3, func(m msg.Message) { sns = append(sns, m.SN) })
+	cn.n.Register(msg.P1Act, 1, func(m msg.Message) {})
+	for i := 0; i < 200; i++ {
+		cn.n.Send(msg.Message{Kind: msg.Internal, From: msg.P1Act, To: msg.P2, SN: uint64(i)})
+	}
+	cn.eng.Run()
+	// Duplicates repeat an SN; what chaos must never do is reorder: the
+	// high-water mark can only move forward by one.
+	var hw uint64
+	seen := false
+	for _, sn := range sns {
+		if !seen {
+			if sn != 0 {
+				t.Fatalf("first delivery is SN %d, want 0", sn)
+			}
+			seen, hw = true, 0
+			continue
+		}
+		switch {
+		case sn <= hw:
+			// duplicate of an already-delivered frame — fine
+		case sn == hw+1:
+			hw = sn
+		default:
+			t.Fatalf("SN %d delivered while high-water mark was %d: chaos reordered the channel", sn, hw)
+		}
+	}
+	if hw != 199 {
+		t.Fatalf("high-water mark %d, want 199 (every frame delivered)", hw)
+	}
+}

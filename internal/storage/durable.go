@@ -88,6 +88,11 @@ type FileBackend struct {
 	// Obs holds the backend's metrics; the zero value disables them.
 	Obs FileObs
 
+	// PreSync, when set, runs immediately before Commit's fsync. Fault
+	// injection hooks in here (a chaos fsync-stall window sleeps inside
+	// the closure) so the storage layer itself stays free of clocks.
+	PreSync func()
+
 	// live mirrors the records currently relevant in the log, oldest
 	// first, so compaction can rewrite without re-reading the file.
 	live []Record
@@ -207,6 +212,9 @@ func (b *FileBackend) Commit(round uint64, data []byte, keepFrom uint64) error {
 
 	if _, err := b.f.Write(AppendRecord(nil, rec)); err != nil {
 		return fmt.Errorf("storage: append round %d: %w", round, err)
+	}
+	if b.PreSync != nil {
+		b.PreSync()
 	}
 	fsyncStart := b.Obs.FsyncLatency.StartTimer()
 	if err := b.f.Sync(); err != nil {

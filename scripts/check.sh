@@ -11,21 +11,29 @@
 #   fuzz smoke   each codec fuzz target runs for FUZZTIME (default 10s) on
 #                top of its committed seed corpus, so decoder regressions
 #                that only arbitrary bytes would catch still surface pre-merge
-#   chaos soak   a seeded synergy-chaos run (lossy/duplicating/corrupting
-#                links, a partition, a P2 crash-restart from durable storage)
-#                must end healthy with a violation-free recovery line; on
-#                failure the protocol trace lands in chaos-trace.txt for CI
-#                to attach as an artifact. The run's final metrics snapshot
-#                always lands in chaos-metrics.json (uploaded by CI), and
-#                the soak itself asserts its fault counters agree with the
-#                injector's
+#   scenario matrix  the committed specs/ corpus runs through the scenario
+#                engine (cmd/synergy-scenario) in both the simulator and the
+#                live stack. Locally a short prefix keeps the gate fast;
+#                SCENARIO_FULL=1 (set in CI) runs every spec in both modes.
+#                Failed scenarios leave per-scenario trace + report JSON
+#                under scenario-artifacts/ for CI to attach
+#   chaos soak   synergy-chaos replays specs/030-chaos-soak.json (lossy/
+#                duplicating/corrupting links, a partition, a P2
+#                crash-restart from durable storage) and must end healthy
+#                with a violation-free recovery line; on failure the
+#                protocol trace lands in chaos-trace.txt for CI to attach
+#                as an artifact. The run's final metrics snapshot always
+#                lands in chaos-metrics.json (uploaded by CI), and the
+#                spec's fault_counters_match expectation asserts the obs
+#                counters agree with the injector's
 #   metrics smoke  synergy-live is started with -metrics-addr 127.0.0.1:0
 #                and its /metrics endpoint scraped once: the exposition
 #                must be non-empty and well-typed
-#   load smoke   a 5s open-loop Poisson synergy-load run must clear a
-#                conservative msgs/sec floor with every probe delivered
-#                (obs counter == driver count); its JSON result snapshot
-#                lands in load-result.json for CI to upload
+#   load smoke   synergy-load replays specs/120-poisson-load.json (open-loop
+#                Poisson over zero-delay TCP): it must clear the spec's
+#                msgs/sec floor with every probe delivered (obs counter ==
+#                driver count); its JSON result snapshot lands in
+#                load-result.json for CI to upload
 #   bench smoke  every benchmark runs for one iteration, so a refactor that
 #                breaks a benchmark (or reintroduces hot-path allocations
 #                loud enough to fail an assertion) is caught before merge
@@ -85,6 +93,7 @@ fuzz_targets=(
     "./internal/checkpoint FuzzDecode"
     "./internal/checkpoint FuzzRoundTrip"
     "./internal/storage FuzzStableLog"
+    "./internal/scenario FuzzScenarioSpec"
 )
 for entry in "${fuzz_targets[@]}"; do
     pkg="${entry% *}" target="${entry#* }"
@@ -92,8 +101,20 @@ for entry in "${fuzz_targets[@]}"; do
     go test "$pkg" -run '^$' -fuzz "^${target}\$" -fuzztime "$fuzztime" > /dev/null
 done
 
-echo "==> chaos soak smoke (seeded: faults, partition, crash-restart)"
-go run ./cmd/synergy-chaos -seed 7 -duration 1500ms -metrics-out chaos-metrics.json > /dev/null
+# The scenario matrix runs the committed corpus through both execution
+# paths. Live runs cost wall-clock seconds apiece, so the local gate runs a
+# short prefix and CI (SCENARIO_FULL=1) runs everything; either way a failed
+# scenario drops its trace and report under scenario-artifacts/.
+if [[ -n "${SCENARIO_FULL:-}" ]]; then
+    echo "==> scenario matrix (full corpus, sim + live)"
+    go run ./cmd/synergy-scenario -dir specs -workers 4 -artifacts scenario-artifacts
+else
+    echo "==> scenario matrix smoke (corpus prefix; SCENARIO_FULL=1 runs all)"
+    go run ./cmd/synergy-scenario -dir specs -prefix 3 -workers 4 -artifacts scenario-artifacts
+fi
+
+echo "==> chaos soak smoke (replays specs/030-chaos-soak.json live)"
+go run ./cmd/synergy-chaos -spec specs/030-chaos-soak.json -metrics-out chaos-metrics.json > /dev/null
 
 echo "==> metrics smoke (synergy-live serves /metrics; one scrape must be non-empty)"
 go build -o "$tmp/synergy-live" ./cmd/synergy-live
@@ -114,14 +135,14 @@ fi
 go run ./scripts/internal/scrape "http://$addr/metrics" "# TYPE synergy_live_msgs_sent_total counter"
 wait "$live_pid"
 
-echo "==> load smoke (synergy-load Poisson: floor on msgs/sec, every probe delivered)"
-# Open-loop Poisson at a modest offered rate: the floor is deliberately far
-# under the transport's measured capacity so only a real regression (or a
-# stall) trips it, and -expect-all-delivered cross-checks the obs
-# delivered-probe counter against the driver's own send count after draining.
-# The JSON result snapshot is uploaded by CI alongside the bench snapshots.
-go run ./cmd/synergy-load -schedule poisson -rate 2000 -duration 5s \
-    -min-rate 500 -expect-all-delivered -out load-result.json > /dev/null
+echo "==> load smoke (synergy-load replays specs/120-poisson-load.json)"
+# The smoke's whole configuration — schedule, rate, duration, the msgs/sec
+# floor and the all-delivered assertion — lives in the committed spec, so
+# this stage, the scenario matrix and any local repro run the same load.
+# The floor is deliberately far under the transport's measured capacity so
+# only a real regression (or a stall) trips it. The JSON result snapshot is
+# uploaded by CI alongside the bench snapshots.
+go run ./cmd/synergy-load -spec specs/120-poisson-load.json -out load-result.json > /dev/null
 
 echo "==> bench smoke (1 iteration per benchmark)"
 go test -run '^$' -bench . -benchtime 1x ./... > /dev/null
