@@ -24,6 +24,7 @@ import (
 
 	"github.com/synergy-ft/synergy/internal/msg"
 	"github.com/synergy-ft/synergy/internal/obs"
+	"github.com/synergy-ft/synergy/internal/storage"
 )
 
 // Partition blocks frames between two processes for a window of run time.
@@ -89,6 +90,45 @@ func (f FsyncStall) Covers(elapsed time.Duration) bool {
 	return elapsed >= f.Start && elapsed < f.End
 }
 
+// DiskFault schedules a window of storage faults against one node's stable
+// log, applied through the storage.FaultVFS the live middleware wraps the
+// victim's log in. Transient probabilities draw per IO operation from the
+// victim's seeded generator; Persistent turns the window into a dead device
+// (every write, metadata op and fsync fails deterministically), which is
+// what drives a node through retry exhaustion into fail-stop.
+type DiskFault struct {
+	// Victim is the node whose stable log the faults target.
+	Victim msg.ProcID
+	// Start and End bound the window in elapsed run time (End exclusive).
+	Start, End time.Duration
+	// WriteErr is the per-write probability of a clean EIO (nothing
+	// persisted).
+	WriteErr float64
+	// TornWrite is the per-write probability the write fails after
+	// persisting a random prefix — the torn record recovery's CRC scan
+	// must discard.
+	TornWrite float64
+	// SyncErr is the per-fsync probability (file or directory) of an EIO.
+	SyncErr float64
+	// ReadCorrupt is the per-read probability that one bit of the returned
+	// data is flipped — bitrot surfacing at recovery time.
+	ReadCorrupt float64
+	// Persistent fails every write, metadata operation and fsync in the
+	// window, ignoring the probabilities above.
+	Persistent bool
+}
+
+// Covers reports whether the fault window is open at the given elapsed run
+// time.
+func (f DiskFault) Covers(elapsed time.Duration) bool {
+	return elapsed >= f.Start && elapsed < f.End
+}
+
+// active reports whether the window can inject anything at all.
+func (f DiskFault) active() bool {
+	return f.Persistent || f.WriteErr > 0 || f.TornWrite > 0 || f.SyncErr > 0 || f.ReadCorrupt > 0
+}
+
 // Spec is a chaos scenario: per-frame fault probabilities plus scheduled
 // partitions, crash-restarts and fsync stalls. The zero Spec injects nothing.
 type Spec struct {
@@ -117,6 +157,8 @@ type Spec struct {
 	Crashes []Crash
 	// FsyncStalls lists scheduled durable-storage stall windows.
 	FsyncStalls []FsyncStall
+	// DiskFaults lists scheduled stable-log disk-fault windows.
+	DiskFaults []DiskFault
 }
 
 // Validate checks probabilities and schedules.
@@ -164,13 +206,41 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("chaos: fsync stall %d adds no latency (%v)", i, f.Stall)
 		}
 	}
+	for i, f := range s.DiskFaults {
+		if f.Start < 0 || f.End <= f.Start {
+			return fmt.Errorf("chaos: disk fault %d window [%v, %v) is empty", i, f.Start, f.End)
+		}
+		for _, p := range []struct {
+			name string
+			p    float64
+		}{{"write-err", f.WriteErr}, {"torn-write", f.TornWrite}, {"sync-err", f.SyncErr}, {"read-corrupt", f.ReadCorrupt}} {
+			if p.p < 0 || p.p > 1 {
+				return fmt.Errorf("chaos: disk fault %d %s probability %v outside [0,1]", i, p.name, p.p)
+			}
+		}
+		if !f.active() {
+			return fmt.Errorf("chaos: disk fault %d injects nothing", i)
+		}
+	}
 	return nil
 }
 
 // Active reports whether the spec injects anything at all.
 func (s Spec) Active() bool {
 	return s.Drop > 0 || s.Duplicate > 0 || s.Corrupt > 0 || s.MaxExtraDelay > 0 ||
-		len(s.Partitions) > 0 || len(s.Crashes) > 0 || len(s.FsyncStalls) > 0
+		len(s.Partitions) > 0 || len(s.Crashes) > 0 || len(s.FsyncStalls) > 0 ||
+		len(s.DiskFaults) > 0
+}
+
+// DiskFaultsFor reports whether any disk-fault window targets the victim
+// (the live middleware wraps that node's stable log in a FaultVFS).
+func (s Spec) DiskFaultsFor(victim msg.ProcID) bool {
+	for _, f := range s.DiskFaults {
+		if f.Victim == victim {
+			return true
+		}
+	}
+	return false
 }
 
 // FrameFaults reports whether the spec injects frame-level faults (anything
@@ -213,6 +283,14 @@ type Stats struct {
 	Delayed uint64
 	// FsyncStalled counts stable-log fsyncs slowed by a stall window.
 	FsyncStalled uint64
+	// DiskWriteErrs counts injected clean write/metadata EIOs.
+	DiskWriteErrs uint64
+	// DiskTornWrites counts injected torn (partial-prefix) writes.
+	DiskTornWrites uint64
+	// DiskSyncErrs counts injected file and directory fsync EIOs.
+	DiskSyncErrs uint64
+	// DiskReadCorrupts counts injected read-time bit flips.
+	DiskReadCorrupts uint64
 }
 
 // Injector makes deterministic per-frame decisions for one run of a Spec.
@@ -228,6 +306,7 @@ type Injector struct {
 
 	mu    sync.Mutex
 	links map[link]*rand.Rand
+	disks map[msg.ProcID]*rand.Rand
 	stats Stats
 }
 
@@ -267,7 +346,7 @@ func NewInjector(spec Spec) (*Injector, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	return &Injector{spec: spec, links: make(map[link]*rand.Rand)}, nil
+	return &Injector{spec: spec, links: make(map[link]*rand.Rand), disks: make(map[msg.ProcID]*rand.Rand)}, nil
 }
 
 // Spec returns the scenario the injector runs.
@@ -380,6 +459,89 @@ func (i *Injector) FsyncStall(victim msg.ProcID, elapsed time.Duration) time.Dur
 		i.mu.Unlock()
 	}
 	return d
+}
+
+// diskRand returns the victim's private disk-fault generator, creating it on
+// first use with a seed derived from (spec seed, victim). Callers hold i.mu.
+func (i *Injector) diskRand(victim msg.ProcID) *rand.Rand {
+	if rng, ok := i.disks[victim]; ok {
+		return rng
+	}
+	seed := i.spec.Seed ^ (int64(victim)+1)<<16 ^ 0x6469736b
+	rng := rand.New(rand.NewSource(seed))
+	i.disks[victim] = rng
+	return rng
+}
+
+// DiskVerdict decides the fate of one stable-log IO operation on the
+// victim's disk at the given elapsed run time; n is the byte count at stake
+// (write length, read result length). Outside any open window the verdict is
+// clean and no randomness is consumed, so a window's draw sequence depends
+// only on the IO the victim performs inside it. Overlapping windows combine
+// by taking each probability's maximum; any Persistent window makes the
+// whole instant persistent.
+func (i *Injector) DiskVerdict(victim msg.ProcID, elapsed time.Duration, op storage.DiskOp, n int) storage.DiskVerdict {
+	v := storage.CleanVerdict()
+	var writeErr, torn, syncErr, readCorrupt float64
+	persistent, open := false, false
+	for _, f := range i.spec.DiskFaults {
+		if f.Victim != victim || !f.Covers(elapsed) {
+			continue
+		}
+		open = true
+		persistent = persistent || f.Persistent
+		writeErr = maxFloat(writeErr, f.WriteErr)
+		torn = maxFloat(torn, f.TornWrite)
+		syncErr = maxFloat(syncErr, f.SyncErr)
+		readCorrupt = maxFloat(readCorrupt, f.ReadCorrupt)
+	}
+	if !open {
+		return v
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	rng := i.diskRand(victim)
+	switch op {
+	case storage.OpWrite:
+		if persistent || (writeErr > 0 && rng.Float64() < writeErr) {
+			i.stats.DiskWriteErrs++
+			v.Err = true
+			return v
+		}
+		if torn > 0 && n > 0 && rng.Float64() < torn {
+			i.stats.DiskTornWrites++
+			v.Err = true
+			v.TornN = rng.Intn(n)
+			return v
+		}
+	case storage.OpSync, storage.OpSyncDir:
+		if persistent || (syncErr > 0 && rng.Float64() < syncErr) {
+			i.stats.DiskSyncErrs++
+			v.Err = true
+			return v
+		}
+	case storage.OpRead:
+		if readCorrupt > 0 && n > 0 && rng.Float64() < readCorrupt {
+			i.stats.DiskReadCorrupts++
+			v.FlipByte = rng.Intn(n)
+			v.FlipMask = byte(1 << rng.Intn(8))
+			return v
+		}
+	case storage.OpCreate, storage.OpOpenAppend, storage.OpRename:
+		if persistent {
+			i.stats.DiskWriteErrs++
+			v.Err = true
+			return v
+		}
+	}
+	return v
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Stats returns a snapshot of the fault counters.

@@ -76,15 +76,16 @@ func NewDirtyBit() *DirtyBit {
 		{Pkg: gmdcd, Type: "process", Field: "influence", Writers: w(gmdcd + ".restore")},
 		{Pkg: gmdcd, Type: "process", Field: "valid", Writers: w(gmdcd + ".restore")},
 		{Pkg: gmdcd, Type: "process", Field: "ownSN", Writers: w(gmdcd+".restore", gmdcd+".emitInternal")},
-		// TB checkpoint lifecycle: Ndc moves only on a commit (timer-driven
-		// endBlocking or the write-through baseline's CommitImmediate), a
-		// hardware-recovery rewind, or a durable-storage reload after a node
-		// restart; the blocking flag toggles only at the
-		// createCKPT/endBlocking edges (plus teardown).
+		// TB checkpoint lifecycle: Ndc moves only on a commit (commitStable,
+		// the single funnel for the first attempt and every backoff retry, or
+		// the write-through baseline's CommitImmediate), a hardware-recovery
+		// rewind, or a durable-storage reload after a node restart; the
+		// blocking flag is set at the createCKPT edge and cleared only by
+		// finishBlocking (the release-held funnel) or teardown.
 		{Pkg: tb, Type: "Checkpointer", Field: "ndc",
-			Writers: w(tb+".endBlocking", tb+".CommitImmediate", tb+".PrepareRecoveryAt", tb+".ResumeFromStable")},
+			Writers: w(tb+".commitStable", tb+".CommitImmediate", tb+".PrepareRecoveryAt", tb+".ResumeFromStable")},
 		{Pkg: tb, Type: "Checkpointer", Field: "inBlocking",
-			Writers: w(tb+".createCKPT", tb+".endBlocking", tb+".Stop", tb+".AbortCycle")},
+			Writers: w(tb+".createCKPT", tb+".finishBlocking", tb+".Stop", tb+".AbortCycle")},
 		{Pkg: tb, Type: "Checkpointer", Field: "expectDirty",
 			Writers: w(tb+".createCKPT", tb+".NotifyDirtyChanged")},
 		// The checkpoint record's Dirty flag is exported (the invariant

@@ -156,6 +156,9 @@ func (c Config) Validate() error {
 	if len(c.Chaos.FsyncStalls) > 0 && c.StableDir == "" {
 		return fmt.Errorf("live: fsync-stall schedules require durable stable storage (StableDir)")
 	}
+	if len(c.Chaos.DiskFaults) > 0 && c.StableDir == "" {
+		return fmt.Errorf("live: disk-fault schedules require durable stable storage (StableDir)")
+	}
 	return nil
 }
 
@@ -198,6 +201,13 @@ type node struct {
 	// down marks the node crashed (KillNode): routing, workload and
 	// recovery skip it until RestartNode reboots it from durable storage.
 	down bool
+	// truncAbove, when non-zero, is a durable truncation the node still
+	// owes: a recovery rollback rewound its in-memory stable window but the
+	// disk rejected the truncate, so the log retains rounds from the
+	// pre-rollback timeline under round numbers the survivors will reuse.
+	// attachStable must discard them durably before the node may rejoin —
+	// resuming from one would mix timelines under one round number.
+	truncAbove uint64
 	// restarts counts reboots, salting the rebuilt node's seeds.
 	restarts int
 	// backend is the durable stable-storage log (nil without StableDir).

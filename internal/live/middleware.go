@@ -96,19 +96,37 @@ func (mw *Middleware) buildNode(n *node, clockRng *rand.Rand) error {
 	// resolves to the same series, so counters survive KillNode/RestartNode.
 	n.proc.Obs = mdcd.NewObs(cfg.Obs, obs.L("proc", n.id.String()))
 	clock := vtime.NewClock(cfg.Clock, clockRng)
-	cp, err := tb.NewCheckpointer(n.id, tb.Config{
+	cpCfg := tb.Config{
 		Variant:  tb.Adapted,
 		Interval: cfg.CheckpointInterval,
 		Clock:    cfg.Clock,
 		MinDelay: cfg.MinDelay,
 		MaxDelay: cfg.MaxDelay,
-	}, clock, &liveRuntime{mw: mw, n: n}, liveHost{n: n}, mw.rec.Record)
+	}
+	if cfg.StableDir != "" {
+		// A durable backend can fail transiently (real EIO, injected disk
+		// faults): retry the commit with capped backoff inside the blocking
+		// period before fail-stopping the node.
+		cpCfg.CommitRetryLimit = 4
+		cpCfg.CommitRetryBackoff = cfg.CheckpointInterval / 32
+	}
+	cp, err := tb.NewCheckpointer(n.id, cpCfg, clock, &liveRuntime{mw: mw, n: n}, liveHost{n: n}, mw.rec.Record)
 	if err != nil {
 		return err
 	}
 	n.cp = cp
 	cp.Obs = tb.NewObs(cfg.Obs, obs.L("proc", n.id.String()))
 	cp.Stable.SetRetention(mw.stableRetention())
+	if cfg.StableDir != "" {
+		id := n.id
+		cp.OnCommitFailed = func(err error) {
+			// Fires under the node lock (timer context): the checkpoint
+			// cannot be made durable and must not be acked, so the node
+			// crash-stops. The teardown re-acquires the node lock and must
+			// run outside it.
+			go mw.failStop(id, err)
+		}
+	}
 	n.proc.DirtyChanged = cp.NotifyDirtyChanged
 	n.proc.UnackedProvider = cp.UnackedSnapshot
 	return nil
@@ -138,7 +156,28 @@ func (mw *Middleware) attachStable(n *node) error {
 	if mw.cfg.StableDir == "" {
 		return nil
 	}
-	fb, info, err := storage.OpenFile(mw.stablePath(n.id))
+	if n.backend != nil {
+		// Rebuild path: drop the previous incarnation's handle before
+		// reopening the log.
+		n.backend.Close()
+		n.backend = nil
+	}
+	var fs storage.VFS = storage.OSVFS{}
+	if mw.inj != nil && mw.cfg.Chaos.DiskFaultsFor(n.id) {
+		// Route every disk operation through the injector's scheduled fault
+		// windows. The per-proc DiskObs series resolve to the same counters
+		// across restarts (registry identity is name+labels), so applied
+		// faults stay 1:1 with the injector's own stats.
+		id := n.id
+		fs = &storage.FaultVFS{
+			Inner: storage.OSVFS{},
+			Verdict: func(op storage.DiskOp, path string, nb int) storage.DiskVerdict {
+				return mw.inj.DiskVerdict(id, time.Since(mw.start), op, nb)
+			},
+			Obs: storage.NewDiskObs(mw.cfg.Obs, obs.L("proc", n.id.String())),
+		}
+	}
+	fb, info, err := storage.OpenFileVFS(mw.stablePath(n.id), fs)
 	if err != nil {
 		return fmt.Errorf("live: open stable log for %v: %w", n.id, err)
 	}
@@ -163,6 +202,18 @@ func (mw *Middleware) attachStable(n *node) error {
 	n.cp.Stable.SetBackend(fb)
 	n.cp.Stable.SetRetention(mw.stableRetention())
 	n.backend = fb
+	if n.truncAbove > 0 {
+		// The previous incarnation's recovery rollback never landed on
+		// disk: rounds above the line belong to a discarded timeline and
+		// must go — durably — before the node resumes from this log. A
+		// still-faulting disk fails the reboot; the restart loop retries.
+		if err := n.cp.Stable.TruncateAbove(n.truncAbove); err != nil {
+			fb.Close()
+			n.backend = nil
+			return fmt.Errorf("live: discard stale rounds for %v: %w", n.id, err)
+		}
+		n.truncAbove = 0
+	}
 	if n.cp.Stable.LatestRound() > 0 {
 		restored, err := n.cp.ResumeFromStable()
 		if err != nil {

@@ -24,6 +24,9 @@ type liveObs struct {
 	kills, restarts *obs.Counter
 	// tornTails counts damaged stable-log tails discarded at node attach.
 	tornTails *obs.Counter
+	// failstops counts nodes crash-stopped because a stable commit could
+	// not be made durable (retry exhaustion).
+	failstops *obs.Counter
 	// hwRecoveries and swRecoveries mirror the Metrics outcome counters.
 	hwRecoveries, swRecoveries *obs.Counter
 	// batchFrames and batchBytes size the TCP writer's coalesced batches:
@@ -70,6 +73,8 @@ func newLiveObs(r *obs.Registry) liveObs {
 			"Nodes rebooted from durable storage (RestartNode completions)."),
 		tornTails: r.Counter("synergy_live_torn_tail_recoveries_total",
 			"Damaged stable-log tails discarded while attaching a node."),
+		failstops: r.Counter("synergy_live_failstops_total",
+			"Nodes crash-stopped after durable-commit retry exhaustion."),
 		hwRecoveries: r.Counter("synergy_live_hw_recoveries_total",
 			"System-wide hardware recovery passes."),
 		swRecoveries: r.Counter("synergy_live_sw_recoveries_total",

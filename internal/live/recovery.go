@@ -164,8 +164,25 @@ func (mw *Middleware) recoverLocked(now vtime.Time, note string) error {
 			return fmt.Errorf("live: fault before the first complete round")
 		}
 		if err != nil {
-			mw.failf("hardware recovery for %v: %v", id, err)
-			return err
+			// The node's durable log rejected the rollback (a disk fault on
+			// the truncate): that is this node's failure, not the system's.
+			// Crash-stop it in place and reboot it through the same
+			// recovery path once the locks release. The on-disk log still
+			// holds rounds above the line from the now-discarded timeline;
+			// the node owes their truncation before it may resume.
+			if n.truncAbove == 0 || round < n.truncAbove {
+				n.truncAbove = round
+			}
+			mw.killLocked(n)
+			mw.obsm.kills.Inc()
+			mw.obsm.failstops.Inc()
+			mw.rec.Record(trace.Event{At: now, Proc: id, Kind: trace.NodeCrashed, Note: "fail-stop: " + err.Error()})
+			go func(id msg.ProcID, n *node) {
+				n.timers.stopAll()
+				mw.net.dropNode(id)
+				mw.restartLoop(id)
+			}(id, n)
+			continue
 		}
 		n.proc.RestoreFrom(restored)
 		n.proc.Volatile.Crash()

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -27,13 +28,7 @@ func (mw *Middleware) KillNode(victim msg.ProcID) error {
 			already = true
 			return
 		}
-		n.down = true
-		n.cp.Stop()
-		n.proc.Volatile.Crash()
-		if n.backend != nil {
-			n.backend.Close()
-			n.backend = nil
-		}
+		mw.killLocked(n)
 	})
 	if already {
 		return fmt.Errorf("live: %v is already down", victim)
@@ -43,6 +38,20 @@ func (mw *Middleware) KillNode(victim msg.ProcID) error {
 	mw.obsm.kills.Inc()
 	mw.rec.Record(trace.Event{At: mw.now(), Proc: victim, Kind: trace.NodeCrashed, Note: "node killed"})
 	return nil
+}
+
+// killLocked is the lock-held half of a node kill: volatile state dies, the
+// durable log handle drops. Callers owning the node's lock (KillNode, the
+// recovery path) must follow up with the lock-free teardown — timer stop,
+// transport drop, counters — once they release it.
+func (mw *Middleware) killLocked(n *node) {
+	n.down = true
+	n.cp.Stop()
+	n.proc.Volatile.Crash()
+	if n.backend != nil {
+		n.backend.Close()
+		n.backend = nil
+	}
 }
 
 // RestartNode boots a fresh instance of a killed node: protocol state is
@@ -64,7 +73,7 @@ func (mw *Middleware) RestartNode(victim msg.ProcID) error {
 	demoted := mw.actDemoted
 	mw.mu.Unlock()
 	if demoted && victim == msg.P1Act {
-		return fmt.Errorf("live: %v was demoted by software recovery and cannot rejoin", victim)
+		return fmt.Errorf("live: %v was demoted by software recovery and %w", victim, errCannotRejoin)
 	}
 	unlock := mw.lockAll()
 	defer unlock()
@@ -73,23 +82,58 @@ func (mw *Middleware) RestartNode(victim msg.ProcID) error {
 	}
 	n.restarts++
 	clockRng := rand.New(rand.NewSource(mw.cfg.Seed ^ int64(victim)<<40 ^ int64(n.restarts)))
+	// Reboot failures are returned, not escalated to systemic failure: a
+	// disk-fault window can make the reopen fail transiently, and the caller
+	// (the fail-stop loop, a chaos runner, a test) decides whether to retry.
 	if err := mw.buildNode(n, clockRng); err != nil {
-		mw.failf("restart %v: %v", victim, err)
-		return err
+		return fmt.Errorf("live: restart %v: %w", victim, err)
 	}
 	if err := mw.attachStable(n); err != nil {
-		mw.failf("restart %v: %v", victim, err)
-		return err
+		return fmt.Errorf("live: restart %v: %w", victim, err)
 	}
+	mw.reapplyRoleState(n)
 	if err := mw.net.rejoinNode(victim); err != nil {
-		mw.failf("restart %v: %v", victim, err)
-		return err
+		return fmt.Errorf("live: restart %v: %w", victim, err)
 	}
 	n.down = false
 	now := mw.now()
 	mw.obsm.restarts.Inc()
 	mw.rec.Record(trace.Event{At: now, Proc: victim, Kind: trace.NodeRestarted, Note: "rebooted from durable stable storage"})
 	return mw.recoverLocked(now, "crash-restart recovery")
+}
+
+// reapplyRoleState re-imposes the recovery orchestrator's role configuration
+// on a rebuilt node. Role assignment is configuration, not checkpointed state
+// (mdcd.RestoreFrom deliberately leaves the failed/promoted flags alone), so a
+// takeover or committed upgrade that happened while the node was up must be
+// replayed onto the fresh process — otherwise a rebooted shadow comes back
+// suppressing the sends it now owns as the active, and a rebooted P2 resumes
+// broadcasting to the demoted P1act. Runs with the restored unacked set loaded
+// (after attachStable): messages addressed to a retired role are dropped the
+// same way the original orchestration dropped them.
+func (mw *Middleware) reapplyRoleState(n *node) {
+	mw.mu.Lock()
+	demoted, upgraded := mw.actDemoted, mw.upgradeDone
+	mw.mu.Unlock()
+	if demoted {
+		switch n.id {
+		case msg.P1Sdw:
+			n.proc.TakeOver()
+			n.proc.IgnoreFrom(msg.P1Act)
+			n.cp.DropUnacked(msg.P1Act)
+		case msg.P2:
+			n.proc.StopSendingTo(msg.P1Act)
+			n.proc.IgnoreFrom(msg.P1Act)
+			n.cp.DropUnacked(msg.P1Act)
+		}
+	}
+	if upgraded {
+		n.proc.CommitUpgrade()
+		if n.id == msg.P2 {
+			n.proc.StopSendingTo(msg.P1Sdw)
+			n.cp.DropUnacked(msg.P1Sdw)
+		}
+	}
 }
 
 // NodeDown reports whether the node is currently crashed.
@@ -149,6 +193,47 @@ func (mw *Middleware) startCrashSchedule() {
 				mw.failf("chaos restart %v: %v", c.Victim, err)
 			}
 		}()
+	}
+}
+
+// errCannotRejoin marks restart failures no amount of retrying fixes (a
+// demoted active); the fail-stop loop gives up on them.
+var errCannotRejoin = errors.New("cannot rejoin")
+
+// failStop crash-stops a node whose stable commit could not be made durable
+// after retry exhaustion (fail-stop semantics: the round was never acked, so
+// no peer depends on it), then drives it back through the normal hardware
+// recovery path with capped-backoff restart attempts — a persistent fault
+// window keeps the reopen failing until the window closes. Runs on its own
+// goroutine (OnCommitFailed fires under the node lock); it does not register
+// on mw.wg because it may start after Stop began waiting, and every blocking
+// step it takes is bounded by sleepStop or returns an error once the
+// middleware shuts down.
+func (mw *Middleware) failStop(victim msg.ProcID, cause error) {
+	if err := mw.KillNode(victim); err != nil {
+		return // already down (e.g. a chaos crash raced the commit failure)
+	}
+	mw.obsm.failstops.Inc()
+	mw.rec.Record(trace.Event{At: mw.now(), Proc: victim, Kind: trace.NodeCrashed, Note: "fail-stop: " + cause.Error()})
+	mw.restartLoop(victim)
+}
+
+// restartLoop reboots a crash-stopped node with capped exponential backoff
+// until the restart lands, the middleware stops, or the failure is permanent.
+func (mw *Middleware) restartLoop(victim msg.ProcID) {
+	backoff := 10 * time.Millisecond
+	const maxBackoff = 160 * time.Millisecond
+	for {
+		if !mw.sleepStop(backoff) {
+			return
+		}
+		err := mw.RestartNode(victim)
+		if err == nil || errors.Is(err, errCannotRejoin) {
+			return
+		}
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
 	}
 }
 

@@ -182,6 +182,16 @@ func evaluate(spec *Spec, o *outcome) *Report {
 		if o.chaosStats.FsyncStalled > 0 {
 			r.Stats.FaultsInjected["fsync-stall"] = o.chaosStats.FsyncStalled
 		}
+		for kind, n := range map[string]uint64{
+			"disk-write-err": o.chaosStats.DiskWriteErrs,
+			"disk-torn":      o.chaosStats.DiskTornWrites,
+			"disk-sync-err":  o.chaosStats.DiskSyncErrs,
+			"disk-corrupt":   o.chaosStats.DiskReadCorrupts,
+		} {
+			if n > 0 {
+				r.Stats.FaultsInjected[kind] = n
+			}
+		}
 	}
 
 	e := spec.Expect
@@ -302,12 +312,16 @@ func evaluateFaultKinds(spec *Spec, o *outcome,
 	var silent, skipped []string
 	for _, k := range spec.Expect.FaultKinds {
 		fired, known := map[string]bool{
-			"drop":        st.Dropped > 0,
-			"duplicate":   st.Duplicated > 0,
-			"corrupt":     st.Corrupted > 0,
-			"delay":       st.Delayed > 0,
-			"partition":   st.Partitioned > 0,
-			"fsync-stall": st.FsyncStalled > 0,
+			"drop":           st.Dropped > 0,
+			"duplicate":      st.Duplicated > 0,
+			"corrupt":        st.Corrupted > 0,
+			"delay":          st.Delayed > 0,
+			"partition":      st.Partitioned > 0,
+			"fsync-stall":    st.FsyncStalled > 0,
+			"disk-write-err": st.DiskWriteErrs > 0,
+			"disk-torn":      st.DiskTornWrites > 0,
+			"disk-sync-err":  st.DiskSyncErrs > 0,
+			"disk-corrupt":   st.DiskReadCorrupts > 0,
 		}[k], true
 		if k == "crc-catch" {
 			if o.crcDrops == nil {
@@ -315,8 +329,8 @@ func evaluateFaultKinds(spec *Spec, o *outcome,
 				continue
 			}
 			fired = *o.crcDrops > 0
-		} else if k == "fsync-stall" && o.mode == ModeSim {
-			// The simulator has no storage layer to stall.
+		} else if storageFaultKind(k) && o.mode == ModeSim {
+			// The simulator has no storage layer to stall or fault.
 			skipped = append(skipped, k)
 			continue
 		}
@@ -333,9 +347,17 @@ func evaluateFaultKinds(spec *Spec, o *outcome,
 		fmt.Sprintf("kinds never fired: %s (run longer or raise rates)", strings.Join(silent, ", ")))
 }
 
+// storageFaultKind reports whether the kind fires in the storage layer,
+// which only the live stack has (the simulator keeps stable storage in
+// memory).
+func storageFaultKind(k string) bool {
+	return k == "fsync-stall" || strings.HasPrefix(k, "disk-")
+}
+
 // evaluateCounters cross-checks the obs fault counters against the
 // injector's stats: both are fed by the same verdicts, so they must agree
-// exactly.
+// exactly. Disk-fault counters live on a per-proc storage family
+// (synergy_storage_injected_faults_total), so each kind sums its series.
 func evaluateCounters(o *outcome,
 	add func(string, CheckStatus, string), check func(string, bool, string)) {
 	if o.chaosStats == nil {
@@ -343,30 +365,38 @@ func evaluateCounters(o *outcome,
 		return
 	}
 	st := o.chaosStats
-	series := func(kind string) float64 {
+	kindTotal := func(family, kind string) float64 {
+		var total float64
+		want := `kind="` + kind + `"`
 		for _, f := range o.snapshot.Families {
-			if f.Name != "synergy_chaos_injected_faults_total" {
+			if f.Name != family {
 				continue
 			}
-			want := `kind="` + kind + `"`
 			for _, s := range f.Series {
 				if strings.Contains(s.Labels, want) {
-					return s.Value
+					total += s.Value
 				}
 			}
 		}
-		return 0
+		return total
 	}
 	var off []string
 	for _, chk := range []struct {
-		kind string
-		want uint64
+		family, kind string
+		want         uint64
 	}{
-		{"drop", st.Dropped}, {"partition", st.Partitioned},
-		{"duplicate", st.Duplicated}, {"corrupt", st.Corrupted},
-		{"delay", st.Delayed}, {"fsync-stall", st.FsyncStalled},
+		{"synergy_chaos_injected_faults_total", "drop", st.Dropped},
+		{"synergy_chaos_injected_faults_total", "partition", st.Partitioned},
+		{"synergy_chaos_injected_faults_total", "duplicate", st.Duplicated},
+		{"synergy_chaos_injected_faults_total", "corrupt", st.Corrupted},
+		{"synergy_chaos_injected_faults_total", "delay", st.Delayed},
+		{"synergy_chaos_injected_faults_total", "fsync-stall", st.FsyncStalled},
+		{"synergy_storage_injected_faults_total", "disk-write-err", st.DiskWriteErrs},
+		{"synergy_storage_injected_faults_total", "disk-torn", st.DiskTornWrites},
+		{"synergy_storage_injected_faults_total", "disk-sync-err", st.DiskSyncErrs},
+		{"synergy_storage_injected_faults_total", "disk-corrupt", st.DiskReadCorrupts},
 	} {
-		if got := series(chk.kind); got != float64(chk.want) {
+		if got := kindTotal(chk.family, chk.kind); got != float64(chk.want) {
 			off = append(off, fmt.Sprintf("%s: obs=%v injector=%d", chk.kind, got, chk.want))
 		}
 	}

@@ -161,6 +161,7 @@ type Chaos struct {
 	Partitions    []PartitionSpec  `json:"partitions,omitempty"`
 	Crashes       []CrashSpec      `json:"crashes,omitempty"`
 	FsyncStalls   []FsyncStallSpec `json:"fsync_stalls,omitempty"`
+	DiskFaults    []DiskFaultSpec  `json:"disk_faults,omitempty"`
 }
 
 // PartitionSpec blocks From→To frames (both directions with Bidirectional)
@@ -188,6 +189,21 @@ type FsyncStallSpec struct {
 	Start  Duration `json:"start"`
 	End    Duration `json:"end"`
 	Stall  Duration `json:"stall"`
+}
+
+// DiskFaultSpec injects disk faults into Victim's stable-log IO during
+// [Start, End): each probability draws per matching operation, or Persistent
+// fails every write and fsync deterministically (a dead disk; live only —
+// the simulator has no storage layer).
+type DiskFaultSpec struct {
+	Victim      string   `json:"victim"`
+	Start       Duration `json:"start"`
+	End         Duration `json:"end"`
+	WriteErr    float64  `json:"write_err,omitempty"`
+	TornWrite   float64  `json:"torn_write,omitempty"`
+	SyncErr     float64  `json:"sync_err,omitempty"`
+	ReadCorrupt float64  `json:"read_corrupt,omitempty"`
+	Persistent  bool     `json:"persistent,omitempty"`
 }
 
 // Faults schedules software fault activations and shapes the acceptance
@@ -275,7 +291,10 @@ const (
 var Schedules = []string{"poisson", "ramp", "burst", "diurnal"}
 
 // faultKinds lists the assertable injected-fault kinds.
-var faultKinds = []string{"drop", "duplicate", "corrupt", "delay", "partition", "crc-catch", "fsync-stall"}
+var faultKinds = []string{
+	"drop", "duplicate", "corrupt", "delay", "partition", "crc-catch", "fsync-stall",
+	"disk-write-err", "disk-torn", "disk-sync-err", "disk-corrupt",
+}
 
 // Parse decodes and validates one scenario spec. Unknown fields are
 // rejected, so a typoed expectation fails loudly instead of silently
@@ -400,6 +419,11 @@ func (s *Spec) Validate() error {
 	}
 	if badRate(s.Chaos.Drop) || badRate(s.Chaos.Duplicate) || badRate(s.Chaos.Corrupt) {
 		return fmt.Errorf("scenario %s: NaN/Inf/negative chaos probability", s.Name)
+	}
+	for i, f := range s.Chaos.DiskFaults {
+		if badRate(f.WriteErr) || badRate(f.TornWrite) || badRate(f.SyncErr) || badRate(f.ReadCorrupt) {
+			return fmt.Errorf("scenario %s: disk fault %d has a NaN/Inf/negative probability", s.Name, i)
+		}
 	}
 	if _, err := s.ChaosSpec(); err != nil {
 		return fmt.Errorf("scenario %s: %w", s.Name, err)
@@ -534,6 +558,18 @@ func (s *Spec) ChaosSpec() (chaos.Spec, error) {
 			Victim: v, Start: f.Start.D(), End: f.End.D(), Stall: f.Stall.D(),
 		})
 	}
+	for _, f := range s.Chaos.DiskFaults {
+		v, err := parseProc(f.Victim)
+		if err != nil {
+			return out, err
+		}
+		out.DiskFaults = append(out.DiskFaults, chaos.DiskFault{
+			Victim: v, Start: f.Start.D(), End: f.End.D(),
+			WriteErr: f.WriteErr, TornWrite: f.TornWrite,
+			SyncErr: f.SyncErr, ReadCorrupt: f.ReadCorrupt,
+			Persistent: f.Persistent,
+		})
+	}
 	if err := out.Validate(); err != nil {
 		return out, err
 	}
@@ -622,7 +658,8 @@ func (w Workload) Load(c *ComponentLoad) app.Workload {
 
 // NeedsDurable reports whether the live run requires on-disk stable storage.
 func (s *Spec) NeedsDurable() bool {
-	return s.Topology.Durable || len(s.Chaos.Crashes) > 0 || len(s.Chaos.FsyncStalls) > 0
+	return s.Topology.Durable || len(s.Chaos.Crashes) > 0 || len(s.Chaos.FsyncStalls) > 0 ||
+		len(s.Chaos.DiskFaults) > 0
 }
 
 // NeedsTCP reports whether the live run requires the TCP transport.

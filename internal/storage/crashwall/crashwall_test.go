@@ -1,0 +1,79 @@
+package crashwall
+
+import (
+	"testing"
+
+	"github.com/synergy-ft/synergy/internal/storage"
+)
+
+// TestCrashWallHoldsAtEveryOp is the wall itself: a crash after every single
+// IO operation of the commit/compact/truncate workload, every post-crash
+// disk state, full recovery on each — zero violations.
+func TestCrashWallHoldsAtEveryOp(t *testing.T) {
+	res := Explore(Options{})
+	if res.Ops < 20 {
+		t.Fatalf("workload performed only %d IO ops; the script should cover commits, compactions and a truncate", res.Ops)
+	}
+	if res.Explored != res.Ops+1 {
+		t.Fatalf("explored %d crash points for %d ops, want every op plus the pre-IO point", res.Explored, res.Ops)
+	}
+	if res.Images <= res.Explored {
+		t.Fatalf("recovered %d images over %d crash points; the post-crash model should fan out", res.Images, res.Explored)
+	}
+	if len(res.Violations) != 0 {
+		for i, v := range res.Violations {
+			if i == 10 {
+				t.Logf("... %d more", len(res.Violations)-10)
+				break
+			}
+			t.Logf("op %d [%s] %s: %s", v.Op, v.Image, v.Invariant, v.Detail)
+		}
+		t.Fatalf("%d invariant violations", len(res.Violations))
+	}
+}
+
+// TestCrashWallBoundedRun exercises the MaxOps bound the local check.sh
+// stage uses.
+func TestCrashWallBoundedRun(t *testing.T) {
+	res := Explore(Options{MaxOps: 10})
+	if res.Explored != 11 {
+		t.Fatalf("explored %d crash points with MaxOps=10, want 11", res.Explored)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("%d violations in bounded run: %+v", len(res.Violations), res.Violations[0])
+	}
+}
+
+// TestCrashWallCatchesAckedRoundLoss proves the wall is load-bearing: a
+// mutation that silently drops the newest intact record from every
+// post-crash image — exactly what a commit path that acks before fsync
+// would produce — must fail the wall with acked-round-durable violations.
+func TestCrashWallCatchesAckedRoundLoss(t *testing.T) {
+	dropNewest := func(img *storage.DiskImage) {
+		for path, data := range img.Files {
+			recs, _, _ := storage.DecodeLog(data)
+			if len(recs) == 0 {
+				continue
+			}
+			rebuilt := append([]byte(nil), data[:8]...) // keep the magic
+			for _, r := range recs[:len(recs)-1] {
+				rebuilt = storage.AppendRecord(rebuilt, r)
+			}
+			img.Files[path] = rebuilt
+		}
+	}
+	res := Explore(Options{Mutate: dropNewest})
+	if len(res.Violations) == 0 {
+		t.Fatal("wall passed despite every image losing its newest acked round")
+	}
+	sawLoss := false
+	for _, v := range res.Violations {
+		if v.Invariant == "acked-round-durable" {
+			sawLoss = true
+			break
+		}
+	}
+	if !sawLoss {
+		t.Fatalf("no acked-round-durable violation among %d findings; the loss went unattributed", len(res.Violations))
+	}
+}

@@ -32,6 +32,15 @@ import (
 // round): everything before it is the durable history, and the newest round
 // in that prefix is the one recovery restores. The damaged tail is discarded
 // by an immediate compaction, so a second crash cannot resurrect it.
+//
+// All file IO goes through a VFS (vfs.go). The OS implementation is the
+// default; FaultVFS injects EIO/short-write/bit-flip faults for tests and
+// chaos scenarios, and MemVFS models post-crash disk states for the
+// crash-point explorer (internal/storage/crashwall). A failed append or
+// fsync marks the physical tail torn: the retry path (and every later
+// commit) then rewrites the whole log via compaction instead of appending
+// again, because a blind re-append would place a duplicate round after the
+// damage and recovery would discard every acked round behind it.
 
 // logMagic identifies (and versions) a stable-storage log file.
 const logMagic = "SYNSTBL1"
@@ -65,7 +74,9 @@ type Record struct {
 
 // Backend persists a Stable's committed rounds. Implementations must make
 // Commit durable before returning: once it reports success the round must
-// survive a process crash.
+// survive a process crash. A failed Commit must be retryable: the caller may
+// invoke Commit again with the same arguments, and the implementation must
+// not let the failed attempt's partial effects corrupt the log.
 type Backend interface {
 	// Commit durably appends one committed round. keepFrom is the lowest
 	// round the in-memory retention window still holds after the commit;
@@ -83,7 +94,8 @@ type Backend interface {
 type FileBackend struct {
 	path string
 	dir  string
-	f    *os.File
+	fs   VFS
+	f    File
 
 	// Obs holds the backend's metrics; the zero value disables them.
 	Obs FileObs
@@ -99,6 +111,12 @@ type FileBackend struct {
 	// logged counts records physically present in the log file (live
 	// records plus evicted-but-not-yet-compacted ones).
 	logged int
+	// tornTail is set when an append or fsync fails: the physical tail
+	// may hold a torn or duplicate record, so the next commit must
+	// rewrite the log (compact) rather than append after the damage.
+	tornTail bool
+	// closed is set by Close; further commits are rejected.
+	closed bool
 }
 
 // RecoveredInfo describes what recovery found in an existing log.
@@ -112,12 +130,19 @@ type RecoveredInfo struct {
 	DroppedBytes int
 }
 
-// OpenFile opens (creating if absent) the stable log at path, recovers its
-// intact records, durably discards any damaged tail, and returns the backend
-// ready for appends alongside what was recovered.
+// OpenFile opens (creating if absent) the stable log at path on the real
+// filesystem, recovers its intact records, durably discards any damaged
+// tail, and returns the backend ready for appends alongside what was
+// recovered.
 func OpenFile(path string) (*FileBackend, RecoveredInfo, error) {
+	return OpenFileVFS(path, OSVFS{})
+}
+
+// OpenFileVFS is OpenFile against an explicit VFS (a fault injector or the
+// crash-point explorer's in-memory disk model).
+func OpenFileVFS(path string, fs VFS) (*FileBackend, RecoveredInfo, error) {
 	var info RecoveredInfo
-	data, err := os.ReadFile(path)
+	data, err := fs.ReadFile(path)
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, info, fmt.Errorf("storage: read stable log: %w", err)
 	}
@@ -126,7 +151,7 @@ func OpenFile(path string) (*FileBackend, RecoveredInfo, error) {
 	info.TailDamaged = damaged
 	info.DroppedBytes = len(data) - intact
 
-	b := &FileBackend{path: path, dir: filepath.Dir(path), live: recs, logged: len(recs)}
+	b := &FileBackend{path: path, dir: filepath.Dir(path), fs: fs, live: recs, logged: len(recs)}
 	if damaged {
 		// Rewrite the intact prefix so the damaged tail cannot be
 		// misread after a later append lands on top of it.
@@ -195,22 +220,36 @@ func AppendRecord(buf []byte, r Record) []byte {
 }
 
 // Commit implements Backend: append one record, fsync, and compact when the
-// log has accumulated enough evicted rounds.
+// log has accumulated enough evicted rounds. A failed Commit may be retried
+// with the same arguments: the retained window is updated idempotently (a
+// round already recorded by the failed attempt is replaced, not duplicated)
+// and a torn physical tail is repaired by a full rewrite instead of a
+// second append.
 func (b *FileBackend) Commit(round uint64, data []byte, keepFrom uint64) error {
-	if b.f == nil {
+	if b.closed {
 		return fmt.Errorf("storage: stable log %s is closed", b.path)
 	}
 	commitStart := b.Obs.CommitLatency.StartTimer()
 	rec := Record{Round: round, Data: append([]byte(nil), data...)}
 	kept := b.live[:0]
 	for _, r := range b.live {
-		if r.Round >= keepFrom {
+		if r.Round >= keepFrom && r.Round != round {
 			kept = append(kept, r)
 		}
 	}
 	b.live = append(kept, rec)
 
+	if b.tornTail || b.f == nil {
+		// A previous append, fsync or compaction failed: the log's tail
+		// is suspect (or the file handle is gone). Rewrite the whole log
+		// — which both repairs the tail and makes this round durable.
+		err := b.compact()
+		b.Obs.CommitLatency.ObserveSince(commitStart)
+		return err
+	}
+
 	if _, err := b.f.Write(AppendRecord(nil, rec)); err != nil {
+		b.tornTail = true
 		return fmt.Errorf("storage: append round %d: %w", round, err)
 	}
 	if b.PreSync != nil {
@@ -218,6 +257,9 @@ func (b *FileBackend) Commit(round uint64, data []byte, keepFrom uint64) error {
 	}
 	fsyncStart := b.Obs.FsyncLatency.StartTimer()
 	if err := b.f.Sync(); err != nil {
+		// The record's bytes may or may not have reached the platter;
+		// either way the tail is unaccounted for until rewritten.
+		b.tornTail = true
 		return fmt.Errorf("storage: fsync round %d: %w", round, err)
 	}
 	b.Obs.FsyncLatency.ObserveSince(fsyncStart)
@@ -234,6 +276,9 @@ func (b *FileBackend) Commit(round uint64, data []byte, keepFrom uint64) error {
 // TruncateAbove implements Backend: durably drop rounds above round via a
 // full rewrite (recovery must never resurrect a rolled-back round).
 func (b *FileBackend) TruncateAbove(round uint64) error {
+	if b.closed {
+		return fmt.Errorf("storage: stable log %s is closed", b.path)
+	}
 	kept := b.live[:0]
 	for _, r := range b.live {
 		if r.Round <= round {
@@ -245,7 +290,10 @@ func (b *FileBackend) TruncateAbove(round uint64) error {
 }
 
 // compact rewrites the live records through a temp file, an fsync, an atomic
-// rename and a directory fsync, then reopens the log for appends.
+// rename and a directory fsync, then reopens the log for appends. Any
+// failure leaves the old log untouched on disk (the rename never happened,
+// or happened atomically) and the backend retryable: the next Commit or
+// TruncateAbove compacts again.
 func (b *FileBackend) compact() error {
 	b.Obs.Compactions.Inc()
 	if b.f != nil {
@@ -258,7 +306,7 @@ func (b *FileBackend) compact() error {
 	for _, r := range b.live {
 		buf = AppendRecord(buf, r)
 	}
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := b.fs.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("storage: create temp log: %w", err)
 	}
@@ -273,29 +321,31 @@ func (b *FileBackend) compact() error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("storage: close temp log: %w", err)
 	}
-	if err := os.Rename(tmp, b.path); err != nil {
+	if err := b.fs.Rename(tmp, b.path); err != nil {
 		return fmt.Errorf("storage: rename temp log: %w", err)
 	}
-	if err := syncDir(b.dir); err != nil {
+	if err := b.fs.SyncDir(b.dir); err != nil {
 		return err
 	}
+	// The rename + dir-fsync made the rewritten log durable under its
+	// final name: whatever damage the old tail held is gone.
 	b.logged = len(b.live)
+	b.tornTail = false
 	return b.openAppend()
 }
 
-// openAppend (re)opens the log for appending, writing the magic header on a
-// fresh file.
+// openAppend (re)opens the log for appending, initializing a fresh file with
+// the magic header. Initialization ends with a directory fsync: a file
+// fsync alone does not guarantee the new *directory entry* survives a
+// crash, and losing the entry would silently discard every acked round in
+// the file (a hole the crash-point explorer's strict post-crash model
+// surfaces).
 func (b *FileBackend) openAppend() error {
-	f, err := os.OpenFile(b.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	f, size, err := b.fs.OpenAppend(b.path)
 	if err != nil {
 		return fmt.Errorf("storage: open stable log: %w", err)
 	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return fmt.Errorf("storage: stat stable log: %w", err)
-	}
-	if st.Size() == 0 {
+	if size == 0 {
 		if _, err := f.Write([]byte(logMagic)); err != nil {
 			f.Close()
 			return fmt.Errorf("storage: write log header: %w", err)
@@ -304,6 +354,10 @@ func (b *FileBackend) openAppend() error {
 			f.Close()
 			return fmt.Errorf("storage: fsync log header: %w", err)
 		}
+		if err := b.fs.SyncDir(b.dir); err != nil {
+			f.Close()
+			return err
+		}
 	}
 	b.f = f
 	return nil
@@ -311,6 +365,7 @@ func (b *FileBackend) openAppend() error {
 
 // Close implements Backend.
 func (b *FileBackend) Close() error {
+	b.closed = true
 	if b.f == nil {
 		return nil
 	}
@@ -321,16 +376,3 @@ func (b *FileBackend) Close() error {
 
 // Path returns the backing file's path.
 func (b *FileBackend) Path() string { return b.path }
-
-// syncDir fsyncs a directory so a rename within it is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("storage: open dir for fsync: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("storage: fsync dir: %w", err)
-	}
-	return nil
-}

@@ -202,9 +202,15 @@ func TestDurableCommitAfterCloseFails(t *testing.T) {
 	if err := s.Commit(1); err == nil {
 		t.Fatal("commit through a closed backend must fail")
 	}
-	// The failed durable commit abandoned the write; memory is unchanged.
-	if s.InFlight() || s.LatestRound() != 0 {
+	// The failed durable commit keeps the write in flight (so the caller
+	// can retry or fail-stop) and leaves the committed history unchanged.
+	if !s.InFlight() || s.LatestRound() != 0 {
 		t.Fatalf("failed commit left inFlight=%v latest=%d", s.InFlight(), s.LatestRound())
+	}
+	// Abandoning is the caller's give-up path; memory ends unchanged.
+	s.Abandon()
+	if s.InFlight() || s.LatestRound() != 0 {
+		t.Fatalf("abandon left inFlight=%v latest=%d", s.InFlight(), s.LatestRound())
 	}
 }
 

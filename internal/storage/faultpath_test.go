@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// Tests for the durable log's failure paths: mid-log damage at decode time,
+// and compaction failures (the temp-write/fsync/rename pipeline) that must
+// leave the old log intact and the backend retryable.
+
+func TestDecodeLogMidLogDamageKeepsIntactPrefix(t *testing.T) {
+	log := []byte(logMagic)
+	log = AppendRecord(log, Record{Round: 1, Data: []byte("round-one")})
+	prefixLen := len(log)
+	log = AppendRecord(log, Record{Round: 2, Data: []byte("round-two")})
+	log = AppendRecord(log, Record{Round: 3, Data: []byte("round-three")})
+
+	// Flip one bit inside round 2's body: rounds 2 AND 3 must be discarded
+	// (the scan cannot trust anything past the first damaged record), while
+	// round 1 — the intact prefix — survives exactly.
+	damaged := append([]byte(nil), log...)
+	damaged[prefixLen+recordHeaderSize+2] ^= 0x40
+
+	recs, intact, dmg := DecodeLog(damaged)
+	if !dmg {
+		t.Fatal("mid-log bit flip not reported as damage")
+	}
+	if intact != prefixLen {
+		t.Fatalf("intact prefix = %d bytes, want %d", intact, prefixLen)
+	}
+	if len(recs) != 1 || recs[0].Round != 1 || !bytes.Equal(recs[0].Data, []byte("round-one")) {
+		t.Fatalf("recovered records = %+v, want exactly round 1", recs)
+	}
+}
+
+func TestDecodeLogMidLogTruncationKeepsIntactPrefix(t *testing.T) {
+	log := []byte(logMagic)
+	log = AppendRecord(log, Record{Round: 1, Data: []byte("round-one")})
+	prefixLen := len(log)
+	log = AppendRecord(log, Record{Round: 2, Data: []byte("round-two")})
+
+	// Cut the file mid-way through round 2's header.
+	cut := log[:prefixLen+recordHeaderSize/2]
+	recs, intact, dmg := DecodeLog(cut)
+	if !dmg || intact != prefixLen || len(recs) != 1 || recs[0].Round != 1 {
+		t.Fatalf("DecodeLog(torn header) = %d recs, intact %d, damaged %v", len(recs), intact, dmg)
+	}
+}
+
+// scriptedVFS returns a FaultVFS over the OS filesystem whose verdicts are
+// driven by the test: fail returns true for the operations to reject.
+func scriptedVFS(fail func(op DiskOp, path string) bool) *FaultVFS {
+	return &FaultVFS{
+		Inner: OSVFS{},
+		Verdict: func(op DiskOp, path string, n int) DiskVerdict {
+			d := CleanVerdict()
+			if fail(op, path) {
+				d.Err = true
+			}
+			return d
+		},
+	}
+}
+
+// openScripted opens a backed Stable through a scripted FaultVFS. The fail
+// pointer starts nil (clean) so setup IO always succeeds; tests arm it once
+// the log holds history.
+func openScripted(t *testing.T, path string) (*Stable, *FileBackend, *func(op DiskOp, p string) bool) {
+	t.Helper()
+	var fail func(op DiskOp, p string) bool
+	fs := scriptedVFS(func(op DiskOp, p string) bool {
+		if fail == nil {
+			return false
+		}
+		return fail(op, p)
+	})
+	fb, info, err := OpenFileVFS(path, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fb.Close() })
+	var s Stable
+	if err := s.Load(info.Records); err != nil {
+		t.Fatal(err)
+	}
+	s.SetBackend(fb)
+	return &s, fb, &fail
+}
+
+func TestCompactionRenameFailureLeavesOldLogIntact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p2.stable")
+	s, fb, fail := openScripted(t, path)
+	commitRound(t, s, 1, 10)
+	commitRound(t, s, 2, 20)
+	commitRound(t, s, 3, 30)
+
+	// Durable truncation compacts; the rename dies. The old log under the
+	// final name must be byte-for-byte what the commits left there.
+	*fail = func(op DiskOp, p string) bool { return op == OpRename }
+	err := fb.TruncateAbove(2)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("TruncateAbove with failing rename = %v, want injected fault", err)
+	}
+
+	_, _, info := openBacked(t, path)
+	if info.TailDamaged {
+		t.Fatal("old log reported damage after failed rename")
+	}
+	if got := len(info.Records); got != 3 {
+		t.Fatalf("old log holds %d rounds after failed rename, want all 3", got)
+	}
+
+	// The backend stays retryable: the next attempt with a healthy disk
+	// completes the truncation durably.
+	*fail = nil
+	if err := fb.TruncateAbove(2); err != nil {
+		t.Fatalf("retried TruncateAbove: %v", err)
+	}
+	// The rewrite reflects the retained window (round 1 was evicted when
+	// round 3 committed); what matters is that round 3 is durably gone and
+	// the truncation target survives.
+	_, _, info = openBacked(t, path)
+	if n := len(info.Records); n == 0 || info.Records[n-1].Round != 2 {
+		t.Fatalf("log after retried truncate = %+v, want newest round 2", info.Records)
+	}
+}
+
+func TestCompactionTempFsyncFailureLeavesOldLogIntact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p2.stable")
+	s, fb, fail := openScripted(t, path)
+	commitRound(t, s, 1, 10)
+	commitRound(t, s, 2, 20)
+
+	// The temp file's fsync dies before the rename: nothing may touch the
+	// log under its final name.
+	*fail = func(op DiskOp, p string) bool { return op == OpSync && p == path+".tmp" }
+	if err := fb.TruncateAbove(1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("TruncateAbove with failing temp fsync = %v, want injected fault", err)
+	}
+	_, _, info := openBacked(t, path)
+	if info.TailDamaged || len(info.Records) != 2 {
+		t.Fatalf("old log after failed temp fsync = %+v", info)
+	}
+}
+
+func TestCommitAfterFailedCompactionRepairsByRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p2.stable")
+	s, fb, fail := openScripted(t, path)
+	commitRound(t, s, 1, 10)
+	commitRound(t, s, 2, 20)
+
+	// A failed truncation leaves the backend without an append handle; the
+	// next Commit must recover by rewriting the whole log — and the rewrite
+	// must reflect the truncation the in-memory window already performed.
+	*fail = func(op DiskOp, p string) bool { return op == OpCreate }
+	if err := fb.TruncateAbove(1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("TruncateAbove with failing create = %v, want injected fault", err)
+	}
+	*fail = nil
+	if err := fb.Commit(2, []byte("retaken-2"), 1); err != nil {
+		t.Fatalf("commit after failed compaction: %v", err)
+	}
+	_, _, info := openBacked(t, path)
+	if len(info.Records) != 2 || info.Records[1].Round != 2 ||
+		!bytes.Equal(info.Records[1].Data, []byte("retaken-2")) {
+		t.Fatalf("log after repair commit = %+v, want rounds 1 and retaken 2", info.Records)
+	}
+}

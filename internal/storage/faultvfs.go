@@ -1,0 +1,281 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/synergy-ft/synergy/internal/obs"
+)
+
+// ErrInjected is the base error injected disk faults surface — the VFS's
+// EIO. Callers retry or fail-stop on it exactly as they would on a real
+// device error.
+var ErrInjected = errors.New("storage: injected disk fault")
+
+// DiskOp classifies one VFS operation for fault injection.
+type DiskOp int
+
+// Disk operation classes, in the order FileBackend performs them.
+const (
+	// OpRead is a whole-file read (recovery's log scan).
+	OpRead DiskOp = iota
+	// OpCreate opens a file truncated (the compaction temp file).
+	OpCreate
+	// OpOpenAppend opens the log for appending.
+	OpOpenAppend
+	// OpWrite is a data write through an open handle.
+	OpWrite
+	// OpSync is a file fsync.
+	OpSync
+	// OpRename is the atomic temp-over-log rename.
+	OpRename
+	// OpSyncDir is a directory fsync.
+	OpSyncDir
+)
+
+// String implements fmt.Stringer.
+func (op DiskOp) String() string {
+	switch op {
+	case OpRead:
+		return "read"
+	case OpCreate:
+		return "create"
+	case OpOpenAppend:
+		return "open-append"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpSyncDir:
+		return "sync-dir"
+	default:
+		return fmt.Sprintf("disk-op(%d)", int(op))
+	}
+}
+
+// DiskVerdict is a fault decision for one IO operation. The zero value (with
+// TornN and FlipByte at their -1 sentinels via CleanVerdict) injects nothing.
+type DiskVerdict struct {
+	// Err fails the operation with ErrInjected.
+	Err bool
+	// TornN, when ≥ 0 on a failing write, persists that many leading bytes
+	// before the error — a torn write. -1 fails cleanly (nothing lands).
+	TornN int
+	// FlipByte, when ≥ 0 on a read, is the byte index to XOR with FlipMask
+	// in the returned data — bitrot of already-durable bytes, surfacing at
+	// recovery. -1 leaves the data intact.
+	FlipByte int
+	// FlipMask is the bit pattern to flip (never zero when FlipByte ≥ 0).
+	FlipMask byte
+}
+
+// CleanVerdict is the no-fault decision.
+func CleanVerdict() DiskVerdict { return DiskVerdict{TornN: -1, FlipByte: -1} }
+
+// DiskFaultStats counts faults a FaultVFS actually applied, by kind.
+type DiskFaultStats struct {
+	// WriteErrs counts clean write/metadata failures (nothing persisted).
+	WriteErrs uint64
+	// TornWrites counts writes that persisted a partial prefix then failed.
+	TornWrites uint64
+	// SyncErrs counts failed file and directory fsyncs.
+	SyncErrs uint64
+	// ReadCorrupts counts reads returned with a flipped bit.
+	ReadCorrupts uint64
+}
+
+// DiskObs bundles the injected-disk-fault counters, one series per kind on
+// the synergy_storage_injected_faults_total family. The zero value disables
+// them.
+type DiskObs struct {
+	// WriteErrs, TornWrites, SyncErrs, ReadCorrupts mirror DiskFaultStats.
+	WriteErrs, TornWrites, SyncErrs, ReadCorrupts *obs.Counter
+}
+
+// NewDiskObs registers the injected-disk-fault counters on r with the given
+// fixed labels (the live middleware passes proc="P2" etc.). A nil registry
+// yields the zero (disabled) bundle.
+func NewDiskObs(r *obs.Registry, labels ...obs.Label) DiskObs {
+	fault := func(kind string) *obs.Counter {
+		ls := append([]obs.Label{obs.L("kind", kind)}, labels...)
+		return r.Counter("synergy_storage_injected_faults_total",
+			"Disk faults injected into the stable-storage VFS, by kind.", ls...)
+	}
+	return DiskObs{
+		WriteErrs:    fault("disk-write-err"),
+		TornWrites:   fault("disk-torn"),
+		SyncErrs:     fault("disk-sync-err"),
+		ReadCorrupts: fault("disk-corrupt"),
+	}
+}
+
+// FaultVFS wraps an inner VFS and consults a verdict function before every
+// operation, injecting EIO, short (torn) writes and read-time bit flips.
+// The verdict function owns all randomness — a seeded chaos injector or a
+// scripted test sequence — so the fault schedule is deterministic and the
+// VFS itself is pure mechanism. Applied faults are counted in Stats and on
+// the Obs bundle; both tally exactly the verdicts that injected something,
+// so a cross-check against the verdict source must agree.
+type FaultVFS struct {
+	// Inner is the wrapped VFS (the OS for live chaos runs, a MemVFS for
+	// hermetic tests).
+	Inner VFS
+	// Verdict decides each operation's fate. n is the byte count at stake
+	// (write length, read result length; 0 for metadata ops). A nil
+	// Verdict injects nothing.
+	Verdict func(op DiskOp, path string, n int) DiskVerdict
+	// Obs holds the injected-fault counters; the zero value disables them.
+	Obs DiskObs
+
+	mu    sync.Mutex
+	stats DiskFaultStats
+}
+
+var _ VFS = (*FaultVFS)(nil)
+
+// Stats returns a snapshot of the applied-fault counters.
+func (v *FaultVFS) Stats() DiskFaultStats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.stats
+}
+
+// verdict consults the decision function, defaulting to clean.
+func (v *FaultVFS) verdict(op DiskOp, path string, n int) DiskVerdict {
+	if v.Verdict == nil {
+		return CleanVerdict()
+	}
+	return v.Verdict(op, path, n)
+}
+
+func (v *FaultVFS) countWriteErr() {
+	v.mu.Lock()
+	v.stats.WriteErrs++
+	v.mu.Unlock()
+	v.Obs.WriteErrs.Inc()
+}
+
+func (v *FaultVFS) countSyncErr() {
+	v.mu.Lock()
+	v.stats.SyncErrs++
+	v.mu.Unlock()
+	v.Obs.SyncErrs.Inc()
+}
+
+// ReadFile implements VFS. A read verdict can fail the read outright or flip
+// one bit of the returned copy — bitrot of already-durable bytes that only
+// recovery's CRC check can catch.
+func (v *FaultVFS) ReadFile(path string) ([]byte, error) {
+	data, err := v.Inner.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d := v.verdict(OpRead, path, len(data))
+	if d.Err {
+		v.countWriteErr()
+		return nil, fmt.Errorf("%w: read %s", ErrInjected, path)
+	}
+	if d.FlipByte >= 0 && d.FlipByte < len(data) && d.FlipMask != 0 {
+		flipped := append([]byte(nil), data...)
+		flipped[d.FlipByte] ^= d.FlipMask
+		v.mu.Lock()
+		v.stats.ReadCorrupts++
+		v.mu.Unlock()
+		v.Obs.ReadCorrupts.Inc()
+		return flipped, nil
+	}
+	return data, nil
+}
+
+// Create implements VFS.
+func (v *FaultVFS) Create(path string) (File, error) {
+	if d := v.verdict(OpCreate, path, 0); d.Err {
+		v.countWriteErr()
+		return nil, fmt.Errorf("%w: create %s", ErrInjected, path)
+	}
+	f, err := v.Inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, path: path, vfs: v}, nil
+}
+
+// OpenAppend implements VFS.
+func (v *FaultVFS) OpenAppend(path string) (File, int64, error) {
+	if d := v.verdict(OpOpenAppend, path, 0); d.Err {
+		v.countWriteErr()
+		return nil, 0, fmt.Errorf("%w: open %s", ErrInjected, path)
+	}
+	f, size, err := v.Inner.OpenAppend(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &faultFile{f: f, path: path, vfs: v}, size, nil
+}
+
+// Rename implements VFS.
+func (v *FaultVFS) Rename(oldPath, newPath string) error {
+	if d := v.verdict(OpRename, newPath, 0); d.Err {
+		v.countWriteErr()
+		return fmt.Errorf("%w: rename %s", ErrInjected, newPath)
+	}
+	return v.Inner.Rename(oldPath, newPath)
+}
+
+// SyncDir implements VFS.
+func (v *FaultVFS) SyncDir(dir string) error {
+	if d := v.verdict(OpSyncDir, dir, 0); d.Err {
+		v.countSyncErr()
+		return fmt.Errorf("%w: fsync dir %s", ErrInjected, dir)
+	}
+	return v.Inner.SyncDir(dir)
+}
+
+// faultFile wraps an open handle, injecting write and fsync faults.
+type faultFile struct {
+	f    File
+	path string
+	vfs  *FaultVFS
+}
+
+// Write implements File. A failing verdict either persists nothing (clean
+// EIO) or lands a partial prefix first (torn write) — the device wrote some
+// sectors and died.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	d := ff.vfs.verdict(OpWrite, ff.path, len(p))
+	if !d.Err {
+		return ff.f.Write(p)
+	}
+	if d.TornN >= 0 && d.TornN < len(p) {
+		if d.TornN > 0 {
+			if _, err := ff.f.Write(p[:d.TornN]); err != nil {
+				return 0, err
+			}
+		}
+		ff.vfs.mu.Lock()
+		ff.vfs.stats.TornWrites++
+		ff.vfs.mu.Unlock()
+		ff.vfs.Obs.TornWrites.Inc()
+		return d.TornN, fmt.Errorf("%w: torn write %s (%d of %d bytes)", ErrInjected, ff.path, d.TornN, len(p))
+	}
+	ff.vfs.countWriteErr()
+	return 0, fmt.Errorf("%w: write %s", ErrInjected, ff.path)
+}
+
+// Sync implements File. An injected fsync failure leaves the pending bytes
+// in limbo: they may or may not have reached the platter, exactly the
+// ambiguity FileBackend's torn-tail repair handles.
+func (ff *faultFile) Sync() error {
+	if d := ff.vfs.verdict(OpSync, ff.path, 0); d.Err {
+		ff.vfs.countSyncErr()
+		return fmt.Errorf("%w: fsync %s", ErrInjected, ff.path)
+	}
+	return ff.f.Sync()
+}
+
+// Close implements File (never injected: close errors are not part of the
+// durability fault model).
+func (ff *faultFile) Close() error { return ff.f.Close() }

@@ -22,6 +22,14 @@ func FuzzStableLog(f *testing.F) {
 	flipped := append([]byte(nil), clean...)
 	flipped[len(flipped)-2] ^= 0x10
 	f.Add(flipped)
+	// Mid-log damage: a bit flip inside the FIRST record of a longer log,
+	// so the intact-prefix fallback has to discard intact-looking records
+	// behind the damage.
+	three := append([]byte(nil), clean...)
+	three = AppendRecord(three, Record{Round: 3, Data: []byte("round-three")})
+	midFlip := append([]byte(nil), three...)
+	midFlip[len(logMagic)+recordHeaderSize+1] ^= 0x04
+	f.Add(midFlip)
 	// A duplicate commit marker (replayed round).
 	dup := append([]byte(nil), clean...)
 	dup = AppendRecord(dup, Record{Round: 2, Data: []byte("replayed")})

@@ -1,0 +1,400 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrCrashed is returned by every MemVFS operation past the configured crash
+// point: the simulated machine is gone, and nothing else lands on its disk.
+var ErrCrashed = errors.New("storage: simulated crash")
+
+// MemVFS is a fully in-memory VFS that models durability precisely enough to
+// enumerate post-crash disk states. It distinguishes, per file, the bytes an
+// fsync has made durable from pending appended chunks, and, per directory,
+// the entries a directory fsync has persisted from pending creates and
+// renames. A crash point (SetCrashAfter) fails every operation past the
+// N-th; CrashImages then enumerates the disk contents a machine could
+// observe after rebooting at that instant:
+//
+//   - the suffix written after the last file fsync may be wholly lost,
+//     wholly present, torn mid-write, or reordered (later sectors persisted
+//     while earlier ones read as zeros);
+//   - renames are atomic (old or new entry, never a mix) but un-persisted
+//     until the directory fsync, so pending directory ops apply as an
+//     in-order prefix.
+//
+// All files are modeled as living in one directory: SyncDir persists every
+// pending entry regardless of the dir argument, which matches FileBackend's
+// single-directory layout.
+type MemVFS struct {
+	mu         sync.Mutex
+	cur        map[string]*memFile // live directory view
+	dur        map[string]*memFile // entries the directory durably references
+	dirOps     []dirOp             // entry ops since the last SyncDir
+	ops        int
+	crashAfter int // ops beyond this index fail; < 0 disables
+}
+
+// memFile is one inode: durable bytes plus pending (un-fsynced) appends.
+type memFile struct {
+	durable []byte
+	pending [][]byte
+}
+
+// size is the live view's length.
+func (f *memFile) size() int64 {
+	n := int64(len(f.durable))
+	for _, c := range f.pending {
+		n += int64(len(c))
+	}
+	return n
+}
+
+// view concatenates durable and pending bytes into a fresh buffer.
+func (f *memFile) view() []byte {
+	out := make([]byte, 0, f.size())
+	out = append(out, f.durable...)
+	for _, c := range f.pending {
+		out = append(out, c...)
+	}
+	return out
+}
+
+type dirOpKind int
+
+const (
+	dirCreate dirOpKind = iota
+	dirRename
+)
+
+// dirOp is one un-persisted directory mutation.
+type dirOp struct {
+	kind dirOpKind
+	path string   // entry being placed (create target, rename destination)
+	from string   // rename source
+	file *memFile // inode the entry points at
+}
+
+// NewMemVFS returns an empty in-memory disk with no crash point set.
+func NewMemVFS() *MemVFS {
+	return &MemVFS{
+		cur:        map[string]*memFile{},
+		dur:        map[string]*memFile{},
+		crashAfter: -1,
+	}
+}
+
+// DiskImage is one possible post-crash disk state: path → file contents.
+type DiskImage struct {
+	// Label describes which pending effects this image persisted.
+	Label string
+	// Files maps path to contents.
+	Files map[string][]byte
+}
+
+// FromImage builds a clean MemVFS whose durable state is exactly the image —
+// the disk a recovering process mounts.
+func FromImage(img DiskImage) *MemVFS {
+	m := NewMemVFS()
+	paths := make([]string, 0, len(img.Files))
+	for path := range img.Files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		f := &memFile{durable: append([]byte(nil), img.Files[path]...)}
+		m.cur[path] = f
+		m.dur[path] = f
+	}
+	return m
+}
+
+var _ VFS = (*MemVFS)(nil)
+
+// SetCrashAfter arranges for every operation after the k-th to fail with
+// ErrCrashed. k = 0 crashes before any further IO; a negative k disables the
+// crash point.
+func (m *MemVFS) SetCrashAfter(k int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashAfter = k
+}
+
+// Ops returns how many IO operations have been attempted (including any that
+// failed at the crash point).
+func (m *MemVFS) Ops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// step counts one IO operation and reports whether the crash point has been
+// passed. Callers must hold m.mu and must not mutate state on error.
+func (m *MemVFS) step() error {
+	m.ops++
+	if m.crashAfter >= 0 && m.ops > m.crashAfter {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// ReadFile implements VFS.
+func (m *MemVFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return nil, err
+	}
+	f, ok := m.cur[path]
+	if !ok {
+		return nil, fmt.Errorf("storage: %s: %w", path, os.ErrNotExist)
+	}
+	return f.view(), nil
+}
+
+// Create implements VFS. The new entry (and the truncation it implies) is
+// not durable until SyncDir; the previously durable inode, if any, remains
+// what a crash would expose.
+func (m *MemVFS) Create(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return nil, err
+	}
+	f := &memFile{}
+	m.cur[path] = f
+	m.dirOps = append(m.dirOps, dirOp{kind: dirCreate, path: path, file: f})
+	return &memHandle{m: m, f: f, path: path}, nil
+}
+
+// OpenAppend implements VFS. Opening an absent path creates it, pending a
+// directory fsync like Create.
+func (m *MemVFS) OpenAppend(path string) (File, int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return nil, 0, err
+	}
+	f, ok := m.cur[path]
+	if !ok {
+		f = &memFile{}
+		m.cur[path] = f
+		m.dirOps = append(m.dirOps, dirOp{kind: dirCreate, path: path, file: f})
+	}
+	return &memHandle{m: m, f: f, path: path}, f.size(), nil
+}
+
+// Rename implements VFS. The swap is atomic — post-crash directories show
+// the old entry or the new one, never a mix — but un-persisted until the
+// next SyncDir.
+func (m *MemVFS) Rename(oldPath, newPath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return err
+	}
+	f, ok := m.cur[oldPath]
+	if !ok {
+		return fmt.Errorf("storage: rename %s: %w", oldPath, os.ErrNotExist)
+	}
+	m.cur[newPath] = f
+	delete(m.cur, oldPath)
+	m.dirOps = append(m.dirOps, dirOp{kind: dirRename, path: newPath, from: oldPath, file: f})
+	return nil
+}
+
+// SyncDir implements VFS: every pending entry operation becomes durable.
+// Replaying the op log (rather than copying the live map) keeps the durable
+// view equal to cur without ranging over a map.
+func (m *MemVFS) SyncDir(string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return err
+	}
+	for _, op := range m.dirOps {
+		switch op.kind {
+		case dirCreate:
+			m.dur[op.path] = op.file
+		case dirRename:
+			m.dur[op.path] = op.file
+			delete(m.dur, op.from)
+		}
+	}
+	m.dirOps = nil
+	return nil
+}
+
+// memHandle is an open append/write handle onto a memFile inode. Writes keep
+// targeting the inode even if the entry is later renamed or replaced, like a
+// POSIX file descriptor.
+type memHandle struct {
+	m    *MemVFS
+	f    *memFile
+	path string
+}
+
+// Write implements File: one pending chunk per call.
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if err := h.m.step(); err != nil {
+		return 0, err
+	}
+	h.f.pending = append(h.f.pending, append([]byte(nil), p...))
+	return len(p), nil
+}
+
+// Sync implements File: pending chunks become durable.
+func (h *memHandle) Sync() error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if err := h.m.step(); err != nil {
+		return err
+	}
+	for _, c := range h.f.pending {
+		h.f.durable = append(h.f.durable, c...)
+	}
+	h.f.pending = nil
+	return nil
+}
+
+// Close implements File. Closing is not a durability event: it is neither
+// counted as an IO op nor a crash point, and flushes nothing.
+func (h *memHandle) Close() error { return nil }
+
+// fileVariant is one possible post-crash content for a file.
+type fileVariant struct {
+	label string
+	data  []byte
+}
+
+// crashVariants enumerates the contents a file's inode could hold after a
+// crash: the durable prefix alone (pending suffix lost), everything
+// (pending fully persisted), torn mid-chunk, and reordered (the newest
+// chunk's tail persisted while earlier pending bytes read as zeros).
+func (f *memFile) crashVariants() []fileVariant {
+	if len(f.pending) == 0 {
+		return []fileVariant{{label: "durable", data: append([]byte(nil), f.durable...)}}
+	}
+	vars := []fileVariant{
+		{label: "lost", data: append([]byte(nil), f.durable...)},
+		{label: "full", data: f.view()},
+	}
+	for i, c := range f.pending {
+		if len(c) < 2 {
+			continue
+		}
+		buf := append([]byte(nil), f.durable...)
+		for _, prev := range f.pending[:i] {
+			buf = append(buf, prev...)
+		}
+		buf = append(buf, c[:len(c)/2]...)
+		vars = append(vars, fileVariant{label: fmt.Sprintf("torn@%d", i), data: buf})
+	}
+	last := f.pending[len(f.pending)-1]
+	if len(f.pending) >= 2 || len(last) >= 2 {
+		buf := append([]byte(nil), f.durable...)
+		for _, prev := range f.pending[:len(f.pending)-1] {
+			buf = append(buf, make([]byte, len(prev))...)
+		}
+		half := len(last) / 2
+		buf = append(buf, make([]byte, half)...)
+		buf = append(buf, last[half:]...)
+		vars = append(vars, fileVariant{label: "reordered", data: buf})
+	}
+	return vars
+}
+
+// CrashImages enumerates the distinct disk states a machine could observe
+// after crashing at the current instant: every in-order prefix of the
+// pending directory operations, crossed with every per-file content variant
+// for the files each directory state references. The slice is deterministic
+// (sorted paths, fixed variant order) and deduplicated by content.
+func (m *MemVFS) CrashImages() []DiskImage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var images []DiskImage
+	seen := map[string]bool{}
+	for p := 0; p <= len(m.dirOps); p++ {
+		view := make(map[string]*memFile, len(m.dur))
+		for path, f := range m.dur {
+			view[path] = f
+		}
+		for _, op := range m.dirOps[:p] {
+			switch op.kind {
+			case dirCreate:
+				view[op.path] = op.file
+			case dirRename:
+				view[op.path] = op.file
+				delete(view, op.from)
+			}
+		}
+		paths := make([]string, 0, len(view))
+		for path := range view {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+
+		variants := make([][]fileVariant, len(paths))
+		for i, path := range paths {
+			variants[i] = view[path].crashVariants()
+		}
+		choice := make([]int, len(paths))
+		for {
+			files := make(map[string][]byte, len(paths))
+			var labels []string
+			for i, path := range paths {
+				v := variants[i][choice[i]]
+				files[path] = v.data
+				if v.label != "durable" {
+					labels = append(labels, path+"="+v.label)
+				}
+			}
+			key := imageKey(files)
+			if !seen[key] {
+				seen[key] = true
+				label := fmt.Sprintf("dirops=%d/%d", p, len(m.dirOps))
+				if len(labels) > 0 {
+					label += " " + strings.Join(labels, " ")
+				}
+				images = append(images, DiskImage{Label: label, Files: files})
+			}
+			// Advance the mixed-radix choice vector.
+			i := 0
+			for ; i < len(choice); i++ {
+				choice[i]++
+				if choice[i] < len(variants[i]) {
+					break
+				}
+				choice[i] = 0
+			}
+			if i == len(choice) {
+				break
+			}
+		}
+	}
+	return images
+}
+
+// imageKey canonicalizes an image's contents for deduplication.
+func imageKey(files map[string][]byte) string {
+	paths := make([]string, 0, len(files))
+	for p := range files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var b strings.Builder
+	for _, p := range paths {
+		fmt.Fprintf(&b, "%s\x00%d\x00", p, len(files[p]))
+		b.Write(files[p])
+		b.WriteByte(0)
+	}
+	return b.String()
+}

@@ -104,9 +104,11 @@ func (s *Stable) Replace(c *checkpoint.Checkpoint) error {
 
 // Commit makes the pending write durable as the given round. Rounds must be
 // committed in increasing order. With a backend attached, the round is
-// written through (and fsynced) before the commit is acknowledged; a backend
-// failure abandons the write and leaves the previous committed rounds
-// intact, exactly as an aborted disk write would.
+// written through (and fsynced) before the commit is acknowledged. A backend
+// failure leaves the previous committed rounds intact and the write still
+// in flight, so the caller can retry the same Commit (transient EIO) or
+// Abandon it and fail-stop — the decision belongs to the checkpointer, not
+// the storage layer.
 func (s *Stable) Commit(round uint64) error {
 	if !s.inFlight {
 		return ErrNoWrite
@@ -117,7 +119,6 @@ func (s *Stable) Commit(round uint64) error {
 	if s.backend != nil {
 		keepFrom := s.keepFromAfter(round)
 		if err := s.backend.Commit(round, s.pending, keepFrom); err != nil {
-			s.Abandon()
 			return fmt.Errorf("storage: durable commit round %d: %w", round, err)
 		}
 	}

@@ -1,0 +1,86 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// VFS abstracts the handful of filesystem operations FileBackend performs, so
+// the durable commit path can run against the real OS (the default), a
+// fault-injecting wrapper (FaultVFS), or a fully in-memory model with
+// crash-point enumeration (MemVFS). The interface is deliberately exactly the
+// backend's footprint — open for append, create-truncate, write, fsync,
+// atomic rename, directory fsync — so every durability-relevant syscall is a
+// seam the crash wall can cut at.
+type VFS interface {
+	// ReadFile returns the full contents of path. A missing file must
+	// report an error satisfying errors.Is(err, os.ErrNotExist).
+	ReadFile(path string) ([]byte, error)
+	// Create opens path for writing, truncating any existing file
+	// (O_WRONLY|O_CREATE|O_TRUNC).
+	Create(path string) (File, error)
+	// OpenAppend opens path for appending, creating it if absent
+	// (O_WRONLY|O_CREATE|O_APPEND), and returns the current size.
+	OpenAppend(path string) (File, int64, error)
+	// Rename atomically replaces newPath with oldPath. Durability of the
+	// new directory entry may require a following SyncDir.
+	Rename(oldPath, newPath string) error
+	// SyncDir fsyncs the directory, making renames and entry creations
+	// within it durable.
+	SyncDir(dir string) error
+}
+
+// File is an open log or temp file: sequential writes, fsync, close.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage; once it returns nil
+	// the written bytes must survive a crash.
+	Sync() error
+	Close() error
+}
+
+// OSVFS is the real-filesystem VFS: every method is a thin wrapper over the
+// corresponding os call, adding no state and no overhead beyond the interface
+// dispatch. It is the default for OpenFile.
+type OSVFS struct{}
+
+var _ VFS = OSVFS{}
+
+// ReadFile implements VFS.
+func (OSVFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// Create implements VFS.
+func (OSVFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// OpenAppend implements VFS.
+func (OSVFS) OpenAppend(path string) (File, int64, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("storage: stat stable log: %w", err)
+	}
+	return f, st.Size(), nil
+}
+
+// Rename implements VFS.
+func (OSVFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+// SyncDir implements VFS.
+func (OSVFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: open dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("storage: fsync dir: %w", err)
+	}
+	return nil
+}

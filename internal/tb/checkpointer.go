@@ -34,8 +34,20 @@ type Checkpointer struct {
 	// Obs holds the checkpointer's metrics; the zero value disables them.
 	Obs Obs
 
+	// OnCommitFailed, when set, is invoked after a durable commit has
+	// exhausted its retries: the checkpoint cannot be made stable, so the
+	// node must not acknowledge it. The checkpointer stays blocked (held
+	// messages are not released, Ndc does not advance) and expects the
+	// handler to crash-stop the node — the live middleware kills it and
+	// restarts it through hardware recovery. The handler runs in timer
+	// context (under the node lock in live mode); it must defer actual
+	// teardown to another goroutine. When nil, an exhausted commit is
+	// abandoned and the round is skipped, the pre-durability behaviour.
+	OnCommitFailed func(error)
+
 	ndc         uint64 // committed stable checkpoints (local Ndc)
 	ndcAtResync uint64
+	retries     int        // commit retries spent on the current round
 	nextLocal   vtime.Time // dCKPT_time: next expiry on the local clock
 	inBlocking  bool
 	expectDirty bool // the dirty-bit value the in-flight write matches
@@ -57,6 +69,9 @@ type CheckpointerStats struct {
 	// SkippedBusy counts timer expiries ignored because a write was still
 	// in flight (configuration pathology; Validate prevents it).
 	SkippedBusy uint64
+	// CommitRetries counts durable-commit retries after transient backend
+	// failures.
+	CommitRetries uint64
 	// ResyncRequests counts resynchronization requests issued.
 	ResyncRequests uint64
 	// BlockingTotal accumulates time spent in blocking periods.
@@ -163,6 +178,7 @@ func (c *Checkpointer) createCKPT() {
 		return
 	}
 	c.expectDirty = dirty
+	c.retries = 0
 	c.rec(trace.Event{At: c.rt.Now(), Proc: c.proc, Kind: trace.StableBegun, Ckpt: contents.Kind,
 		Note: fmt.Sprintf("dirty=%v", dirty)})
 
@@ -224,22 +240,94 @@ func (c *Checkpointer) NotifyDirtyChanged(dirty bool) {
 }
 
 // endBlocking commits the write, increments Ndc, and releases held messages.
+// A failed durable commit keeps the node blocked: acknowledging (releasing
+// held messages and advancing Ndc) a round that never reached the platter
+// would break the recovery-line invariant, so the commit is retried with
+// capped backoff and, when retries exhaust, the node fail-stops through
+// OnCommitFailed instead of acking.
 func (c *Checkpointer) endBlocking() {
 	c.cancelBlock = nil
 	if c.Stable.InFlight() {
-		if err := c.Stable.Commit(c.ndc + 1); err != nil {
-			c.rec(trace.Event{At: c.rt.Now(), Proc: c.proc, Kind: trace.StableCommitted, Note: "commit failed: " + err.Error()})
-		} else {
-			c.ndc++
-			c.stats.Commits++
-			c.Obs.StableCommits.Inc()
-			c.rec(trace.Event{At: c.rt.Now(), Proc: c.proc, Kind: trace.StableCommitted, Ckpt: checkpoint.Stable,
-				Note: fmt.Sprintf("Ndc=%d", c.ndc)})
-		}
+		c.commitStable()
+		return
 	}
+	c.finishBlocking()
+}
+
+// commitStable is the single writer of the commit/ack pair: it commits the
+// in-flight durable write, advances Ndc, and ends the blocking period, so
+// the commit-before-ack ordering lives in exactly one place. On failure it
+// defers to commitFailed, which keeps the node blocked.
+func (c *Checkpointer) commitStable() {
+	if err := c.Stable.Commit(c.ndc + 1); err != nil {
+		c.commitFailed(err)
+		return
+	}
+	c.ndc++
+	c.stats.Commits++
+	c.Obs.StableCommits.Inc()
+	note := fmt.Sprintf("Ndc=%d", c.ndc)
+	if c.retries > 0 {
+		note = fmt.Sprintf("Ndc=%d (after %d retries)", c.ndc, c.retries)
+	}
+	c.rec(trace.Event{At: c.rt.Now(), Proc: c.proc, Kind: trace.StableCommitted, Ckpt: checkpoint.Stable, Note: note})
+	c.finishBlocking()
+}
+
+// finishBlocking ends the blocking period and releases held messages.
+func (c *Checkpointer) finishBlocking() {
 	c.inBlocking = false
 	c.rec(trace.Event{At: c.rt.Now(), Proc: c.proc, Kind: trace.BlockEnded})
 	c.host.ReleaseHeld()
+}
+
+// commitFailed handles a durable-commit failure: retry with capped backoff
+// while attempts remain, then either hand the node to OnCommitFailed
+// (fail-stop without acking) or — with no handler — abandon the round and
+// move on, the in-memory-only behaviour.
+func (c *Checkpointer) commitFailed(err error) {
+	c.rec(trace.Event{At: c.rt.Now(), Proc: c.proc, Kind: trace.StableCommitted, Note: "commit failed: " + err.Error()})
+	if c.retries < c.cfg.CommitRetryLimit {
+		c.retries++
+		c.stats.CommitRetries++
+		c.Obs.CommitRetries.Inc()
+		c.cancelBlock = c.rt.After(c.retryDelay(c.retries), c.retryCommit)
+		return
+	}
+	if c.OnCommitFailed != nil {
+		// Stay blocked: no ack, no Ndc advance, no message release. The
+		// handler crash-stops the node; Stop abandons the write.
+		c.OnCommitFailed(err)
+		return
+	}
+	c.Stable.Abandon()
+	c.finishBlocking()
+}
+
+// retryCommit re-attempts the in-flight durable commit.
+func (c *Checkpointer) retryCommit() {
+	c.cancelBlock = nil
+	if !c.running || !c.Stable.InFlight() {
+		return
+	}
+	c.commitStable()
+}
+
+// retryDelay is the capped exponential backoff before the given (1-based)
+// retry attempt.
+func (c *Checkpointer) retryDelay(attempt int) time.Duration {
+	base := c.cfg.CommitRetryBackoff
+	if base <= 0 {
+		base = c.cfg.Interval / 32
+	}
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	d := base << (attempt - 1)
+	if cap := 8 * base; d > cap {
+		d = cap
+	}
+	return d
 }
 
 func (c *Checkpointer) elapsedSinceResync() time.Duration {

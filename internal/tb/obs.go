@@ -18,6 +18,9 @@ type Obs struct {
 	SkippedBusy *obs.Counter
 	// ResyncRequests counts clock-resynchronization requests.
 	ResyncRequests *obs.Counter
+	// CommitRetries counts durable-commit retries after transient backend
+	// failures (EIO on append or fsync).
+	CommitRetries *obs.Counter
 	// Blocking is the τ(b) blocking-duration histogram, in seconds.
 	Blocking *obs.Histogram
 }
@@ -35,6 +38,8 @@ func NewObs(r *obs.Registry, labels ...obs.Label) Obs {
 			"Checkpoint timer expiries skipped because a stable write was still in flight.", labels...),
 		ResyncRequests: r.Counter("synergy_tb_resync_requests_total",
 			"Clock resynchronization requests issued.", labels...),
+		CommitRetries: r.Counter("synergy_tb_commit_retries_total",
+			"Durable stable-commit retries after transient backend failures.", labels...),
 		Blocking: r.Histogram("synergy_tb_blocking_seconds",
 			"TB blocking-period length tau(b) per stable checkpoint.",
 			obs.ExpBuckets(0.0005, 2, 12), labels...),

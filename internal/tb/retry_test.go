@@ -1,0 +1,133 @@
+package tb
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// flakyBackend fails the first N commits, then succeeds. It models a
+// transient EIO window on the durable log.
+type flakyBackend struct {
+	failures int
+	commits  int
+}
+
+var errInjectedEIO = errors.New("injected EIO")
+
+func (b *flakyBackend) Commit(round uint64, data []byte, keepFrom uint64) error {
+	if b.failures > 0 {
+		b.failures--
+		return errInjectedEIO
+	}
+	b.commits++
+	return nil
+}
+
+func (b *flakyBackend) TruncateAbove(uint64) error { return nil }
+func (b *flakyBackend) Close() error               { return nil }
+
+func TestConfigValidateRejectsNegativeRetryKnobs(t *testing.T) {
+	cfg := cfgAdapted()
+	cfg.CommitRetryLimit = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative CommitRetryLimit passed validation")
+	}
+	cfg = cfgAdapted()
+	cfg.CommitRetryBackoff = -time.Millisecond
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative CommitRetryBackoff passed validation")
+	}
+}
+
+// TestCommitRetryRecoversFromTransientFailure: the backend rejects the first
+// two commit attempts; with CommitRetryLimit 3 the checkpointer must retry
+// inside the blocking period and land the round — the fault is invisible to
+// the protocol apart from the retry counter.
+func TestCommitRetryRecoversFromTransientFailure(t *testing.T) {
+	cfg := cfgAdapted()
+	cfg.CommitRetryLimit = 3
+	cfg.CommitRetryBackoff = 50 * time.Millisecond
+	host := &fakeHost{step: 4}
+	eng, cp := newCP(t, cfg, host)
+	be := &flakyBackend{failures: 2}
+	cp.Stable.SetBackend(be)
+	cp.Start()
+	eng.RunUntil(vtime.FromSeconds(12))
+	if cp.Ndc() != 1 {
+		t.Fatalf("Ndc = %d, want 1 (commit must succeed on retry)", cp.Ndc())
+	}
+	if be.commits != 1 {
+		t.Fatalf("backend commits = %d, want 1", be.commits)
+	}
+	if got := cp.Stats().CommitRetries; got != 2 {
+		t.Fatalf("CommitRetries = %d, want 2", got)
+	}
+	if cp.InBlocking() {
+		t.Fatal("blocking period must end after the successful retry")
+	}
+	if host.released != 1 {
+		t.Fatalf("ReleaseHeld calls = %d, want 1", host.released)
+	}
+}
+
+// TestCommitRetryExhaustionFailStops: a persistent backend failure must never
+// be acked — after the retry budget is spent the OnCommitFailed hook fires,
+// Ndc stays unchanged, held messages stay held, and the node remains blocked
+// (fail-stop semantics: the hook's owner tears the node down).
+func TestCommitRetryExhaustionFailStops(t *testing.T) {
+	cfg := cfgAdapted()
+	cfg.CommitRetryLimit = 2
+	cfg.CommitRetryBackoff = 50 * time.Millisecond
+	host := &fakeHost{step: 4}
+	eng, cp := newCP(t, cfg, host)
+	be := &flakyBackend{failures: 1 << 30} // never recovers
+	cp.Stable.SetBackend(be)
+	var hookErrs []error
+	cp.OnCommitFailed = func(err error) { hookErrs = append(hookErrs, err) }
+	cp.Start()
+	eng.RunUntil(vtime.FromSeconds(30))
+	if len(hookErrs) != 1 {
+		t.Fatalf("OnCommitFailed fired %d times, want 1", len(hookErrs))
+	}
+	if !errors.Is(hookErrs[0], errInjectedEIO) {
+		t.Fatalf("hook error = %v, want the backend's", hookErrs[0])
+	}
+	if cp.Ndc() != 0 {
+		t.Fatalf("Ndc = %d, want 0: a round that never became durable must not be acked", cp.Ndc())
+	}
+	if got := cp.Stats().CommitRetries; got != 2 {
+		t.Fatalf("CommitRetries = %d, want the full budget of 2", got)
+	}
+	if !cp.InBlocking() {
+		t.Fatal("node must stay blocked after exhaustion (teardown is the hook owner's job)")
+	}
+	if host.released != 0 {
+		t.Fatalf("ReleaseHeld calls = %d, want 0: held messages must not flow", host.released)
+	}
+}
+
+// TestCommitFailureWithoutRetryAbandons is the legacy (simulator) behavior:
+// no retry budget and no hook means the failed round is abandoned and the
+// node carries on un-durably, exactly as before the retry path existed.
+func TestCommitFailureWithoutRetryAbandons(t *testing.T) {
+	host := &fakeHost{step: 4}
+	eng, cp := newCP(t, cfgAdapted(), host)
+	cp.Stable.SetBackend(&flakyBackend{failures: 1 << 30})
+	cp.Start()
+	eng.RunUntil(vtime.FromSeconds(12))
+	if cp.Ndc() != 0 {
+		t.Fatalf("Ndc = %d, want 0", cp.Ndc())
+	}
+	if cp.InBlocking() {
+		t.Fatal("legacy path must end the blocking period after abandoning")
+	}
+	if cp.Stable.InFlight() {
+		t.Fatal("failed write must be abandoned on the legacy path")
+	}
+	if host.released != 1 {
+		t.Fatalf("ReleaseHeld calls = %d, want 1 (legacy path releases and moves on)", host.released)
+	}
+}

@@ -75,6 +75,17 @@ type Config struct {
 	// DisableBlocking removes the blocking period (ablation; reproduces
 	// the consistency violations of the paper's Figure 2).
 	DisableBlocking bool
+	// CommitRetryLimit is how many times a failed durable commit is retried
+	// before the checkpointer gives up on the round — transient EIO on a
+	// real disk is common enough that a single failure should not crash a
+	// node. 0 (the default) disables retries; the simulator keeps it there
+	// since the in-memory Stable cannot fail.
+	CommitRetryLimit int
+	// CommitRetryBackoff is the delay before the first commit retry; each
+	// further retry doubles it, capped at eight times the base. 0 with a
+	// positive limit defaults to Interval/32, keeping the whole retry
+	// ladder well inside one checkpoint interval.
+	CommitRetryBackoff time.Duration
 	// DisableContentAdjust turns off the in-blocking responsiveness of
 	// the adapted protocol: contents are still chosen by the dirty bit,
 	// but the write ignores dirty-bit changes and the blocking period is
@@ -101,6 +112,12 @@ func (c Config) Validate() error {
 	}
 	if c.ResyncFraction < 0 || c.ResyncFraction > 1 {
 		return fmt.Errorf("tb: resync fraction %v outside [0,1]", c.ResyncFraction)
+	}
+	if c.CommitRetryLimit < 0 {
+		return fmt.Errorf("tb: negative commit retry limit %d", c.CommitRetryLimit)
+	}
+	if c.CommitRetryBackoff < 0 {
+		return fmt.Errorf("tb: negative commit retry backoff %v", c.CommitRetryBackoff)
 	}
 	worst := c.Clock.MaxDeviation + c.MaxDelay
 	if worst >= c.Interval {

@@ -17,6 +17,12 @@
 #                SCENARIO_FULL=1 (set in CI) runs every spec in both modes.
 #                Failed scenarios leave per-scenario trace + report JSON
 #                under scenario-artifacts/ for CI to attach
+#   crash wall   synergy-crashwall simulates a crash after every IO operation
+#                of the durable commit/compact/truncate path and recovers
+#                every disk state the crash could leave, asserting no
+#                fsync-acked round is ever lost (bounded prefix locally,
+#                every operation under SCENARIO_FULL=1); violations land in
+#                crashwall-artifacts/ for CI to attach
 #   chaos soak   synergy-chaos replays specs/030-chaos-soak.json (lossy/
 #                duplicating/corrupting links, a partition, a P2
 #                crash-restart from durable storage) and must end healthy
@@ -111,6 +117,19 @@ if [[ -n "${SCENARIO_FULL:-}" ]]; then
 else
     echo "==> scenario matrix smoke (corpus prefix; SCENARIO_FULL=1 runs all)"
     go run ./cmd/synergy-scenario -dir specs -prefix 3 -workers 4 -artifacts scenario-artifacts
+fi
+
+# The crash wall explores every IO-op crash point of the durable commit path
+# and recovers every post-crash disk state the strict model allows. Locally a
+# bounded prefix keeps the gate instant; CI (SCENARIO_FULL=1) explores every
+# operation. A red wall leaves crashwall-artifacts/crashwall-violations.json
+# for CI to attach.
+if [[ -n "${SCENARIO_FULL:-}" ]]; then
+    echo "==> crash wall (every durable-path crash point)"
+    go run ./cmd/synergy-crashwall -artifacts crashwall-artifacts
+else
+    echo "==> crash wall smoke (first 25 IO ops; SCENARIO_FULL=1 explores all)"
+    go run ./cmd/synergy-crashwall -max-ops 25 -artifacts crashwall-artifacts
 fi
 
 echo "==> chaos soak smoke (replays specs/030-chaos-soak.json live)"
