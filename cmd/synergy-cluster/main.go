@@ -1,0 +1,135 @@
+// Command synergy-cluster soaks an N-node cluster: a ring of components is
+// lowered one node per replica (guarded components get shadows), coordinated
+// with time-based checkpointing over the gossip dissemination layer, and the
+// run ends with the scenario engine's expectation evaluation — the
+// membership-wide recovery line must be clean and per-node dissemination
+// fan-in must stay within the epidemic's fanout·rounds bound.
+//
+// Usage:
+//
+//	synergy-cluster -components 7 -guarded 3 -duration 900ms
+//	synergy-cluster -mode live -drop 0.02 -duplicate 0.02
+//	synergy-cluster -components 93 -guarded 7 -corrupt-at 500ms -json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/scenario"
+)
+
+func main() {
+	var (
+		components = flag.Int("components", 7, "ring size (components; nodes = components + guarded)")
+		guarded    = flag.Int("guarded", 3, "components under guarded operation (each adds a shadow node)")
+		duration   = flag.Duration("duration", 900*time.Millisecond, "workload window")
+		mode       = flag.String("mode", "sim", "execution path: sim (deterministic engine) or live (real goroutines and timers)")
+		seed       = flag.Int64("seed", 1, "seed for workload, delays, gossip and clocks")
+		interval   = flag.Duration("interval", 50*time.Millisecond, "stable checkpoint interval Δ")
+		internal   = flag.Float64("internal-rate", 50, "per-component internal event rate (events/sec)")
+		external   = flag.Float64("external-rate", 5, "per-component external event rate (events/sec)")
+		fanout     = flag.Int("fanout", 0, "gossip fanout (0 = gossip default)")
+		rounds     = flag.Int("rounds", 0, "gossip hop budget (0 = gossip default)")
+		drop       = flag.Float64("drop", 0, "frame drop probability")
+		duplicate  = flag.Float64("duplicate", 0, "frame duplication probability")
+		extraDelay = flag.Duration("max-extra-delay", 0, "max chaos-injected extra frame delay")
+		corruptAt  = flag.Duration("corrupt-at", 0, "activate a software fault in C1's active replica at this elapsed time (sim only)")
+		jsonOut    = flag.Bool("json", false, "emit the machine-readable JSON report")
+	)
+	flag.Parse()
+
+	if *mode != scenario.ModeSim && *mode != scenario.ModeLive {
+		fmt.Fprintf(os.Stderr, "synergy-cluster: unknown -mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	spec := &scenario.Spec{
+		Name:     fmt.Sprintf("cluster-%dx%d", *components, *guarded),
+		Seed:     *seed,
+		Duration: scenario.Duration(*duration),
+		Modes:    []string{*mode},
+		Topology: scenario.Topology{
+			CheckpointInterval: scenario.Duration(*interval),
+			Cluster: &scenario.ClusterSpec{
+				Components:   *components,
+				Guarded:      *guarded,
+				InternalRate: *internal,
+				ExternalRate: *external,
+				Fanout:       *fanout,
+				GossipRounds: *rounds,
+			},
+		},
+		Chaos: scenario.Chaos{
+			Drop:          *drop,
+			Duplicate:     *duplicate,
+			MaxExtraDelay: scenario.Duration(*extraDelay),
+		},
+	}
+	yes := true
+	zero := 0
+	spec.Expect = scenario.Expect{
+		NoFailure:          &yes,
+		RecoveryLineClean:  &yes,
+		SWRecoveries:       &zero,
+		GossipFaninBounded: &yes,
+	}
+	if *corruptAt > 0 {
+		// Exactly one recovery must complete; which shadow takes over (if
+		// any) depends on which node's acceptance test detects first, so
+		// the driver does not pin the ending active.
+		one := 1
+		spec.Faults.Software = []scenario.Duration{scenario.Duration(*corruptAt)}
+		spec.Expect.SWRecoveries = &one
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "synergy-cluster: %v\n", err)
+		os.Exit(2)
+	}
+
+	var report *scenario.Report
+	var err error
+	if *mode == scenario.ModeSim {
+		report, err = scenario.RunSim(spec)
+	} else {
+		report, err = scenario.RunClusterLive(spec)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "synergy-cluster: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		data, err := report.EncodeJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synergy-cluster: encode: %v\n", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(data)
+	} else {
+		fmt.Println(report.Summary())
+		fmt.Printf("  nodes=%d msgs=%d/%d stable-rounds=%d fan-in=%.2f\n",
+			*components+*guarded, report.Stats.MsgsSent, report.Stats.MsgsDelivered,
+			minRound(report.Stats.StableRounds), report.Stats.GossipMaxFanIn)
+	}
+	if !report.Passed {
+		for _, c := range report.Failures() {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %s\n", c.Name, c.Detail)
+		}
+		os.Exit(1)
+	}
+}
+
+// minRound is the membership-wide committed floor (0 when untracked).
+func minRound(rounds map[string]uint64) uint64 {
+	var low uint64
+	first := true
+	for _, n := range rounds {
+		if first || n < low {
+			low, first = n, false
+		}
+	}
+	return low
+}

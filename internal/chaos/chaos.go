@@ -273,7 +273,8 @@ type Stats struct {
 	Frames uint64
 	// Dropped counts random frame drops.
 	Dropped uint64
-	// Partitioned counts frames blocked by a partition window.
+	// Partitioned counts partition blocks: frames whose verdict was drawn
+	// inside a window, plus stalled transmission attempts (BlockedAttempt).
 	Partitioned uint64
 	// Duplicated counts duplicated frames.
 	Duplicated uint64
@@ -423,6 +424,25 @@ func (i *Injector) Partitioned(from, to msg.ProcID, elapsed time.Duration) bool 
 		}
 	}
 	return false
+}
+
+// BlockedAttempt reports whether the from→to link is blocked at the given
+// elapsed time, counting the blocked transmission attempt when it is. The
+// live writer's stall-and-retry loop calls this once per attempt: while a
+// partition holds, the writer transmits nothing — verdict draws for the
+// queued frames happen only after heal — so the blocked attempts themselves
+// are the partition fault's observable manifestation, and counting them
+// keeps the partition series nonzero however the window lands relative to
+// the writer's batching.
+func (i *Injector) BlockedAttempt(from, to msg.ProcID, elapsed time.Duration) bool {
+	if !i.Partitioned(from, to, elapsed) {
+		return false
+	}
+	i.mu.Lock()
+	i.stats.Partitioned++
+	i.Obs.Partitioned.Inc()
+	i.mu.Unlock()
+	return true
 }
 
 // HealAt returns the earliest elapsed time at or after the given one when the

@@ -1,0 +1,481 @@
+// Package cluster lowers the generalized guarded-operation protocol (package
+// gmdcd) onto an N-node system coordinated with time-based checkpointing
+// (package tb) — the paper's synergy beyond the fixed three-process
+// architecture. A configuration-driven gmdcd.Topology is assigned one node
+// per replica: every component gets an active node and every guarded
+// component additionally a shadow node. Each node runs
+//
+//   - the generalized MDCD bookkeeping: per-guarded-origin influence/valid
+//     vectors, hop-by-hop suspicion stamping, Type-1/pseudo volatile
+//     checkpoints, confidence-adaptive local recovery;
+//   - its own tb.Checkpointer on its own drifting local clock: stable
+//     checkpoints every Δ whose contents are chosen by the node's dirty
+//     state, blocking periods that hold application messages, and an
+//     unacknowledged-message log fed by per-channel acks;
+//   - a gossip.Node: passed-AT validation vectors and timer-resync beacons
+//     ride the seeded epidemic dissemination layer instead of an all-to-all
+//     broadcast, keeping per-node coordination fan-in O(fanout·rounds)
+//     instead of O(N).
+//
+// Recovery lines are sampled over the whole membership: the highest stable
+// round every live node has committed, checked with the dedup-aware
+// invariant rules over the lowered topology's channel set (DESIGN §16).
+//
+// Two runners share the protocol core: Sim drives everything through the
+// deterministic discrete-event engine (identical transcripts per seed, used
+// at 50 and 100 nodes), and Live runs real goroutines, wall-clock timers and
+// the encoded gossip wire format at 10 nodes under chaos.
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/at"
+	"github.com/synergy-ft/synergy/internal/chaos"
+	"github.com/synergy-ft/synergy/internal/gmdcd"
+	"github.com/synergy-ft/synergy/internal/gossip"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/obs"
+	"github.com/synergy-ft/synergy/internal/tb"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// BaseNodeID is the first cluster node identity. Node IDs grow upward from
+// here, leaving the three-process architecture's reserved IDs (P1act, P1sdw,
+// P2, Device) untouched so chaos specs and checkpoints share one ProcID
+// space.
+const BaseNodeID msg.ProcID = 10
+
+// maxNodeID bounds the assignable range (ProcID is uint8).
+const maxNodeID = 250
+
+// Assignment maps a lowered topology's components onto cluster nodes.
+type Assignment struct {
+	// Active maps each component to its active replica's node.
+	Active map[gmdcd.ComponentID]msg.ProcID
+	// Shadow maps each guarded component to its shadow replica's node.
+	Shadow map[gmdcd.ComponentID]msg.ProcID
+	// CompOf maps each node back to its component.
+	CompOf map[msg.ProcID]gmdcd.ComponentID
+	// IsShadow marks shadow nodes.
+	IsShadow map[msg.ProcID]bool
+	// Nodes lists every node in ascending ID order.
+	Nodes []msg.ProcID
+	// Order lists the components in topology order.
+	Order []gmdcd.ComponentID
+}
+
+// Assign lowers a topology onto node identities: components in declared
+// order, active first, shadow (guarded only) immediately after, starting at
+// BaseNodeID. The assignment is a pure function of the topology, so scenario
+// specs can name nodes ("C3", "C3s") without a side channel.
+func Assign(t gmdcd.Topology) (Assignment, error) {
+	if err := t.Validate(); err != nil {
+		return Assignment{}, err
+	}
+	a := Assignment{
+		Active:   make(map[gmdcd.ComponentID]msg.ProcID),
+		Shadow:   make(map[gmdcd.ComponentID]msg.ProcID),
+		CompOf:   make(map[msg.ProcID]gmdcd.ComponentID),
+		IsShadow: make(map[msg.ProcID]bool),
+	}
+	next := BaseNodeID
+	grab := func(c gmdcd.ComponentID, shadow bool) error {
+		if next > maxNodeID {
+			return fmt.Errorf("cluster: topology needs more than %d nodes", maxNodeID-BaseNodeID+1)
+		}
+		id := next
+		next++
+		a.CompOf[id] = c
+		a.IsShadow[id] = shadow
+		a.Nodes = append(a.Nodes, id)
+		if shadow {
+			a.Shadow[c] = id
+		} else {
+			a.Active[c] = id
+		}
+		return nil
+	}
+	for _, spec := range t.Components {
+		a.Order = append(a.Order, spec.ID)
+		if err := grab(spec.ID, false); err != nil {
+			return Assignment{}, err
+		}
+		if spec.Guarded {
+			if err := grab(spec.ID, true); err != nil {
+				return Assignment{}, err
+			}
+		}
+	}
+	return a, nil
+}
+
+// Ring builds an n-component ring topology (each component sends to its
+// successor) with the first guarded components under guarded operation, all
+// driven at the given workload rates. It is the canonical cluster shape the
+// specs and benchmarks use.
+func Ring(n, guarded int, internalRate, externalRate float64, test at.Test) gmdcd.Topology {
+	comps := make([]gmdcd.ComponentSpec, n)
+	for i := 0; i < n; i++ {
+		comps[i] = gmdcd.ComponentSpec{
+			ID:           gmdcd.ComponentID(i + 1),
+			Guarded:      i < guarded,
+			Peers:        []gmdcd.ComponentID{gmdcd.ComponentID((i+1)%n + 1)},
+			InternalRate: internalRate,
+			ExternalRate: externalRate,
+		}
+	}
+	return gmdcd.Topology{Components: comps, Test: test}
+}
+
+// Config assembles a cluster.
+type Config struct {
+	// Topology is the component graph to lower onto nodes.
+	Topology gmdcd.Topology
+	// Seed drives every random decision (workload, delays, gossip peer
+	// selection, clock drift).
+	Seed int64
+	// MinDelay and MaxDelay bound interconnect delivery (tmin, tmax).
+	MinDelay, MaxDelay time.Duration
+	// CheckpointInterval is Δ, each node's stable-checkpoint period.
+	CheckpointInterval time.Duration
+	// Clock models the nodes' local timers (δ and ρ).
+	Clock vtime.ClockConfig
+	// Variant selects the tb protocol form (default Adapted — the
+	// coordinated variant is the whole point of the cluster).
+	Variant tb.Variant
+	// Retention is how many stable rounds each node keeps (default 8);
+	// recovery-line sampling needs the membership-wide minimum round to
+	// still be retained everywhere.
+	Retention int
+	// Fanout and GossipRounds parameterize the epidemic (gossip defaults
+	// apply when zero).
+	Fanout, GossipRounds int
+	// GossipInterval is the anti-entropy tick period (default 8·MaxDelay).
+	GossipInterval time.Duration
+	// Chaos injects interconnect faults (drop, duplicate, jitter,
+	// partitions). Crash/disk schedules are not lowered to clusters.
+	Chaos chaos.Spec
+	// Obs receives cluster metrics (nil disables).
+	Obs *obs.Registry
+}
+
+// withDefaults fills zero knobs.
+func (c Config) withDefaults() Config {
+	if c.Variant == 0 {
+		c.Variant = tb.Adapted
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 50 * time.Millisecond
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.Clock == (vtime.ClockConfig{}) {
+		c.Clock = vtime.ClockConfig{MaxDeviation: 500 * time.Microsecond, DriftRate: 50e-6}
+	}
+	if c.Retention <= 0 {
+		c.Retention = 8
+	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = 8 * c.MaxDelay
+	}
+	return c
+}
+
+// tbConfig derives each node's checkpointer configuration.
+func (c Config) tbConfig() tb.Config {
+	return tb.Config{
+		Variant:  c.Variant,
+		Interval: c.CheckpointInterval,
+		Clock:    c.Clock,
+		MinDelay: c.MinDelay,
+		MaxDelay: c.MaxDelay,
+	}
+}
+
+// validate rejects configurations neither runner supports.
+func (c Config) validate() error {
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
+	if c.MinDelay < 0 || c.MaxDelay < c.MinDelay {
+		return fmt.Errorf("cluster: invalid delay bounds [%v, %v]", c.MinDelay, c.MaxDelay)
+	}
+	if err := c.tbConfig().Validate(); err != nil {
+		return err
+	}
+	if err := c.Chaos.Validate(); err != nil {
+		return err
+	}
+	if len(c.Chaos.Crashes) > 0 || len(c.Chaos.FsyncStalls) > 0 || len(c.Chaos.DiskFaults) > 0 {
+		return fmt.Errorf("cluster: crash/fsync/disk chaos is not lowered to clusters (partitions and frame faults only)")
+	}
+	return nil
+}
+
+// Stats aggregates a run's protocol activity across the membership.
+type Stats struct {
+	// ATsPassed counts successful acceptance tests.
+	ATsPassed int
+	// Recoveries, Takeovers, Rollbacks, RollForwards, ForcedRollbacks
+	// count software error recovery activity (gmdcd semantics).
+	Recoveries, Takeovers, Rollbacks, RollForwards, ForcedRollbacks int
+	// MsgsSent and MsgsDelivered count reliable-channel app messages.
+	MsgsSent, MsgsDelivered uint64
+	// AcksDelivered counts per-channel acknowledgements consumed.
+	AcksDelivered uint64
+	// HeldMessages counts deliveries parked by blocking periods.
+	HeldMessages uint64
+	// DupsDiscarded counts ChanSeq duplicate discards (with re-ack).
+	DupsDiscarded uint64
+	// Validations counts passed-AT vectors applied from gossip.
+	Validations uint64
+	// StaleValidations counts passed-AT vectors discarded for belonging
+	// to a flushed recovery epoch.
+	StaleValidations uint64
+	// Resyncs counts local clock resynchronizations applied.
+	Resyncs uint64
+	// ResyncBeacons counts resync beacons originated.
+	ResyncBeacons uint64
+	// StableCommits sums committed stable rounds across nodes.
+	StableCommits uint64
+	// StableReplaces sums in-blocking abort-and-replace adjustments.
+	StableReplaces uint64
+	// Gossip sums the dissemination-layer counters across nodes.
+	Gossip gossip.Stats
+	// MaxFanIn is the worst per-node dissemination fan-in: update copies
+	// received divided by updates broadcast anywhere — the quantity the
+	// O(fanout·rounds) expectation bounds.
+	MaxFanIn float64
+}
+
+// Cluster is the runner-independent protocol core: the lowered membership
+// plus the hooks a runner provides for transport, dissemination and time.
+type Cluster struct {
+	cfg   Config
+	asg   Assignment
+	nodes map[msg.ProcID]*cnode
+	epoch uint64
+	cnt   counters
+	m     metrics
+
+	// transmitFn delivers one directed node-to-node message (reliable
+	// FIFO, bounded delay, chaos applies). Called with sender state
+	// settled; must not call back synchronously.
+	transmitFn func(m Msg)
+	// gossipFn originates one update on the sender's gossip node.
+	gossipFn func(n *cnode, kind uint8, payload []byte)
+	// flushFn discards all in-flight reliable traffic (recovery flush).
+	flushFn func()
+	// nowFn reads true time.
+	nowFn func() vtime.Time
+	// recoverFn runs system-wide software recovery (nil in runners that
+	// cannot execute it; see Live).
+	recoverFn func(detector *cnode)
+}
+
+// newCore builds the shared protocol core (nodes are attached by the runner,
+// which owns clocks, checkpointers and gossip wiring).
+func newCore(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	asg, err := Assign(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{
+		cfg:   cfg,
+		asg:   asg,
+		nodes: make(map[msg.ProcID]*cnode, len(asg.Nodes)),
+		m:     newMetrics(cfg.Obs),
+	}
+	cl.m.nodes.Set(float64(len(asg.Nodes)))
+	return cl, nil
+}
+
+// Assignment exposes the component→node lowering.
+func (cl *Cluster) Assignment() Assignment { return cl.asg }
+
+// Nodes returns the membership size.
+func (cl *Cluster) Nodes() int { return len(cl.asg.Nodes) }
+
+// specOf finds a component's spec.
+func (cl *Cluster) specOf(id gmdcd.ComponentID) gmdcd.ComponentSpec {
+	for _, s := range cl.cfg.Topology.Components {
+		if s.ID == id {
+			return s
+		}
+	}
+	return gmdcd.ComponentSpec{}
+}
+
+// liveNode returns a component's live embodiment: the promoted shadow after
+// a takeover, the active otherwise (nil if the component has wholly failed).
+func (cl *Cluster) liveNode(c gmdcd.ComponentID) *cnode {
+	if sid, ok := cl.asg.Shadow[c]; ok {
+		if sdw := cl.nodes[sid]; sdw != nil && sdw.promoted && !sdw.failed {
+			return sdw
+		}
+	}
+	if act := cl.nodes[cl.asg.Active[c]]; act != nil && !act.failed {
+		return act
+	}
+	return nil
+}
+
+// replicasOf returns a component's non-failed replicas, active first.
+func (cl *Cluster) replicasOf(c gmdcd.ComponentID) []*cnode {
+	var out []*cnode
+	if act := cl.nodes[cl.asg.Active[c]]; act != nil && !act.failed {
+		out = append(out, act)
+	}
+	if sid, ok := cl.asg.Shadow[c]; ok {
+		if sdw := cl.nodes[sid]; sdw != nil && !sdw.failed {
+			out = append(out, sdw)
+		}
+	}
+	return out
+}
+
+// counters is the internal race-free form of Stats: live-mode nodes update
+// these under different per-node locks, so every shared counter is atomic.
+type counters struct {
+	atsPassed, recoveries, takeovers         atomic.Int64
+	rollbacks, rollForwards, forcedRollbacks atomic.Int64
+
+	msgsSent, msgsDelivered, acks, held, dups atomic.Uint64
+	validations, staleValidations             atomic.Uint64
+	resyncs, resyncBeacons                    atomic.Uint64
+}
+
+// Stats aggregates the current counters across the membership.
+func (cl *Cluster) Stats() Stats {
+	st := Stats{
+		ATsPassed:        int(cl.cnt.atsPassed.Load()),
+		Recoveries:       int(cl.cnt.recoveries.Load()),
+		Takeovers:        int(cl.cnt.takeovers.Load()),
+		Rollbacks:        int(cl.cnt.rollbacks.Load()),
+		RollForwards:     int(cl.cnt.rollForwards.Load()),
+		ForcedRollbacks:  int(cl.cnt.forcedRollbacks.Load()),
+		MsgsSent:         cl.cnt.msgsSent.Load(),
+		MsgsDelivered:    cl.cnt.msgsDelivered.Load(),
+		AcksDelivered:    cl.cnt.acks.Load(),
+		HeldMessages:     cl.cnt.held.Load(),
+		DupsDiscarded:    cl.cnt.dups.Load(),
+		Validations:      cl.cnt.validations.Load(),
+		StaleValidations: cl.cnt.staleValidations.Load(),
+		Resyncs:          cl.cnt.resyncs.Load(),
+		ResyncBeacons:    cl.cnt.resyncBeacons.Load(),
+	}
+	var totalOriginated uint64
+	perNode := make([]gossip.Stats, 0, len(cl.asg.Nodes))
+	for _, id := range cl.asg.Nodes {
+		n := cl.nodes[id]
+		if n == nil {
+			continue
+		}
+		cs := n.cp.Stats()
+		st.StableCommits += cs.Commits
+		st.StableReplaces += cs.Replaces
+		gs := n.gsp.Stats()
+		perNode = append(perNode, gs)
+		totalOriginated += gs.Originated
+		st.Gossip.Originated += gs.Originated
+		st.Gossip.PacketsSent += gs.PacketsSent
+		st.Gossip.PacketsRecv += gs.PacketsRecv
+		st.Gossip.UpdatesRecv += gs.UpdatesRecv
+		st.Gossip.Delivered += gs.Delivered
+		st.Gossip.Duplicates += gs.Duplicates
+		st.Gossip.DigestsSent += gs.DigestsSent
+		st.Gossip.DigestsRecv += gs.DigestsRecv
+		st.Gossip.Repairs += gs.Repairs
+	}
+	if totalOriginated > 0 {
+		for _, gs := range perNode {
+			if f := float64(gs.UpdatesRecv) / float64(totalOriginated); f > st.MaxFanIn {
+				st.MaxFanIn = f
+			}
+		}
+	}
+	return st
+}
+
+// metrics is the cluster's aggregate observability bundle. Per-node label
+// cardinality is deliberately avoided: a 100-node simulation should not mint
+// 100 series per family.
+type metrics struct {
+	nodes       *obs.Gauge
+	msgsSent    *obs.Counter
+	msgsDeliv   *obs.Counter
+	acks        *obs.Counter
+	held        *obs.Counter
+	dups        *obs.Counter
+	atPassed    *obs.Counter
+	recoveries  *obs.Counter
+	takeovers   *obs.Counter
+	validations *obs.Counter
+	resyncs     *obs.Counter
+	gossipDrop  *obs.Counter
+}
+
+func newMetrics(r *obs.Registry) metrics {
+	return metrics{
+		nodes: r.Gauge("synergy_cluster_nodes",
+			"Cluster membership size (replica nodes)."),
+		msgsSent: r.Counter("synergy_cluster_msgs_sent_total",
+			"Reliable-channel application messages handed to the interconnect."),
+		msgsDeliv: r.Counter("synergy_cluster_msgs_delivered_total",
+			"Reliable-channel application messages delivered to nodes."),
+		acks: r.Counter("synergy_cluster_acks_total",
+			"Per-channel acknowledgements consumed by senders."),
+		held: r.Counter("synergy_cluster_held_total",
+			"Deliveries parked by TB blocking periods."),
+		dups: r.Counter("synergy_cluster_dups_total",
+			"ChanSeq duplicate discards (re-acked)."),
+		atPassed: r.Counter("synergy_cluster_at_passed_total",
+			"Acceptance tests passed."),
+		recoveries: r.Counter("synergy_cluster_recoveries_total",
+			"Software error recoveries."),
+		takeovers: r.Counter("synergy_cluster_takeovers_total",
+			"Shadow promotions."),
+		validations: r.Counter("synergy_cluster_validations_total",
+			"Passed-AT vectors applied from the dissemination layer."),
+		resyncs: r.Counter("synergy_cluster_resyncs_total",
+			"Local clock resynchronizations applied."),
+		gossipDrop: r.Counter("synergy_cluster_gossip_dropped_total",
+			"Gossip packets lost to chaos (no retransmit; anti-entropy repairs)."),
+	}
+}
+
+// cloneVec copies a component-keyed counter vector.
+func cloneVec(v map[gmdcd.ComponentID]uint64) map[gmdcd.ComponentID]uint64 {
+	out := make(map[gmdcd.ComponentID]uint64, len(v))
+	for k, val := range v {
+		out[k] = val
+	}
+	return out
+}
+
+// mergeVec raises dst entries to src's where src is higher.
+func mergeVec(dst, src map[gmdcd.ComponentID]uint64) {
+	for k, v := range src {
+		if v > dst[k] {
+			dst[k] = v
+		}
+	}
+}
+
+// mixSeed derives a stream-specific seed (splitmix64 over seed ^ salt), the
+// construction every seeded layer of the repo shares.
+func mixSeed(seed int64, salt uint64) int64 {
+	z := uint64(seed) ^ salt
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/at"
+	"github.com/synergy-ft/synergy/internal/chaos"
+	"github.com/synergy-ft/synergy/internal/gmdcd"
+)
+
+func TestAssignLowering(t *testing.T) {
+	topo := Ring(3, 2, 100, 50, at.Perfect())
+	asg, err := Assign(topo)
+	if err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	// C1 guarded: active 10, shadow 11. C2 guarded: active 12, shadow 13.
+	// C3 unguarded: active 14.
+	want := []struct {
+		comp   gmdcd.ComponentID
+		active uint8
+		shadow uint8 // 0 = none
+	}{{1, 10, 11}, {2, 12, 13}, {3, 14, 0}}
+	for _, w := range want {
+		if got := asg.Active[w.comp]; uint8(got) != w.active {
+			t.Errorf("Active[%d] = %d, want %d", w.comp, got, w.active)
+		}
+		sid, ok := asg.Shadow[w.comp]
+		if w.shadow == 0 {
+			if ok {
+				t.Errorf("Shadow[%d] = %d, want none", w.comp, sid)
+			}
+			continue
+		}
+		if !ok || uint8(sid) != w.shadow {
+			t.Errorf("Shadow[%d] = %d (ok=%v), want %d", w.comp, sid, ok, w.shadow)
+		}
+		if !asg.IsShadow[sid] {
+			t.Errorf("IsShadow[%d] = false", sid)
+		}
+	}
+	if len(asg.Nodes) != 5 {
+		t.Fatalf("Nodes = %v, want 5 entries", asg.Nodes)
+	}
+	for i := 1; i < len(asg.Nodes); i++ {
+		if asg.Nodes[i] <= asg.Nodes[i-1] {
+			t.Fatalf("Nodes not ascending: %v", asg.Nodes)
+		}
+	}
+}
+
+func TestAssignRejectsOversizedTopology(t *testing.T) {
+	if _, err := Assign(Ring(130, 130, 1, 1, at.Perfect())); err == nil {
+		t.Fatal("Assign accepted a topology needing 260 nodes")
+	}
+}
+
+func TestConfigRejectsCrashChaos(t *testing.T) {
+	cfg := Config{
+		Topology: Ring(3, 1, 100, 50, at.Perfect()),
+		Chaos: chaos.Spec{
+			Crashes: []chaos.Crash{{Victim: 10, At: time.Millisecond}},
+		},
+	}
+	if _, err := NewSim(cfg); err == nil {
+		t.Fatal("NewSim accepted crash chaos")
+	}
+}
+
+func TestPassedATCodecRoundTrip(t *testing.T) {
+	vec := map[gmdcd.ComponentID]uint64{3: 17, 1: 4, 9: 250}
+	buf := encodePassedAT(7, 3, vec)
+	epoch, from, got, err := decodePassedAT(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if epoch != 7 || from != 3 {
+		t.Fatalf("epoch=%d from=%d, want 7, 3", epoch, from)
+	}
+	if len(got) != len(vec) {
+		t.Fatalf("vector = %v, want %v", got, vec)
+	}
+	for c, sn := range vec {
+		if got[c] != sn {
+			t.Fatalf("vector[%d] = %d, want %d", c, got[c], sn)
+		}
+	}
+	// Deterministic bytes regardless of map order.
+	if string(buf) != string(encodePassedAT(7, 3, vec)) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+func TestPassedATCodecRejectsMalformed(t *testing.T) {
+	good := encodePassedAT(1, 2, map[gmdcd.ComponentID]uint64{4: 9})
+	for _, b := range [][]byte{nil, good[:5], good[:len(good)-1], append(append([]byte{}, good...), 0)} {
+		if _, _, _, err := decodePassedAT(b); err == nil {
+			t.Fatalf("decodePassedAT accepted %d malformed bytes", len(b))
+		}
+	}
+}
+
+func TestResyncCodecRoundTrip(t *testing.T) {
+	epoch, err := decodeResync(encodeResync(42))
+	if err != nil || epoch != 42 {
+		t.Fatalf("round trip: epoch=%d err=%v", epoch, err)
+	}
+	if _, err := decodeResync([]byte{1, 2, 3}); err == nil {
+		t.Fatal("decodeResync accepted 3 bytes")
+	}
+}

@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/synergy-ft/synergy/internal/checkpoint"
+	"github.com/synergy-ft/synergy/internal/gmdcd"
+	"github.com/synergy-ft/synergy/internal/gossip"
+	"github.com/synergy-ft/synergy/internal/invariant"
+	"github.com/synergy-ft/synergy/internal/msg"
+)
+
+// onGossipDeliver dispatches one exactly-once gossip delivery to a node.
+func (cl *Cluster) onGossipDeliver(n *cnode, u gossip.Update) {
+	switch u.Kind {
+	case updPassedAT:
+		epoch, _, validated, err := decodePassedAT(u.Payload)
+		if err != nil {
+			return
+		}
+		if epoch != cl.epoch {
+			// Anti-entropy redelivered a validation of stream positions
+			// a software recovery has since discarded.
+			cl.cnt.staleValidations.Add(1)
+			return
+		}
+		n.onValidated(validated)
+	case updResync:
+		if _, err := decodeResync(u.Payload); err != nil {
+			return
+		}
+		n.clock.Resynchronize(cl.nowFn(), n.rng)
+		n.cp.NoteResynced()
+		cl.cnt.resyncs.Add(1)
+		cl.m.resyncs.Inc()
+	}
+}
+
+// requestResync handles a node's OnResyncRequest: the requester
+// resynchronizes immediately and originates a beacon; every other node
+// resynchronizes when the epidemic reaches it — O(fanout) coordination
+// fan-in per node instead of an all-to-all exchange.
+func (cl *Cluster) requestResync(n *cnode) {
+	cl.cnt.resyncBeacons.Add(1)
+	n.clock.Resynchronize(cl.nowFn(), n.rng)
+	n.cp.NoteResynced()
+	cl.cnt.resyncs.Add(1)
+	cl.m.resyncs.Inc()
+	cl.gossipFn(n, updResync, encodeResync(cl.epoch))
+}
+
+// RecoveryLine samples the membership-wide recovery line: the highest stable
+// round every live node has committed, each node's retained checkpoint for
+// it, the lowered topology's channel set, and the live counter evidence the
+// dedup-aware consistency rule consults. It returns the line, the common
+// round, and false while any live node has not committed a round (or the
+// common round has aged out of some node's retention).
+//
+// Callers must hold the cluster quiescent (the simulator between events; the
+// live runner under all node locks).
+func (cl *Cluster) RecoveryLine() (invariant.Line, uint64, bool) {
+	round := ^uint64(0)
+	live := make([]*cnode, 0, len(cl.asg.Nodes))
+	for _, id := range cl.asg.Nodes {
+		n := cl.nodes[id]
+		if n == nil || n.failed {
+			continue
+		}
+		live = append(live, n)
+		if r := n.cp.Ndc(); r < round {
+			round = r
+		}
+	}
+	if len(live) == 0 || round == 0 || round == ^uint64(0) {
+		return invariant.Line{}, 0, false
+	}
+	line := invariant.Line{
+		Ckpts:    make(map[msg.ProcID]*checkpoint.Checkpoint, len(live)),
+		Topology: cl.channels(),
+		Live:     cl.evidence(),
+	}
+	for _, n := range live {
+		cp, err := n.cp.StableAtRound(round)
+		if err != nil {
+			return invariant.Line{}, round, false
+		}
+		line.Ckpts[n.id] = cp
+	}
+	return line, round, true
+}
+
+// channels builds the invariant channel set from the lowered topology and
+// the current promotion state: for every component, its live embodiment is
+// the sender toward every non-failed replica of every peer, with the
+// component's active node as the shared stream key.
+func (cl *Cluster) channels() []invariant.Channel {
+	var out []invariant.Channel
+	for _, c := range cl.asg.Order {
+		s := cl.liveNode(c)
+		if s == nil {
+			continue
+		}
+		key := cl.asg.Active[c]
+		for _, peer := range s.spec.Peers {
+			for _, r := range cl.replicasOf(peer) {
+				out = append(out, invariant.Channel{Sender: s.id, Receiver: r.id, StreamKey: key})
+			}
+		}
+	}
+	return out
+}
+
+// evidence snapshots the live protocol counters for the dedup-aware rules.
+func (cl *Cluster) evidence() *invariant.Evidence {
+	ev := &invariant.Evidence{
+		Sent:    make(map[msg.ProcID]map[msg.ProcID]uint64),
+		Recv:    make(map[msg.ProcID]map[msg.ProcID]uint64),
+		Unacked: make(map[msg.ProcID]map[msg.ProcID][]uint64),
+	}
+	for _, c := range cl.asg.Order {
+		if s := cl.liveNode(c); s != nil {
+			sent := make(map[msg.ProcID]uint64)
+			un := make(map[msg.ProcID][]uint64)
+			for _, peer := range s.spec.Peers {
+				for _, t := range cl.targetNodes(peer) {
+					sent[t] = s.sentSeq[peer]
+				}
+			}
+			for _, m := range s.cp.UnackedSnapshot() {
+				un[m.To] = append(un[m.To], m.ChanSeq)
+			}
+			ev.Sent[s.id] = sent
+			ev.Unacked[s.id] = un
+		}
+		for _, r := range cl.replicasOf(c) {
+			recv := make(map[msg.ProcID]uint64)
+			for origin, seq := range r.recvSeq {
+				recv[cl.asg.Active[origin]] = seq
+			}
+			ev.Recv[r.id] = recv
+		}
+	}
+	return ev
+}
+
+// CheckInvariants samples the recovery line and evaluates it, returning the
+// common round, real violations, and dedup-absorbed transients. An error
+// means no line was sampleable.
+func (cl *Cluster) CheckInvariants() (round uint64, violations, absorbed []invariant.Violation, err error) {
+	line, round, ok := cl.RecoveryLine()
+	if !ok {
+		return round, nil, nil, fmt.Errorf("cluster: no common committed round to sample (round=%d)", round)
+	}
+	violations, absorbed = line.CheckDetailed()
+	return round, violations, absorbed, nil
+}
+
+// Inspection is one quiesced snapshot of a cluster run, everything a report
+// evaluator needs in a single read (the live runner takes it under every node
+// lock, so one call means one consistent cut).
+type Inspection struct {
+	// Stats is the aggregate counter snapshot.
+	Stats Stats
+	// StableRounds maps each non-failed node to its committed stable rounds.
+	StableRounds map[msg.ProcID]uint64
+	// Line, Round and LineOK are the membership-wide recovery line sample.
+	Line   invariant.Line
+	Round  uint64
+	LineOK bool
+	// Active maps each component to its live embodiment (absent if the
+	// component has wholly failed).
+	Active map[gmdcd.ComponentID]msg.ProcID
+	// Converged reports whether every component's surviving replicas hold
+	// identical application states (meaningful only after quiescing).
+	Converged bool
+	// FanInBound is the dissemination bound fanout·rounds that MaxFanIn is
+	// measured against (resolved gossip defaults included).
+	FanInBound float64
+}
+
+// Inspect takes the snapshot. Callers must hold the cluster quiescent; the
+// Live runner's Inspect wrapper takes every node lock first.
+func (cl *Cluster) Inspect() Inspection {
+	ins := Inspection{
+		Stats:        cl.Stats(),
+		StableRounds: make(map[msg.ProcID]uint64),
+		Active:       make(map[gmdcd.ComponentID]msg.ProcID),
+		Converged:    true,
+	}
+	ins.Line, ins.Round, ins.LineOK = cl.RecoveryLine()
+	for _, id := range cl.asg.Nodes {
+		n := cl.nodes[id]
+		if n == nil {
+			continue
+		}
+		if ins.FanInBound == 0 {
+			ins.FanInBound = float64(n.gsp.Fanout() * n.gsp.Rounds())
+		}
+		if !n.failed {
+			ins.StableRounds[id] = n.cp.Ndc()
+		}
+	}
+	for _, c := range cl.asg.Order {
+		if live := cl.liveNode(c); live != nil {
+			ins.Active[c] = live.id
+		}
+		reps := cl.replicasOf(c)
+		for i := 1; i < len(reps); i++ {
+			if !reps[i].state.Equal(reps[0].state) {
+				ins.Converged = false
+			}
+		}
+	}
+	return ins
+}
+
+// Inspect snapshots the live cluster under every node lock.
+func (lv *Live) Inspect() Inspection {
+	var ins Inspection
+	lv.locked(func() { ins = lv.Cluster.Inspect() })
+	return ins
+}
+
+// Name returns a node's spec-grammar name: "C3" for component 3's active
+// replica, "C3s" for its shadow ("" for an unassigned ID).
+func (a Assignment) Name(id msg.ProcID) string {
+	c, ok := a.CompOf[id]
+	if !ok {
+		return ""
+	}
+	if a.IsShadow[id] {
+		return fmt.Sprintf("C%ds", c)
+	}
+	return fmt.Sprintf("C%d", c)
+}
+
+// NodeByName resolves a spec-grammar node name ("C3", "C3s") back to its
+// node ID.
+func (a Assignment) NodeByName(name string) (msg.ProcID, bool) {
+	for _, id := range a.Nodes {
+		if a.Name(id) == name {
+			return id, true
+		}
+	}
+	return 0, false
+}

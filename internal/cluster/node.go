@@ -1,0 +1,536 @@
+package cluster
+
+import (
+	"math/rand"
+
+	"github.com/synergy-ft/synergy/internal/app"
+	"github.com/synergy-ft/synergy/internal/checkpoint"
+	"github.com/synergy-ft/synergy/internal/gmdcd"
+	"github.com/synergy-ft/synergy/internal/gossip"
+	"github.com/synergy-ft/synergy/internal/msg"
+	"github.com/synergy-ft/synergy/internal/tb"
+	"github.com/synergy-ft/synergy/internal/vtime"
+)
+
+// Msg is one reliable-channel cluster message. Streams are identified by the
+// ORIGIN COMPONENT (active and shadow embodiments share one numbering, so a
+// promoted shadow continues the stream its active started), while From/To
+// are the transmitting and receiving nodes of this particular copy.
+type Msg struct {
+	// Ack marks a per-channel acknowledgement instead of app traffic.
+	Ack bool
+	// FromComp is the origin component (the stream identity).
+	FromComp gmdcd.ComponentID
+	// ToComp is the destination component (both its replicas get a copy).
+	ToComp gmdcd.ComponentID
+	// From and To are the transmitting and receiving nodes of this copy.
+	From, To msg.ProcID
+	// FromSdw marks a copy transmitted by a (promoted) shadow.
+	FromSdw bool
+	// Seq is the per-(origin→destination component) channel sequence.
+	Seq uint64
+	// SelfSN is the sender's own stream position at emission.
+	SelfSN uint64
+	// Influence is the sender's stamped suspicion vector.
+	Influence map[gmdcd.ComponentID]uint64
+	// Corrupted is the ground-truth contamination marker.
+	Corrupted bool
+	// AckSeq is the channel sequence an Ack acknowledges.
+	AckSeq uint64
+	// Wire is the protocol-visible record of this emission: its identity
+	// (SN, ChanSeq) is minted from the sender's own counters exactly once,
+	// at emission, and every transported copy inherits it (From/To stamped
+	// per copy).
+	Wire msg.Message
+}
+
+// volatileSnap is a volatile checkpoint: the gmdcd snapshot extended with the
+// unacknowledged-message set captured at establishment, so stable contents
+// copied from it re-send relative to the captured state.
+type volatileSnap struct {
+	kind      checkpoint.Kind
+	state     *app.State
+	influence map[gmdcd.ComponentID]uint64
+	valid     map[gmdcd.ComponentID]uint64
+	sentSeq   map[gmdcd.ComponentID]uint64
+	recvSeq   map[gmdcd.ComponentID]uint64
+	ownSN     uint64
+	unacked   []msg.Message
+}
+
+// cnode is one cluster node: one replica of one component, with its own
+// checkpointer, clock and gossip member. All methods run in runner context
+// (the simulator's event thread, or under the node's lock in live mode).
+type cnode struct {
+	cl     *Cluster
+	id     msg.ProcID
+	comp   gmdcd.ComponentID
+	spec   gmdcd.ComponentSpec
+	shadow bool
+
+	state     *app.State
+	influence map[gmdcd.ComponentID]uint64
+	valid     map[gmdcd.ComponentID]uint64
+	ownSN     uint64
+	sentSeq   map[gmdcd.ComponentID]uint64 // per-destination-component channel sequence
+	recvSeq   map[gmdcd.ComponentID]uint64 // per-origin-component channel high-water
+
+	volatileCkpt *volatileSnap
+	ckptCount    int
+	log          []Msg // shadow: suppressed outgoing messages
+
+	held    []Msg    // deliveries parked by an in-progress blocking period
+	pending []func() // workload emissions deferred by a blocking period
+
+	clock *vtime.Clock
+	cp    *tb.Checkpointer
+	gsp   *gossip.Node
+	rng   *rand.Rand
+
+	failed   bool
+	promoted bool
+}
+
+func newNode(cl *Cluster, id msg.ProcID, spec gmdcd.ComponentSpec, shadow bool) *cnode {
+	return &cnode{
+		cl:        cl,
+		id:        id,
+		comp:      spec.ID,
+		spec:      spec,
+		shadow:    shadow,
+		state:     app.NewState(),
+		influence: make(map[gmdcd.ComponentID]uint64),
+		valid:     make(map[gmdcd.ComponentID]uint64),
+		sentSeq:   make(map[gmdcd.ComponentID]uint64),
+		recvSeq:   make(map[gmdcd.ComponentID]uint64),
+		rng:       rand.New(rand.NewSource(mixSeed(cl.cfg.Seed, uint64(id)))),
+	}
+}
+
+// emit runs one workload emission now, or defers it to the end of an
+// in-progress blocking period: the TB protocol quiesces application sends
+// while a stable write is in flight, which is also what keeps the adapted
+// variant's content-adjust hook one-directional (a validation can flip the
+// dirty bit clean during blocking, but nothing may flip it dirty — a
+// replaced checkpoint must never capture a contaminated state).
+func (n *cnode) emit(fn func()) {
+	if n.cp.InBlocking() {
+		n.pending = append(n.pending, fn)
+		return
+	}
+	fn()
+}
+
+// guardedActive reports whether this replica is the suspect version itself.
+func (n *cnode) guardedActive() bool { return n.spec.Guarded && !n.shadow && !n.promoted }
+
+// foreignDirty reports unvalidated influence the replica would roll back
+// from (gmdcd semantics: a guarded active skips back-propagated positions of
+// its own stream).
+func (n *cnode) foreignDirty() bool {
+	for c, inf := range n.influence {
+		if c == n.comp && n.guardedActive() {
+			continue
+		}
+		if inf > n.valid[c] {
+			return true
+		}
+	}
+	return false
+}
+
+// suspect is the acceptance-test trigger and the stamping rule.
+func (n *cnode) suspect() bool { return n.guardedActive() || n.foreignDirty() }
+
+// dirty is the bit the TB checkpointer consults: the three-process pseudo
+// dirty bit generalized — a guarded active is dirty while its own stream
+// runs ahead of its validated position, and any replica is dirty while it
+// reflects unvalidated foreign influence.
+func (n *cnode) dirty() bool {
+	if n.guardedActive() && n.ownSN > n.valid[n.comp] {
+		return true
+	}
+	return n.foreignDirty()
+}
+
+// outVector builds the influence vector an emission carries.
+func (n *cnode) outVector() map[gmdcd.ComponentID]uint64 {
+	vec := cloneVec(n.influence)
+	if n.suspect() {
+		vec[n.comp] = n.ownSN
+	}
+	return vec
+}
+
+// contaminates reports whether applying m would introduce unvalidated
+// influence.
+func (n *cnode) contaminates(m Msg) bool {
+	for c, inf := range m.Influence {
+		if c == n.comp && n.guardedActive() {
+			continue
+		}
+		if inf > n.valid[c] {
+			return true
+		}
+	}
+	return false
+}
+
+// notifyDirty reports a dirty-bit change to the checkpointer (the adapted
+// protocol's write_disk monitoring hook).
+func (n *cnode) notifyDirty(before bool) {
+	if d := n.dirty(); d != before {
+		n.cp.NotifyDirtyChanged(d)
+	}
+}
+
+// saveVolatile establishes a volatile checkpoint of the current (clean)
+// state, embedding the live unacknowledged set.
+func (n *cnode) saveVolatile(kind checkpoint.Kind) {
+	n.volatileCkpt = &volatileSnap{
+		kind:      kind,
+		state:     n.state.Clone(),
+		influence: cloneVec(n.influence),
+		valid:     cloneVec(n.valid),
+		sentSeq:   cloneVec(n.sentSeq),
+		recvSeq:   cloneVec(n.recvSeq),
+		ownSN:     n.ownSN,
+		unacked:   n.cp.UnackedSnapshot(),
+	}
+	n.ckptCount++
+}
+
+// emitInternal emits one internal message to every peer component. A guarded
+// active establishes its pseudo volatile checkpoint before the first
+// emission after a validation (the state is clean now and about to become
+// suspect); a lockstep shadow suppresses and logs.
+func (n *cnode) emitInternal() {
+	if n.failed {
+		return
+	}
+	if n.guardedActive() && n.ownSN == n.valid[n.comp] && !n.foreignDirty() {
+		n.saveVolatile(checkpoint.Pseudo)
+	}
+	before := n.dirty()
+	n.ownSN++
+	if n.shadow && !n.promoted {
+		for _, peer := range n.spec.Peers {
+			n.sentSeq[peer]++
+			n.log = append(n.log, Msg{
+				FromComp: n.comp, ToComp: peer, FromSdw: true,
+				Seq: n.sentSeq[peer], SelfSN: n.ownSN,
+				Wire:      n.mintWire(peer),
+				Influence: cloneVec(n.influence),
+				Corrupted: n.state.Corrupted,
+			})
+		}
+		n.notifyDirty(before)
+		return
+	}
+	vec := n.outVector()
+	for _, peer := range n.spec.Peers {
+		n.sentSeq[peer]++
+		n.sendApp(Msg{
+			FromComp: n.comp, ToComp: peer, FromSdw: n.shadow,
+			Seq: n.sentSeq[peer], SelfSN: n.ownSN,
+			Wire:      n.mintWire(peer),
+			Influence: vec,
+			Corrupted: n.state.Corrupted,
+		})
+	}
+	n.notifyDirty(before)
+}
+
+// mintWire builds the protocol-visible record of the emission whose counters
+// were just advanced. The message identity is read from the sender's own
+// monotone counters here and nowhere else; fan-out copies inherit it.
+func (n *cnode) mintWire(peer gmdcd.ComponentID) msg.Message {
+	return msg.Message{
+		Kind: msg.Internal,
+		SN:   n.ownSN, ChanSeq: n.sentSeq[peer],
+		Payload: msg.Payload{
+			Seq:       n.sentSeq[peer],
+			Value:     int64(n.comp)<<32 ^ int64(n.sentSeq[peer]),
+			Corrupted: n.state.Corrupted,
+		},
+	}
+}
+
+// sendApp fans one logical message out to the destination component's
+// replica nodes, recording each copy in the unacknowledged log.
+func (n *cnode) sendApp(m Msg) {
+	for _, t := range n.cl.targetNodes(m.ToComp) {
+		mc := m
+		mc.From = n.id
+		mc.To = t
+		n.cl.cnt.msgsSent.Add(1)
+		n.cl.m.msgsSent.Inc()
+		w := m.Wire
+		w.From = n.id
+		w.To = t
+		n.cp.OnSend(w)
+		n.cl.transmitFn(mc)
+	}
+}
+
+// targetNodes lists the replica nodes a message to a component addresses.
+// Failed replicas still receive copies (harmlessly discarded) so the fan-out
+// is a pure function of the assignment.
+func (cl *Cluster) targetNodes(c gmdcd.ComponentID) []msg.ProcID {
+	out := []msg.ProcID{cl.asg.Active[c]}
+	if sid, ok := cl.asg.Shadow[c]; ok {
+		out = append(out, sid)
+	}
+	return out
+}
+
+// emitExternal emits one external message, running the acceptance test when
+// the state is potentially contaminated. A pass validates the full influence
+// vector plus the sender's own stream and broadcasts that knowledge over the
+// dissemination layer.
+func (n *cnode) emitExternal() {
+	if n.failed || (n.shadow && !n.promoted) {
+		return
+	}
+	if !n.suspect() {
+		return // clean external: no AT needed, leaves the system
+	}
+	payload := msg.Payload{Value: n.state.Acc, Seq: n.state.Step, Corrupted: n.state.Corrupted}
+	if !n.cl.cfg.Topology.Test.Check(payload, n.rng) {
+		n.cl.recoverFn(n)
+		return
+	}
+	before := n.dirty()
+	validated := cloneVec(n.influence)
+	if n.ownSN > validated[n.comp] {
+		validated[n.comp] = n.ownSN
+	}
+	mergeVec(n.valid, validated)
+	n.cl.cnt.atsPassed.Add(1)
+	n.cl.m.atPassed.Inc()
+	n.cl.gossipFn(n, updPassedAT, encodePassedAT(n.cl.epoch, n.comp, validated))
+	n.notifyDirty(before)
+}
+
+// onDeliver accepts one transported message copy. Acks bypass the blocking
+// gate (they are middleware traffic, not application reads); app messages
+// arriving during a blocking period are parked until ReleaseHeld.
+func (n *cnode) onDeliver(m Msg) {
+	if n.failed {
+		return
+	}
+	if m.Ack {
+		n.cl.cnt.acks.Add(1)
+		n.cl.m.acks.Inc()
+		n.cp.OnAck(msg.Message{Kind: msg.Ack, From: m.From, To: n.id, AckSN: m.AckSeq})
+		return
+	}
+	n.cl.cnt.msgsDelivered.Add(1)
+	n.cl.m.msgsDeliv.Inc()
+	if n.cp.InBlocking() {
+		n.cl.cnt.held.Add(1)
+		n.cl.m.held.Inc()
+		n.held = append(n.held, m)
+		return
+	}
+	n.ingest(m)
+}
+
+// ingest applies one delivered message: ChanSeq duplicates are discarded and
+// re-acked (the sender clears its unacknowledged slot either way); fresh
+// messages advance the per-origin high-water (gaps from recovery flushes are
+// jumped, exactly as in gmdcd — the counters, not contiguity, carry the
+// consistency argument).
+func (n *cnode) ingest(m Msg) {
+	if m.Seq <= n.recvSeq[m.FromComp] {
+		n.cl.cnt.dups.Add(1)
+		n.cl.m.dups.Inc()
+		n.ackTo(m)
+		return
+	}
+	before := n.dirty()
+	// Type-1: capture the last non-contaminated state immediately before
+	// it reflects unvalidated influence.
+	if !n.foreignDirty() && n.contaminates(m) {
+		n.saveVolatile(checkpoint.Type1)
+	}
+	n.recvSeq[m.FromComp] = m.Seq
+	mergeVec(n.influence, m.Influence)
+	n.state.ApplyMessage(msg.Payload{Seq: m.Seq, Value: int64(m.FromComp)<<32 ^ int64(m.Seq), Corrupted: m.Corrupted})
+	n.ackTo(m)
+	n.notifyDirty(before)
+}
+
+// ackTo acknowledges one received copy back to its transmitting node.
+func (n *cnode) ackTo(m Msg) {
+	n.cl.transmitFn(Msg{
+		Ack: true, From: n.id, To: m.From,
+		FromComp: n.comp, ToComp: m.FromComp, AckSeq: m.Seq,
+	})
+}
+
+// onValidated merges a passed-AT vector delivered by the dissemination
+// layer; a lockstep shadow reclaims log entries whose own-stream positions
+// the validation covers.
+func (n *cnode) onValidated(validated map[gmdcd.ComponentID]uint64) {
+	if n.failed {
+		return
+	}
+	before := n.dirty()
+	mergeVec(n.valid, validated)
+	if n.shadow && !n.promoted {
+		kept := n.log[:0]
+		horizon := n.valid[n.comp]
+		for _, m := range n.log {
+			if m.SelfSN > horizon {
+				kept = append(kept, m)
+			}
+		}
+		n.log = kept
+	}
+	n.cl.cnt.validations.Add(1)
+	n.cl.m.validations.Inc()
+	n.notifyDirty(before)
+}
+
+// recoverLocal is the confidence-adaptive local decision: roll back iff the
+// state reflects unvalidated foreign influence.
+func (n *cnode) recoverLocal() (rolledBack bool) {
+	if !n.foreignDirty() {
+		return false
+	}
+	n.restore(n.volatileCkpt)
+	return true
+}
+
+// restore rewinds to a volatile snapshot (nil means genesis). Held
+// deliveries belong to the flushed epoch and are discarded — their sends
+// stay in the senders' unacknowledged logs, which is what keeps the
+// recovery-line evidence sound. The unacknowledged log is reconciled against
+// the restored send counters.
+func (n *cnode) restore(s *volatileSnap) {
+	if s == nil {
+		s = &volatileSnap{
+			state:     app.NewState(),
+			influence: map[gmdcd.ComponentID]uint64{},
+			valid:     map[gmdcd.ComponentID]uint64{},
+			sentSeq:   map[gmdcd.ComponentID]uint64{},
+			recvSeq:   map[gmdcd.ComponentID]uint64{},
+		}
+	}
+	n.state = s.state.Clone()
+	n.influence = cloneVec(s.influence)
+	n.valid = cloneVec(s.valid)
+	n.sentSeq = cloneVec(s.sentSeq)
+	n.recvSeq = cloneVec(s.recvSeq)
+	n.ownSN = s.ownSN
+	n.held = nil
+	n.pending = nil // deferred emissions belong to the flushed computation
+	if n.shadow {
+		kept := n.log[:0]
+		for _, m := range n.log {
+			if m.Seq <= n.sentSeq[m.ToComp] {
+				kept = append(kept, m)
+			}
+		}
+		n.log = kept
+	}
+	n.cp.AbortCycle()
+	n.cp.ReconcileUnacked(func(to msg.ProcID) uint64 {
+		return n.sentSeq[n.cl.asg.CompOf[to]]
+	})
+}
+
+// takeOver promotes the shadow: logged messages the restored state has
+// produced are re-sent without own-stream suspicion (the shadow's
+// computation is trusted); receivers deduplicate.
+func (n *cnode) takeOver() {
+	n.promoted = true
+	for _, m := range n.log {
+		if m.Seq > n.sentSeq[m.ToComp] {
+			continue
+		}
+		m.Influence = cloneVec(m.Influence)
+		delete(m.Influence, n.comp)
+		n.sendApp(m)
+	}
+	n.log = nil
+}
+
+// ---- tb.Host ----
+
+// EffectiveDirty implements tb.Host.
+func (n *cnode) EffectiveDirty() bool { return n.dirty() }
+
+// Snapshot implements tb.Host: the current state as checkpoint contents,
+// with channel counters lowered to node identities (a sender's per-component
+// counter appears under both replica nodes; a receiver's per-origin counter
+// under the origin's active node, the shared stream key).
+func (n *cnode) Snapshot(kind checkpoint.Kind) *checkpoint.Checkpoint {
+	c := checkpoint.New(kind, n.id)
+	c.TakenAt = n.cl.nowFn()
+	c.Ndc = n.cp.Ndc()
+	c.Dirty = n.dirty()
+	c.MsgSN = n.ownSN
+	c.State = n.state.Clone()
+	n.fillCounters(c, n.sentSeq, n.recvSeq, n.valid)
+	c.Unacked = n.cp.UnackedSnapshot()
+	return c
+}
+
+// LatestVolatile implements tb.Host.
+func (n *cnode) LatestVolatile() (*checkpoint.Checkpoint, bool) {
+	s := n.volatileCkpt
+	if s == nil {
+		return nil, false
+	}
+	c := checkpoint.New(s.kind, n.id)
+	c.TakenAt = n.cl.nowFn()
+	c.Ndc = n.cp.Ndc()
+	c.Dirty = false // volatile checkpoints capture clean states
+	c.MsgSN = s.ownSN
+	c.State = s.state.Clone()
+	n.fillCounters(c, s.sentSeq, s.recvSeq, s.valid)
+	if len(s.unacked) > 0 {
+		c.Unacked = make([]msg.Message, len(s.unacked))
+		copy(c.Unacked, s.unacked)
+	}
+	return c, true
+}
+
+// ReleaseHeld implements tb.Host: deliveries parked by the blocking period
+// are read now in arrival order, then deferred workload emissions run.
+func (n *cnode) ReleaseHeld() {
+	held := n.held
+	n.held = nil
+	for _, m := range held {
+		if n.failed {
+			return
+		}
+		n.ingest(m)
+	}
+	pend := n.pending
+	n.pending = nil
+	for _, fn := range pend {
+		if n.failed {
+			return
+		}
+		fn()
+	}
+}
+
+// fillCounters lowers component-keyed counters onto checkpoint node keys.
+func (n *cnode) fillCounters(c *checkpoint.Checkpoint, sent, recv, valid map[gmdcd.ComponentID]uint64) {
+	for d, seq := range sent {
+		c.SentTo[n.cl.asg.Active[d]] = seq
+		if sid, ok := n.cl.asg.Shadow[d]; ok {
+			c.SentTo[sid] = seq
+		}
+	}
+	for o, seq := range recv {
+		c.RecvFrom[n.cl.asg.Active[o]] = seq
+	}
+	for g, v := range valid {
+		c.ValidSN[n.cl.asg.Active[g]] = v
+	}
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import "github.com/synergy-ft/synergy/internal/gmdcd"
+
+// Software error recovery: the gmdcd system-wide procedure lowered onto
+// nodes, coupled to the TB layer. An acceptance-test failure at the detector
+// flushes in-flight reliable traffic (epoch bump), demotes the blamed
+// guarded actives, lets every surviving replica make its confidence-adaptive
+// local decision, and reconciles orphan receptions away. The TB coupling
+// happens inside cnode.restore: a rollback aborts any in-flight stable write
+// (a pre-recovery state must not commit) and reconciles the unacknowledged
+// log against the rewound send counters.
+
+// recoverFrom runs system-wide software recovery (simulator only — the live
+// runner's workload cannot fail an acceptance test; see Live).
+func (cl *Cluster) recoverFrom(detector *cnode) {
+	cl.cnt.recoveries.Add(1)
+	cl.m.recoveries.Inc()
+	cl.epoch++ // flush in-flight traffic from discarded states
+	cl.flushFn()
+
+	// Blame attribution (gmdcd): a guarded active failing its own test
+	// indicts exactly itself; any other detector cannot discriminate among
+	// the unvalidated guarded influences its state reflects, so all are
+	// demoted. Iterate in topology order for determinism.
+	blamed := make(map[gmdcd.ComponentID]bool)
+	if detector.guardedActive() {
+		blamed[detector.comp] = true
+	} else {
+		for g, inf := range detector.influence {
+			if inf > detector.valid[g] {
+				blamed[g] = true
+			}
+		}
+	}
+	for _, g := range cl.asg.Order {
+		if !blamed[g] {
+			continue
+		}
+		act := cl.nodes[cl.asg.Active[g]]
+		sid, hasShadow := cl.asg.Shadow[g]
+		if act == nil || !hasShadow || act.failed {
+			continue
+		}
+		sdw := cl.nodes[sid]
+		act.failed = true
+		act.cp.AbortCycle()
+		act.cp.Stop()
+		cl.cnt.takeovers.Add(1)
+		cl.m.takeovers.Inc()
+		// The shadow first makes its own local decision, then assumes
+		// the active role (takeover re-sends go out post-flush).
+		if sdw.recoverLocal() {
+			cl.cnt.rollbacks.Add(1)
+		} else {
+			cl.cnt.rollForwards.Add(1)
+		}
+		sdw.takeOver()
+	}
+	// Everyone else decides locally.
+	for _, c := range cl.asg.Order {
+		for _, n := range cl.replicasOf(c) {
+			if n.promoted {
+				continue
+			}
+			if n.recoverLocal() {
+				cl.cnt.rollbacks.Add(1)
+			} else {
+				cl.cnt.rollForwards.Add(1)
+			}
+		}
+	}
+	cl.reconcile()
+}
+
+// reconcile eliminates orphan receptions from the post-decision global
+// state (gmdcd semantics: with several guarded components, a rollback
+// baseline can predate messages a forward-rolled receiver consumed; such
+// receivers are forced back — to their own baseline or genesis — until no
+// channel reflects a reception its live sender has not produced).
+func (cl *Cluster) reconcile() {
+	for changed := true; changed; {
+		changed = false
+		for _, from := range cl.asg.Order {
+			sender := cl.liveNode(from)
+			if sender == nil {
+				continue
+			}
+			for _, to := range sender.spec.Peers {
+				for _, r := range cl.replicasOf(to) {
+					if r.recvSeq[from] <= sender.sentSeq[to] {
+						continue
+					}
+					target := r.volatileCkpt
+					if target != nil && target.recvSeq[from] > sender.sentSeq[to] {
+						target = nil // baseline still orphaned: genesis
+					}
+					r.restore(target)
+					cl.cnt.forcedRollbacks.Add(1)
+					changed = true
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/synergy-ft/synergy/internal/at"
+	"github.com/synergy-ft/synergy/internal/chaos"
+	"github.com/synergy-ft/synergy/internal/gmdcd"
+	"github.com/synergy-ft/synergy/internal/gossip"
+)
+
+// ringConfig builds an n-component ring cluster configuration (nodes =
+// comps + guarded).
+func ringConfig(comps, guarded int, seed int64, internalRate, externalRate float64) Config {
+	return Config{
+		Topology:           Ring(comps, guarded, internalRate, externalRate, at.Perfect()),
+		Seed:               seed,
+		MinDelay:           200 * time.Microsecond,
+		MaxDelay:           2 * time.Millisecond,
+		CheckpointInterval: 50 * time.Millisecond,
+	}
+}
+
+// settle stops the workload and lets acks, checkpoints and gossip drain.
+func settle(s *Sim) {
+	s.StopWorkload()
+	s.RunFor(500 * time.Millisecond)
+}
+
+func TestSimTenNodeSoak(t *testing.T) {
+	s, err := NewSim(ringConfig(7, 3, 42, 120, 60)) // 7 comps + 3 shadows = 10 nodes
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	if got := s.Nodes(); got != 10 {
+		t.Fatalf("Nodes = %d, want 10", got)
+	}
+	s.Start()
+	s.RunFor(1500 * time.Millisecond)
+	settle(s)
+
+	round, violations, _, err := s.CheckInvariants()
+	if err != nil {
+		t.Fatalf("CheckInvariants: %v", err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("round %d: %d recovery-line violations: %v", round, len(violations), violations)
+	}
+	if round == 0 {
+		t.Fatal("no common committed round")
+	}
+
+	st := s.Stats()
+	if st.MsgsSent == 0 || st.MsgsDelivered == 0 || st.AcksDelivered == 0 {
+		t.Fatalf("no traffic: %+v", st)
+	}
+	if st.ATsPassed == 0 {
+		t.Fatal("no acceptance tests ran (guarded actives are always suspect)")
+	}
+	if st.Validations == 0 {
+		t.Fatal("no passed-AT vectors disseminated")
+	}
+	if st.StableCommits == 0 {
+		t.Fatal("no stable checkpoints committed")
+	}
+	if st.Gossip.Delivered == 0 {
+		t.Fatal("gossip delivered nothing")
+	}
+	if st.Recoveries != 0 {
+		t.Fatalf("unexpected recoveries: %d", st.Recoveries)
+	}
+
+	// Shadows reclaim log entries as validations arrive: the suppressed log
+	// must stay far below the total emission count.
+	for c, sid := range s.asg.Shadow {
+		sdw := s.nodes[sid]
+		if len(sdw.log) > int(sdw.ownSN) && sdw.ownSN > 0 {
+			t.Fatalf("C%d shadow log unpruned: %d entries at ownSN %d", c, len(sdw.log), sdw.ownSN)
+		}
+		if sdw.valid[c] == 0 {
+			t.Fatalf("C%d shadow never learned a validation of its own stream", c)
+		}
+	}
+	s.Stop()
+}
+
+func TestSimDeterministicAcrossRuns(t *testing.T) {
+	run := func() Stats {
+		s, err := NewSim(ringConfig(46, 4, 7, 60, 30)) // 50 nodes
+		if err != nil {
+			t.Fatalf("NewSim: %v", err)
+		}
+		s.Start()
+		s.RunFor(time.Second)
+		settle(s)
+		st := s.Stats()
+		s.Stop()
+		return st
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different transcripts:\n  a=%+v\n  b=%+v", a, b)
+	}
+	if a.MsgsSent == 0 || a.ATsPassed == 0 {
+		t.Fatalf("degenerate run: %+v", a)
+	}
+}
+
+func TestSimCorruptionRecoveryAndTakeover(t *testing.T) {
+	s, err := NewSim(ringConfig(7, 3, 11, 120, 60))
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	s.Start()
+	s.RunFor(500 * time.Millisecond)
+	if !s.CorruptActive(1) {
+		t.Fatal("CorruptActive(1) found no live node")
+	}
+	s.RunFor(1500 * time.Millisecond)
+	settle(s)
+
+	st := s.Stats()
+	if st.Recoveries != 1 {
+		t.Fatalf("Recoveries = %d, want exactly 1 (detection, then a clean system)", st.Recoveries)
+	}
+	if st.Takeovers == 0 {
+		t.Fatal("corrupted guarded active was not demoted")
+	}
+	act := s.nodes[s.asg.Active[1]]
+	sdw := s.nodes[s.asg.Shadow[1]]
+	if !act.failed || !sdw.promoted {
+		t.Fatalf("C1 demotion state: active.failed=%v shadow.promoted=%v", act.failed, sdw.promoted)
+	}
+	if live := s.liveNode(1); live != sdw {
+		t.Fatalf("liveNode(1) = %v, want the promoted shadow", live)
+	}
+	if sdw.state.Corrupted {
+		t.Fatal("promoted shadow still corrupted after recovery")
+	}
+	for _, id := range s.asg.Nodes {
+		if n := s.nodes[id]; !n.failed && n.state.Corrupted {
+			t.Fatalf("node %d remains corrupted after recovery", id)
+		}
+	}
+
+	round, violations, _, err := s.CheckInvariants()
+	if err != nil {
+		t.Fatalf("CheckInvariants after recovery: %v", err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("round %d: violations after recovery: %v", round, violations)
+	}
+	s.Stop()
+}
+
+func TestSimHundredNodeChaosSoak(t *testing.T) {
+	cfg := ringConfig(93, 7, 1234, 40, 20) // 100 nodes
+	cfg.Chaos = chaos.Spec{
+		Seed:          5,
+		Drop:          0.01,
+		Duplicate:     0.01,
+		MaxExtraDelay: 500 * time.Microsecond,
+		Partitions: []chaos.Partition{{
+			A: 12, B: 30, Bidirectional: true,
+			Start: 300 * time.Millisecond, End: 600 * time.Millisecond,
+		}},
+	}
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	if got := s.Nodes(); got != 100 {
+		t.Fatalf("Nodes = %d, want 100", got)
+	}
+	s.Start()
+	s.RunFor(1500 * time.Millisecond)
+	settle(s)
+
+	round, violations, _, err := s.CheckInvariants()
+	if err != nil {
+		t.Fatalf("CheckInvariants: %v", err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("round %d: %d violations under chaos: %v", round, len(violations), violations)
+	}
+	st := s.Stats()
+	if st.Recoveries != 0 {
+		t.Fatalf("chaos must not trigger software recovery: %d", st.Recoveries)
+	}
+	if st.DupsDiscarded == 0 {
+		t.Fatal("duplicate chaos produced no dedup discards")
+	}
+	// The dissemination bound the gossip layer promises: per-node fan-in
+	// stays O(fanout·rounds), not O(N).
+	g := s.nodes[BaseNodeID].gsp
+	bound := float64(g.Fanout() * g.Rounds())
+	if st.MaxFanIn <= 0 || st.MaxFanIn > bound {
+		t.Fatalf("MaxFanIn = %.2f, want in (0, %.0f] (fanout=%d rounds=%d)",
+			st.MaxFanIn, bound, g.Fanout(), g.Rounds())
+	}
+	s.Stop()
+}
+
+func TestSimResyncBeaconReachesMembership(t *testing.T) {
+	s, err := NewSim(ringConfig(7, 3, 9, 120, 60))
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	s.Start()
+	s.RunFor(200 * time.Millisecond)
+	base := s.Stats().Resyncs
+	s.requestResync(s.nodes[BaseNodeID])
+	s.RunFor(500 * time.Millisecond)
+	st := s.Stats()
+	if st.ResyncBeacons == 0 {
+		t.Fatal("no beacon originated")
+	}
+	if got := st.Resyncs - base; got < uint64(s.Nodes()) {
+		t.Fatalf("resyncs after beacon = %d, want ≥ %d (whole membership)", got, s.Nodes())
+	}
+	s.Stop()
+}
+
+func TestStaleValidationDiscarded(t *testing.T) {
+	s, err := NewSim(ringConfig(4, 2, 3, 100, 50))
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	n := s.nodes[s.asg.Shadow[1]]
+	payload := encodePassedAT(0, 1, map[gmdcd.ComponentID]uint64{1: 5})
+
+	s.epoch = 3 // a recovery has flushed epoch 0
+	s.onGossipDeliver(n, gossip.Update{Kind: updPassedAT, Payload: payload})
+	if got := s.Stats().StaleValidations; got != 1 {
+		t.Fatalf("StaleValidations = %d, want 1", got)
+	}
+	if n.valid[1] != 0 {
+		t.Fatalf("stale validation applied: valid[1] = %d", n.valid[1])
+	}
+
+	s.epoch = 0 // current epoch: the same payload now applies
+	s.onGossipDeliver(n, gossip.Update{Kind: updPassedAT, Payload: payload})
+	if n.valid[1] != 5 {
+		t.Fatalf("valid[1] = %d, want 5", n.valid[1])
+	}
+	if got := s.Stats().Validations; got != 1 {
+		t.Fatalf("Validations = %d, want 1", got)
+	}
+}

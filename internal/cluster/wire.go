@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/synergy-ft/synergy/internal/gmdcd"
+)
+
+// Gossip update kinds the cluster disseminates.
+const (
+	// updPassedAT carries a passed acceptance test's validated influence
+	// vector (the generalized passed-AT broadcast).
+	updPassedAT uint8 = iota + 1
+	// updResync carries a timer-resynchronization beacon: every receiver
+	// resynchronizes its local clock on delivery.
+	updResync
+)
+
+// Passed-AT payload layout (little-endian):
+//
+//	u64 epoch | u16 origin component | u16 count | count × (u16 comp, u64 sn)
+//
+// entries sorted by component for byte-identical encodings across nodes. The
+// epoch scopes the validation: anti-entropy can redeliver a vector long
+// after a software recovery flushed the stream positions it covers, and a
+// receiver must discard those instead of resurrecting confidence in a
+// demoted stream.
+func encodePassedAT(epoch uint64, from gmdcd.ComponentID, validated map[gmdcd.ComponentID]uint64) []byte {
+	comps := make([]gmdcd.ComponentID, 0, len(validated))
+	for c := range validated {
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
+	buf := make([]byte, 0, 12+10*len(comps))
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(from))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(comps)))
+	for _, c := range comps {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(c))
+		buf = binary.LittleEndian.AppendUint64(buf, validated[c])
+	}
+	return buf
+}
+
+func decodePassedAT(b []byte) (epoch uint64, from gmdcd.ComponentID, validated map[gmdcd.ComponentID]uint64, err error) {
+	if len(b) < 12 {
+		return 0, 0, nil, fmt.Errorf("cluster: passed-AT payload truncated (%d bytes)", len(b))
+	}
+	epoch = binary.LittleEndian.Uint64(b)
+	from = gmdcd.ComponentID(binary.LittleEndian.Uint16(b[8:]))
+	count := int(binary.LittleEndian.Uint16(b[10:]))
+	if len(b) != 12+10*count {
+		return 0, 0, nil, fmt.Errorf("cluster: passed-AT payload is %d bytes, want %d", len(b), 12+10*count)
+	}
+	validated = make(map[gmdcd.ComponentID]uint64, count)
+	for i := 0; i < count; i++ {
+		off := 12 + 10*i
+		validated[gmdcd.ComponentID(binary.LittleEndian.Uint16(b[off:]))] = binary.LittleEndian.Uint64(b[off+2:])
+	}
+	return epoch, from, validated, nil
+}
+
+// Resync payload layout: u64 epoch (beacons from a flushed epoch still
+// resynchronize — clock alignment is orthogonal to stream validity — but the
+// epoch keeps the wire format uniform and diagnosable).
+func encodeResync(epoch uint64) []byte {
+	return binary.LittleEndian.AppendUint64(nil, epoch)
+}
+
+func decodeResync(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("cluster: resync payload is %d bytes, want 8", len(b))
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}

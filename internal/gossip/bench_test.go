@@ -1,0 +1,46 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkGossipDissemination measures disseminating one update to full
+// group coverage (pushes plus anti-entropy completion) at several group
+// sizes. The reported per-op cost covers every Handle/Tick in the epidemic,
+// so it scales with total transmissions — the quantity the fanout bound
+// keeps near-linear in N rather than quadratic.
+func BenchmarkGossipDissemination(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			net := newMemNet()
+			members := make([]NodeID, n)
+			for i := range members {
+				members[i] = NodeID(i)
+			}
+			delivered := 0
+			nodes := make([]*Node, n)
+			for i := range members {
+				nodes[i] = New(Config{
+					ID: members[i], Members: members, Seed: 1,
+					Transport: &memPort{net: net},
+					Deliver:   func(Update) { delivered++ },
+				})
+				net.nodes[members[i]] = nodes[i]
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				before := delivered
+				nodes[i%n].Broadcast(1, []byte{byte(i)})
+				net.drain(nil)
+				for delivered-before < n-1 {
+					for _, nd := range nodes {
+						nd.Tick()
+					}
+					net.drain(nil)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,469 @@
+// Package gossip implements the seeded, deterministic epidemic dissemination
+// layer the N-node cluster uses for its coordination traffic: passed-AT
+// vector broadcasts and TB timer-resync beacons. The protocol is classic
+// push gossip with anti-entropy repair:
+//
+//   - Broadcast assigns the update a per-origin sequence number and pushes it
+//     to Fanout uniformly chosen peers with a hop budget (TTL) of Rounds;
+//     every node that sees the update for the first time delivers it locally
+//     and re-pushes it to Fanout further peers with TTL−1. Expected per-node
+//     fan-in is Θ(fanout) copies per update — independent of N — instead of
+//     the N−1 copies of an all-to-all broadcast.
+//   - Dedup is by (origin, seq): a node delivers each update exactly once, no
+//     matter how many copies the epidemic hands it.
+//   - Anti-entropy closes the gap TTL-bounded pushes leave open (a node down
+//     or partitioned while an epidemic burns out never hears it): Tick sends
+//     a per-origin contiguous high-water digest to one random peer, which
+//     replies with the updates the digester is missing — and, when the digest
+//     shows the digester is ahead, answers with its own digest so the repair
+//     flows both ways.
+//
+// All randomness comes from a per-node seeded source and peers are kept
+// sorted, so a simulated run is exactly reproducible from its seed. The node
+// never calls the transport while holding its lock; outbound packets are
+// staged and flushed after unlock, so synchronous in-process transports
+// cannot deadlock two nodes against each other.
+package gossip
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"sort"
+	"sync"
+)
+
+// NodeID identifies a gossip group member.
+type NodeID uint16
+
+// Update kinds are opaque to the gossip layer; the cluster defines its own.
+
+// Update is one disseminated datum, identified by (Origin, Seq).
+type Update struct {
+	// Origin is the broadcasting member.
+	Origin NodeID
+	// Seq is the origin-assigned sequence number (1-based, contiguous).
+	Seq uint64
+	// Kind tags the payload for the application layer.
+	Kind uint8
+	// Payload is the opaque application datum. Receivers must not mutate it.
+	Payload []byte
+}
+
+// Packet kinds.
+const (
+	// PacketPush carries fresh updates along the epidemic.
+	PacketPush uint8 = iota + 1
+	// PacketDigest carries a per-origin contiguous high-water summary.
+	PacketDigest
+	// PacketDelta carries updates repairing a digest gap (never forwarded).
+	PacketDelta
+)
+
+// DigestEntry summarizes one origin's stream: every Seq ≤ High has been seen.
+type DigestEntry struct {
+	Origin NodeID
+	High   uint64
+}
+
+// Packet is one gossip transmission.
+type Packet struct {
+	// Kind is PacketPush, PacketDigest or PacketDelta.
+	Kind uint8
+	// From is the transmitting member (not necessarily the origin).
+	From NodeID
+	// TTL is the remaining hop budget of a push.
+	TTL uint8
+	// Updates carries the payloads of a push or delta.
+	Updates []Update
+	// Digest carries the summary of a digest, sorted by origin.
+	Digest []DigestEntry
+	// Reply marks a digest sent in answer to a digest, terminating the
+	// exchange (a reply digest elicits a delta but never another digest).
+	Reply bool
+}
+
+// Transport sends packets between members. Send must not call back into the
+// sending node synchronously from the same goroutine that holds its lock —
+// both in-tree transports deliver asynchronously (the simulator through the
+// event queue, the live runner through per-node delivery goroutines).
+type Transport interface {
+	Send(to NodeID, p Packet)
+}
+
+// Config assembles one member.
+type Config struct {
+	// ID is this member's identity.
+	ID NodeID
+	// Members lists the whole group, self included (order irrelevant).
+	Members []NodeID
+	// Fanout is the number of peers each fresh update is pushed to
+	// (default 3).
+	Fanout int
+	// Rounds is the push hop budget (TTL). 0 picks a default deep enough
+	// for the group: ceil(log2(N)) + 2.
+	Rounds int
+	// Retain bounds the per-origin updates kept for anti-entropy supply
+	// (default 4096). Gaps older than the retention horizon cannot be
+	// repaired — the cluster sizes it to cover its longest partition.
+	Retain int
+	// Seed drives peer selection; mixed with ID so members diverge.
+	Seed int64
+	// Transport carries packets.
+	Transport Transport
+	// Deliver is the exactly-once delivery callback. It runs without the
+	// node lock held and must not block for long.
+	Deliver func(Update)
+}
+
+// Stats counts protocol activity. Fan-in per delivered update is
+// UpdatesRecv/Delivered — the quantity the cluster's dissemination
+// expectation bounds by O(fanout·rounds).
+type Stats struct {
+	// Originated counts local Broadcast calls.
+	Originated uint64
+	// PacketsSent and PacketsRecv count transmissions of any kind.
+	PacketsSent, PacketsRecv uint64
+	// UpdatesRecv counts update copies received (push and delta).
+	UpdatesRecv uint64
+	// Delivered counts exactly-once deliveries (fresh updates).
+	Delivered uint64
+	// Duplicates counts update copies suppressed by dedup.
+	Duplicates uint64
+	// DigestsSent and DigestsRecv count anti-entropy digests.
+	DigestsSent, DigestsRecv uint64
+	// Repairs counts updates received via delta (anti-entropy healing).
+	Repairs uint64
+}
+
+// originState tracks one origin's stream at this member.
+type originState struct {
+	// high is the contiguous high-water: every seq ≤ high has been seen.
+	high uint64
+	// updates retains seen updates for anti-entropy supply, keyed by seq.
+	updates map[uint64]Update
+	// floor is the lowest retained seq (eviction horizon).
+	floor uint64
+}
+
+// Node is one gossip group member.
+type Node struct {
+	mu      sync.Mutex
+	id      NodeID
+	peers   []NodeID // sorted, self excluded
+	fanout  int
+	rounds  int
+	retain  int
+	rng     *rand.Rand
+	tr      Transport
+	deliver func(Update)
+
+	nextSeq uint64
+	origins map[NodeID]*originState
+	stats   Stats
+}
+
+// envelope is one staged outbound transmission.
+type envelope struct {
+	to NodeID
+	p  Packet
+}
+
+// New assembles a member. It panics on a config that cannot gossip at all
+// (no transport, not a member of its own group) — construction-time bugs,
+// not runtime conditions.
+func New(cfg Config) *Node {
+	if cfg.Transport == nil {
+		panic("gossip: nil transport")
+	}
+	peers := make([]NodeID, 0, len(cfg.Members))
+	self := false
+	for _, m := range cfg.Members {
+		if m == cfg.ID {
+			self = true
+			continue
+		}
+		peers = append(peers, m)
+	}
+	if !self {
+		panic(fmt.Sprintf("gossip: node %d not in its own member list", cfg.ID))
+	}
+	slices.Sort(peers)
+	peers = slices.Compact(peers)
+	fanout := cfg.Fanout
+	if fanout <= 0 {
+		fanout = 3
+	}
+	if fanout > len(peers) {
+		fanout = len(peers)
+	}
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = defaultRounds(len(peers) + 1)
+	}
+	retain := cfg.Retain
+	if retain <= 0 {
+		retain = 4096
+	}
+	deliver := cfg.Deliver
+	if deliver == nil {
+		deliver = func(Update) {}
+	}
+	return &Node{
+		id:      cfg.ID,
+		peers:   peers,
+		fanout:  fanout,
+		rounds:  rounds,
+		retain:  retain,
+		rng:     rand.New(rand.NewSource(mixSeed(cfg.Seed, uint64(cfg.ID)))),
+		tr:      cfg.Transport,
+		deliver: deliver,
+		origins: make(map[NodeID]*originState),
+	}
+}
+
+// defaultRounds is the hop budget that saturates a group of n members with
+// margin: ceil(log2(n)) + 2.
+func defaultRounds(n int) int {
+	r := 2
+	for s := 1; s < n; s <<= 1 {
+		r++
+	}
+	return r
+}
+
+// Rounds returns the push hop budget in effect.
+func (n *Node) Rounds() int { return n.rounds }
+
+// Fanout returns the per-hop fanout in effect.
+func (n *Node) Fanout() int { return n.fanout }
+
+// Stats returns a snapshot of the activity counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Broadcast originates one update and starts its epidemic. The origin does
+// not deliver its own update (it already acted on the datum it broadcasts).
+func (n *Node) Broadcast(kind uint8, payload []byte) Update {
+	n.mu.Lock()
+	n.nextSeq++
+	u := Update{Origin: n.id, Seq: n.nextSeq, Kind: kind, Payload: payload}
+	n.record(u)
+	n.stats.Originated++
+	out := n.pushLocked(u, n.rounds, n.id)
+	n.mu.Unlock()
+	n.flush(out)
+	return u
+}
+
+// Handle processes one received packet.
+func (n *Node) Handle(p Packet) {
+	n.mu.Lock()
+	n.stats.PacketsRecv++
+	var out []envelope
+	var delivered []Update
+	switch p.Kind {
+	case PacketPush, PacketDelta:
+		for _, u := range p.Updates {
+			n.stats.UpdatesRecv++
+			if n.seen(u.Origin, u.Seq) {
+				n.stats.Duplicates++
+				continue
+			}
+			n.record(u)
+			n.stats.Delivered++
+			if p.Kind == PacketDelta {
+				n.stats.Repairs++
+			}
+			delivered = append(delivered, u)
+			if p.Kind == PacketPush && p.TTL > 0 {
+				out = append(out, n.pushLocked(u, int(p.TTL), p.From)...)
+			}
+		}
+	case PacketDigest:
+		n.stats.DigestsRecv++
+		out = n.repairLocked(p)
+	}
+	n.mu.Unlock()
+	for _, u := range delivered {
+		n.deliver(u)
+	}
+	n.flush(out)
+}
+
+// Tick runs one anti-entropy round: a digest to one random peer.
+func (n *Node) Tick() {
+	n.mu.Lock()
+	var out []envelope
+	if len(n.peers) > 0 {
+		peer := n.peers[n.rng.Intn(len(n.peers))]
+		out = append(out, envelope{to: peer, p: Packet{
+			Kind: PacketDigest, From: n.id, Digest: n.digestLocked(),
+		}})
+		n.stats.DigestsSent++
+	}
+	n.mu.Unlock()
+	n.flush(out)
+}
+
+// pushLocked stages a push of u to fanout random peers, excluding the member
+// it arrived from. TTL is the budget the outgoing hop consumes one unit of.
+func (n *Node) pushLocked(u Update, ttl int, from NodeID) []envelope {
+	if ttl <= 0 || len(n.peers) == 0 {
+		return nil
+	}
+	perm := n.rng.Perm(len(n.peers))
+	var out []envelope
+	for _, idx := range perm {
+		if len(out) == n.fanout {
+			break
+		}
+		peer := n.peers[idx]
+		if peer == from || peer == u.Origin {
+			continue
+		}
+		out = append(out, envelope{to: peer, p: Packet{
+			Kind: PacketPush, From: n.id, TTL: uint8(ttl - 1), Updates: []Update{u},
+		}})
+	}
+	return out
+}
+
+// maxDeltaUpdates caps one delta reply; wider gaps heal across several ticks.
+const maxDeltaUpdates = 128
+
+// repairLocked answers a digest: a delta with the updates the digester is
+// missing, plus — on a non-reply digest where the digester is ahead — our own
+// digest so the missing updates flow back.
+func (n *Node) repairLocked(p Packet) []envelope {
+	var delta []Update
+	behind := false
+	for _, e := range p.Digest {
+		st := n.origins[e.Origin]
+		if st == nil {
+			if e.High > 0 {
+				behind = true
+			}
+			continue
+		}
+		if e.High > st.high {
+			behind = true
+		}
+		for seq := e.High + 1; seq <= st.high && len(delta) < maxDeltaUpdates; seq++ {
+			if u, ok := st.updates[seq]; ok {
+				delta = append(delta, u)
+			}
+		}
+	}
+	// Origins the digester has never heard of at all.
+	for _, origin := range n.sortedOrigins() {
+		if len(delta) >= maxDeltaUpdates {
+			break
+		}
+		known := false
+		for _, e := range p.Digest {
+			if e.Origin == origin {
+				known = true
+				break
+			}
+		}
+		if known {
+			continue
+		}
+		st := n.origins[origin]
+		for seq := st.floor; seq <= st.high && len(delta) < maxDeltaUpdates; seq++ {
+			if u, ok := st.updates[seq]; ok {
+				delta = append(delta, u)
+			}
+		}
+	}
+	var out []envelope
+	if len(delta) > 0 {
+		out = append(out, envelope{to: p.From, p: Packet{Kind: PacketDelta, From: n.id, Updates: delta}})
+	}
+	if behind && !p.Reply {
+		out = append(out, envelope{to: p.From, p: Packet{
+			Kind: PacketDigest, From: n.id, Digest: n.digestLocked(), Reply: true,
+		}})
+		n.stats.DigestsSent++
+	}
+	return out
+}
+
+// digestLocked summarizes every known origin, sorted for determinism.
+func (n *Node) digestLocked() []DigestEntry {
+	out := make([]DigestEntry, 0, len(n.origins)+1)
+	for _, origin := range n.sortedOrigins() {
+		out = append(out, DigestEntry{Origin: origin, High: n.origins[origin].high})
+	}
+	return out
+}
+
+func (n *Node) sortedOrigins() []NodeID {
+	ids := make([]NodeID, 0, len(n.origins))
+	for id := range n.origins {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// seen reports whether (origin, seq) has been recorded.
+func (n *Node) seen(origin NodeID, seq uint64) bool {
+	st := n.origins[origin]
+	if st == nil {
+		return false
+	}
+	if seq <= st.high {
+		return true
+	}
+	_, ok := st.updates[seq]
+	return ok
+}
+
+// record marks the update seen, retains it for anti-entropy, advances the
+// contiguous high-water, and evicts beyond the retention horizon.
+func (n *Node) record(u Update) {
+	st := n.origins[u.Origin]
+	if st == nil {
+		st = &originState{updates: make(map[uint64]Update), floor: 1}
+		n.origins[u.Origin] = st
+	}
+	st.updates[u.Seq] = u
+	for {
+		if _, ok := st.updates[st.high+1]; !ok {
+			break
+		}
+		st.high++
+	}
+	for st.high > uint64(n.retain) && st.floor <= st.high-uint64(n.retain) {
+		delete(st.updates, st.floor)
+		st.floor++
+	}
+}
+
+// flush transmits staged envelopes outside the node lock.
+func (n *Node) flush(out []envelope) {
+	if len(out) == 0 {
+		return
+	}
+	n.mu.Lock()
+	n.stats.PacketsSent += uint64(len(out))
+	n.mu.Unlock()
+	for _, e := range out {
+		n.tr.Send(e.to, e.p)
+	}
+}
+
+// mixSeed derives a stream-specific seed (splitmix64 over seed ^ salt), the
+// same construction the coordination layers use.
+func mixSeed(seed int64, salt uint64) int64 {
+	z := uint64(seed) ^ salt
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

@@ -83,23 +83,94 @@ type Line struct {
 	Ckpts map[msg.ProcID]*checkpoint.Checkpoint
 	// ActiveC1 is the live sender of the component-1 stream.
 	ActiveC1 msg.ProcID
+	// Topology, when non-nil, overrides the built-in three-process channel
+	// set with an explicit one — the N-node cluster lowers its
+	// configuration-driven topology here.
+	Topology []Channel
+	// Live, when non-nil, carries the live counter evidence the dedup-aware
+	// consistency rule consults (see Evidence).
+	Live *Evidence
 }
 
-// channel is a directed application-message flow whose counters the
+// Channel is a directed application-message flow whose counters the
 // checkpoints record.
-type channel struct {
-	sender, receiver msg.ProcID
-	// streamKey is the component key the receiver's counters use.
-	streamKey msg.ProcID
+type Channel struct {
+	// Sender and Receiver are the flow's endpoints.
+	Sender, Receiver msg.ProcID
+	// StreamKey is the component key the receiver's counters use (active
+	// and shadow embodiments of one component share a stream).
+	StreamKey msg.ProcID
 }
 
-func (l Line) channels() []channel {
-	var out []channel
+// Evidence is a quiescent snapshot of the LIVE (post-checkpoint) protocol
+// counters, sampled under the same locks as the line itself. It powers the
+// dedup-aware consistency rule: the paper's bounded-delay assumption makes
+// recovery lines consistent by construction, but a lossy link's retransmit
+// can land a passed-AT refresh (or redeliver frames in flight at a crash)
+// after the sender's blocking window, leaving the committed round with
+// counters from opposite sides of the refresh. Recovery still converges —
+// post-restore re-sends are absorbed by the receivers' per-channel ChanSeq
+// duplicate-discard — so a gap is only a real violation when the live
+// counters show the duplicate rule could NOT absorb it.
+type Evidence struct {
+	// Sent maps sender → receiver → the live per-channel send count.
+	Sent map[msg.ProcID]map[msg.ProcID]uint64
+	// Recv maps receiver → stream key → the live per-channel receive count.
+	Recv map[msg.ProcID]map[msg.ProcID]uint64
+	// Unacked maps sender → receiver → the ChanSeqs held in the sender's
+	// live unacknowledged log.
+	Unacked map[msg.ProcID]map[msg.ProcID][]uint64
+}
+
+// liveSent returns the live send counter for a channel, if evidenced.
+func (e *Evidence) liveSent(sender, receiver msg.ProcID) (uint64, bool) {
+	if e == nil {
+		return 0, false
+	}
+	v, ok := e.Sent[sender][receiver]
+	return v, ok
+}
+
+// liveRecv returns the live receive counter for a channel, if evidenced.
+func (e *Evidence) liveRecv(receiver, streamKey msg.ProcID) (uint64, bool) {
+	if e == nil {
+		return 0, false
+	}
+	v, ok := e.Recv[receiver][streamKey]
+	return v, ok
+}
+
+// liveUnackedHolds reports whether the sender's live unacknowledged log holds
+// the given ChanSeq for the receiver.
+func (e *Evidence) liveUnackedHolds(sender, receiver msg.ProcID, seq uint64) bool {
+	if e == nil {
+		return false
+	}
+	for _, s := range e.Unacked[sender][receiver] {
+		if s == seq {
+			return true
+		}
+	}
+	return false
+}
+
+func (l Line) channels() []Channel {
+	if l.Topology != nil {
+		out := make([]Channel, 0, len(l.Topology))
+		for _, ch := range l.Topology {
+			if l.Ckpts[ch.Sender] == nil || l.Ckpts[ch.Receiver] == nil {
+				continue
+			}
+			out = append(out, ch)
+		}
+		return out
+	}
+	var out []Channel
 	add := func(s, r msg.ProcID) {
 		if l.Ckpts[s] == nil || l.Ckpts[r] == nil {
 			return
 		}
-		out = append(out, channel{sender: s, receiver: r, streamKey: msg.Component(s)})
+		out = append(out, Channel{Sender: s, Receiver: r, StreamKey: msg.Component(s)})
 	}
 	// Component-1 stream: only the active embodiment transmits.
 	add(l.ActiveC1, msg.P2)
@@ -109,48 +180,88 @@ func (l Line) channels() []channel {
 	return out
 }
 
-// Check evaluates the line and returns every violation found.
+// Check evaluates the line and returns every violation found. When the line
+// carries live Evidence, gaps the ChanSeq duplicate-discard provably absorbs
+// are excluded; CheckDetailed exposes them.
 func (l Line) Check() []Violation {
-	var out []Violation
-	out = append(out, l.checkChannels()...)
-	out = append(out, l.checkContents()...)
-	return out
+	vs, _ := l.CheckDetailed()
+	return vs
+}
+
+// CheckDetailed evaluates the line and returns the real violations alongside
+// the transient gaps the dedup-aware rule absorbed (empty without Evidence).
+func (l Line) CheckDetailed() (violations, absorbed []Violation) {
+	violations, absorbed = l.checkChannels()
+	violations = append(violations, l.checkContents()...)
+	return violations, absorbed
 }
 
 // checkChannels verifies message-count consistency and unacked-log
 // recoverability per channel.
-func (l Line) checkChannels() []Violation {
-	var out []Violation
+func (l Line) checkChannels() (out, absorbed []Violation) {
 	for _, ch := range l.channels() {
-		sent := l.Ckpts[ch.sender].SentTo[ch.receiver]
-		recv := l.Ckpts[ch.receiver].RecvFrom[ch.streamKey]
+		sent := l.Ckpts[ch.Sender].SentTo[ch.Receiver]
+		recv := l.Ckpts[ch.Receiver].RecvFrom[ch.StreamKey]
 		if recv > sent {
-			out = append(out, Violation{
+			v := Violation{
 				Kind: OrphanMessage,
-				Proc: ch.receiver,
+				Proc: ch.Receiver,
 				Detail: fmt.Sprintf("reflects %d messages from %v but %v reflects only %d sent",
-					recv, ch.sender, ch.sender, sent),
-			})
+					recv, ch.Sender, ch.Sender, sent),
+			}
+			// Dedup-aware rule: the orphan is transient — not a real
+			// consistency breach — iff the live sender has actually
+			// produced every message the receiver's checkpoint
+			// reflects. Restoring this line then re-sends the gap
+			// from the sender's rewound counters, and the receiver's
+			// ChanSeq duplicate-discard absorbs the copies it already
+			// applied; nothing is fabricated and nothing double-
+			// applies. If even the live counter is behind, the
+			// receiver reflects messages that were never sent.
+			if liveSent, ok := l.Live.liveSent(ch.Sender, ch.Receiver); ok && liveSent >= recv {
+				v.Detail += fmt.Sprintf(" (absorbed: live sender already at %d, re-sends deduplicate)", liveSent)
+				absorbed = append(absorbed, v)
+				continue
+			}
+			out = append(out, v)
 			continue
 		}
 		// Every message in the gap (recv, sent] must be restorable
 		// from the sender's saved unacknowledged log.
 		stored := make(map[uint64]bool)
-		for _, m := range l.Ckpts[ch.sender].UnackedTo(ch.receiver) {
+		for _, m := range l.Ckpts[ch.Sender].UnackedTo(ch.Receiver) {
 			stored[m.ChanSeq] = true
 		}
 		for seq := recv + 1; seq <= sent; seq++ {
-			if !stored[seq] {
-				out = append(out, Violation{
-					Kind: LostMessage,
-					Proc: ch.sender,
-					Detail: fmt.Sprintf("message #%d to %v is reflected as sent, not received, and absent from the unacknowledged log",
-						seq, ch.receiver),
-				})
+			if stored[seq] {
+				continue
 			}
+			v := Violation{
+				Kind: LostMessage,
+				Proc: ch.Sender,
+				Detail: fmt.Sprintf("message #%d to %v is reflected as sent, not received, and absent from the unacknowledged log",
+					seq, ch.Receiver),
+			}
+			// Dedup-aware rule: the message is not actually lost iff
+			// the live world still holds it — the receiver has since
+			// applied it (the checkpointed counter merely predates
+			// the delivery, and a post-restore re-send deduplicates),
+			// or it still sits in the sender's live unacknowledged
+			// log (the reconnect-layer retransmit redelivers it).
+			if liveRecv, ok := l.Live.liveRecv(ch.Receiver, ch.StreamKey); ok && liveRecv >= seq {
+				v.Detail += fmt.Sprintf(" (absorbed: live receiver already at %d)", liveRecv)
+				absorbed = append(absorbed, v)
+				continue
+			}
+			if l.Live.liveUnackedHolds(ch.Sender, ch.Receiver, seq) {
+				v.Detail += " (absorbed: held in the live unacknowledged log)"
+				absorbed = append(absorbed, v)
+				continue
+			}
+			out = append(out, v)
 		}
 	}
-	return out
+	return out, absorbed
 }
 
 // checkContents verifies the stable contents capture non-contaminated

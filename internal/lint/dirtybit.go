@@ -56,6 +56,7 @@ func NewDirtyBit() *DirtyBit {
 	gmdcd := module + "/internal/gmdcd"
 	tb := module + "/internal/tb"
 	ckpt := module + "/internal/checkpoint"
+	cluster := module + "/internal/cluster"
 	return &DirtyBit{Rules: []DirtyBitRule{
 		// MDCD dirty bits: mutation only via the set* accessors (which
 		// trace the transition and fire DirtyChanged), plus the recovery
@@ -89,10 +90,12 @@ func NewDirtyBit() *DirtyBit {
 		{Pkg: tb, Type: "Checkpointer", Field: "expectDirty",
 			Writers: w(tb+".createCKPT", tb+".NotifyDirtyChanged")},
 		// The checkpoint record's Dirty flag is exported (the invariant
-		// checker reads it), but only the snapshot, content-choice and
-		// decode paths may write it.
+		// checker reads it), but only the snapshot paths (the three-process
+		// host and the cluster's tb.Host), content choice and decode may
+		// write it.
 		{Pkg: ckpt, Type: "Checkpoint", Field: "Dirty",
-			Writers: w(ckpt+".Decode", mdcd+".Snapshot", tb+".chooseContents")},
+			Writers: w(ckpt+".Decode", mdcd+".Snapshot", tb+".chooseContents",
+				cluster+".Snapshot", cluster+".LatestVolatile")},
 	}}
 }
 

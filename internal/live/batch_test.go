@@ -97,21 +97,31 @@ func TestBatchDuplicateVerdictComposesWithBatches(t *testing.T) {
 	}
 }
 
-// TestBatchStaleEpochDiscardsWholeBatch hand-builds wire batches on a raw
-// connection to the P2 listener: a batch stamped with the pre-flush epoch
-// must be discarded whole after a recovery-flush epoch bump, while a batch
-// stamped with the current epoch delivers every sub-frame. TCP ordering on
-// the single connection makes the assertion deterministic.
+// TestBatchStaleEpochDiscardsWholeBatch hand-builds wire batches and writes
+// them on the P1act↔P2 pair's established connection (its dialed end — the
+// hello has already been consumed, and with no workload started no writer
+// competes for it): a batch stamped with the pre-flush epoch must be
+// discarded whole after a recovery-flush epoch bump, while a batch stamped
+// with the current epoch delivers every sub-frame. TCP ordering on the single
+// connection makes the assertion deterministic.
 func TestBatchStaleEpochDiscardsWholeBatch(t *testing.T) {
 	mw, tn := newProbeCluster(t, nil)
-	tn.mu.Lock()
-	addr := tn.addrs[msg.P2]
-	tn.mu.Unlock()
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		t.Fatal(err)
+	p := upair(msg.P1Act, msg.P2)
+	var conn net.Conn
+	deadline := time.Now().Add(5 * time.Second)
+	for conn == nil {
+		tn.mu.Lock()
+		if link := tn.links[p]; link != nil {
+			conn = link.client
+		}
+		tn.mu.Unlock()
+		if conn == nil {
+			if time.Now().After(deadline) {
+				t.Fatal("P1act↔P2 link never established")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
 	}
-	defer conn.Close()
 
 	mkBatch := func(epoch uint64, nsub int) []byte {
 		buf := beginBatch(nil, epoch, 0)

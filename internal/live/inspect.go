@@ -62,5 +62,40 @@ func (mw *Middleware) RecoveryLine() (invariant.Line, error) {
 		}
 		line.Ckpts[id] = c
 	}
+	line.Live = mw.evidenceLocked(line.Ckpts)
 	return line, nil
+}
+
+// evidenceLocked samples the live protocol counters for the dedup-aware
+// consistency rule, for exactly the processes on the line. Caller holds every
+// node lock, so the sample is quiescent with the checkpoints it accompanies.
+func (mw *Middleware) evidenceLocked(cks map[msg.ProcID]*checkpoint.Checkpoint) *invariant.Evidence {
+	ev := &invariant.Evidence{
+		Sent:    make(map[msg.ProcID]map[msg.ProcID]uint64, len(cks)),
+		Recv:    make(map[msg.ProcID]map[msg.ProcID]uint64, len(cks)),
+		Unacked: make(map[msg.ProcID]map[msg.ProcID][]uint64, len(cks)),
+	}
+	for id := range cks {
+		n := mw.nodes[id]
+		if n == nil {
+			continue
+		}
+		sent := make(map[msg.ProcID]uint64)
+		recv := make(map[msg.ProcID]uint64)
+		unacked := make(map[msg.ProcID][]uint64)
+		for peer := range cks {
+			if peer == id {
+				continue
+			}
+			sent[peer] = n.proc.SentTo(peer)
+			recv[msg.Component(peer)] = n.proc.RecvFrom(peer)
+		}
+		for _, m := range n.cp.UnackedSnapshot() {
+			unacked[m.To] = append(unacked[m.To], m.ChanSeq)
+		}
+		ev.Sent[id] = sent
+		ev.Recv[id] = recv
+		ev.Unacked[id] = unacked
+	}
+	return ev
 }

@@ -16,10 +16,12 @@ import (
 	"github.com/synergy-ft/synergy/internal/obs"
 )
 
-// tcpNet runs the interconnect over loopback TCP: one listener per node, one
-// connection per directed process pair (TCP's byte-stream ordering then gives
-// per-channel FIFO for free), and a per-pair writer goroutine that coalesces
-// queued frames into length-prefixed batches:
+// tcpNet runs the interconnect over loopback TCP: one listener per node, ONE
+// connection per undirected node pair — TCP is full duplex, so the A→B and
+// B→A channels multiplex onto the two directions of a single socket (halving
+// the connection count, DESIGN §13) while the byte-stream ordering still
+// gives per-channel FIFO for free — and a per-directed-channel writer
+// goroutine that coalesces queued frames into length-prefixed batches:
 //
 //	batchLen | epoch | enqNanos | n | (crc32 | payload) * n
 //
@@ -48,12 +50,18 @@ import (
 // only when a recovery flush or node crash invalidates their epoch, exactly
 // the losses the TB unacknowledged logs re-cover.
 //
-// The writer survives transport faults: a failed dial or mid-write error
-// severs the connection, backs off with capped exponential delay plus jitter
-// (each writer owns its rand.Rand, seeded from (seed, pair), so backoff is
-// deterministic and race-free), and retries the same batch over a fresh
-// connection — so a node crash-restart (dropNode/rejoinNode swaps the
-// victim's listener) heals without losing still-current batches.
+// Connection lifecycle: the pair's lower-ID node is the DESIGNATED DIALER —
+// only it ever connects, so the two sides never race to establish duplicate
+// sockets. A per-pair maintainer goroutine keeps the link up (eagerly at
+// assembly, redialing with capped backoff plus jitter whenever it breaks and
+// both endpoints are up), identifying itself with a two-byte hello before any
+// batch flows. Each direction's writer owns its own end of the socket — the
+// dialer side writes the dialed end, the acceptor side writes the accepted
+// end — so neither the write nor the read path is ever shared between the
+// two directions. A mid-write error severs the link and the writer retries
+// the same batch once the maintainer has redialed — so a node crash-restart
+// (dropNode/rejoinNode swaps the victim's listener) heals without losing
+// still-current batches, in BOTH directions of every pair the victim touched.
 type tcpNet struct {
 	mw *Middleware
 
@@ -76,12 +84,16 @@ type tcpNet struct {
 	// lock-free array lookup.
 	writers [msg.Device + 1][msg.Device + 1]*writerState
 
-	mu          sync.Mutex
-	listeners   map[msg.ProcID]net.Listener
-	addrs       map[msg.ProcID]string
-	writerConns map[pair]net.Conn
-	readers     map[msg.ProcID]map[net.Conn]struct{}
-	seed        int64
+	mu        sync.Mutex
+	listeners map[msg.ProcID]net.Listener
+	addrs     map[msg.ProcID]string
+	// links holds the one shared connection per undirected pair (keyed with
+	// the lower ProcID first); kicks are the per-pair redial doorbells, built
+	// at assembly and immutable after.
+	links   map[pair]*pairLink
+	kicks   map[pair]chan struct{}
+	readers map[msg.ProcID]map[net.Conn]struct{}
+	seed    int64
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -235,6 +247,35 @@ const (
 	tcpRetransmitDelay = chaos.RetransmitDelay
 )
 
+// Link-establishment hello: the designated dialer's first bytes on a fresh
+// connection name the dialing node, pinning the socket to its undirected
+// pair before any batch flows.
+const (
+	helloMagic   = 0xA7
+	helloLen     = 2
+	helloTimeout = 2 * time.Second
+)
+
+// upair normalizes a directed channel to its undirected connection key: the
+// lower ProcID first. That node is the pair's designated dialer.
+func upair(a, b msg.ProcID) pair {
+	if a > b {
+		a, b = b, a
+	}
+	return pair{from: a, to: b}
+}
+
+// pairLink is one undirected pair's shared TCP connection, tracked as its two
+// in-process ends (both nodes live in this process, so the dialed and the
+// accepted end of the same socket are both here). The lower-ID node writes
+// its outbound batches to the dialed end and reads inbound ones from it; the
+// higher-ID node does the same with the accepted end — each end has exactly
+// one writer and one reader, so the directions never share a socket half.
+type pairLink struct {
+	client net.Conn // dialed end, owned by the pair's lower-ID node
+	server net.Conn // accepted end, owned by the higher-ID node
+}
+
 // crcTable is the Castagnoli polynomial: same detection strength as IEEE for
 // these frame sizes, with hardware CRC32 instructions on our targets — the
 // checksum runs twice per message (encode and verify), so it must be cheap.
@@ -259,7 +300,8 @@ func newTCPNet(mw *Middleware, seed int64) (*tcpNet, error) {
 		maxBytes:      cfg.BatchMaxBytes,
 		listeners:     make(map[msg.ProcID]net.Listener),
 		addrs:         make(map[msg.ProcID]string),
-		writerConns:   make(map[pair]net.Conn),
+		links:         make(map[pair]*pairLink),
+		kicks:         make(map[pair]chan struct{}),
 		readers:       make(map[msg.ProcID]map[net.Conn]struct{}),
 		seed:          seed,
 		done:          make(chan struct{}),
@@ -307,6 +349,16 @@ func newTCPNet(mw *Middleware, seed int64) (*tcpNet, error) {
 			n.writers[from][to] = ws
 			n.wg.Add(1)
 			go n.writeLoop(ch, ws)
+		}
+	}
+	procs := msg.Processes()
+	for i, a := range procs {
+		for _, b := range procs[i+1:] {
+			p := upair(a, b)
+			k := make(chan struct{}, 1)
+			n.kicks[p] = k
+			n.wg.Add(1)
+			go n.maintainLink(p, k)
 		}
 	}
 	return n, nil
@@ -425,44 +477,117 @@ func (n *tcpNet) stale(epoch uint64) bool {
 	return epoch != n.epoch.Load() || n.closed.Load()
 }
 
-// dialPeer connects to the destination's current listener and records the
-// connection so dropNode can sever it.
-func (n *tcpNet) dialPeer(ch pair) (net.Conn, error) {
-	n.mu.Lock()
-	addr, ok := n.addrs[ch.to]
-	closed := n.closed.Load()
-	n.mu.Unlock()
-	if closed {
-		return nil, fmt.Errorf("live: transport closed")
-	}
-	if !ok {
-		return nil, fmt.Errorf("live: %v is down", ch.to)
-	}
-	c, err := net.DialTimeout("tcp", addr, tcpDialTimeout)
-	if err != nil {
-		return nil, err
-	}
-	n.mu.Lock()
-	if n.closed.Load() {
+// maintainLink keeps one undirected pair's shared connection established. It
+// runs at the pair's designated dialer (the lower ProcID): whenever both
+// endpoints are up and no link exists, it dials the higher node's listener,
+// sends the identifying hello, and registers the dialed end; severed links
+// ring the kick doorbell to trigger the redial. A pair with a down endpoint
+// parks until rejoinNode kicks it — a crashed node must not regrow
+// connectivity before it rejoins.
+func (n *tcpNet) maintainLink(p pair, kick <-chan struct{}) {
+	defer n.wg.Done()
+	jrng := rand.New(rand.NewSource(mixSeed(n.seed, p, 0xC0)))
+	backoff := tcpBackoffBase
+	for {
+		n.mu.Lock()
+		addr, peerUp := n.addrs[p.to]
+		_, selfUp := n.addrs[p.from]
+		link := n.links[p]
 		n.mu.Unlock()
-		c.Close()
-		return nil, fmt.Errorf("live: transport closed")
+		if n.closed.Load() {
+			return
+		}
+		if (link != nil && link.client != nil) || !peerUp || !selfUp {
+			// Link healthy, or an endpoint is down: park until kicked.
+			backoff = tcpBackoffBase
+			select {
+			case <-kick:
+			case <-n.done:
+				return
+			}
+			continue
+		}
+		c, err := net.DialTimeout("tcp", addr, tcpDialTimeout)
+		if err == nil {
+			_ = c.SetWriteDeadline(time.Now().Add(helloTimeout))
+			_, err = c.Write([]byte{helloMagic, byte(p.from)})
+			_ = c.SetWriteDeadline(time.Time{})
+			if err != nil {
+				c.Close()
+			}
+		}
+		if err != nil {
+			n.mw.obsm.retries.Inc()
+			if !n.sleep(backoffJitter(&backoff, jrng)) {
+				return
+			}
+			continue
+		}
+		n.mu.Lock()
+		_, peerUp = n.addrs[p.to]
+		_, selfUp = n.addrs[p.from]
+		if n.closed.Load() || !peerUp || !selfUp {
+			n.mu.Unlock()
+			c.Close()
+			continue
+		}
+		link = n.links[p]
+		if link == nil {
+			link = &pairLink{}
+			n.links[p] = link
+		}
+		// The accepted end of this very dial may have registered first (both
+		// ends live in this process); a non-nil client cannot — only this
+		// goroutine sets it, and severed links are torn down whole.
+		link.client = c
+		n.addReaderLocked(p.from, c)
+		n.wg.Add(1)
+		n.mu.Unlock()
+		n.mw.obsm.connects.Inc()
+		backoff = tcpBackoffBase
+		go n.readLoop(p.from, p, c)
 	}
-	n.writerConns[ch] = c
-	n.mu.Unlock()
-	n.mw.obsm.connects.Inc()
-	return c, nil
 }
 
-// dropWriterConn severs and forgets the pair's connection (if it is still
-// the tracked one).
-func (n *tcpNet) dropWriterConn(ch pair, c net.Conn) {
+// addReaderLocked records a socket end as living at the given node, so
+// dropNode can sever everything the node terminates. Caller holds n.mu.
+func (n *tcpNet) addReaderLocked(id msg.ProcID, c net.Conn) {
+	set, ok := n.readers[id]
+	if !ok {
+		set = make(map[net.Conn]struct{})
+		n.readers[id] = set
+	}
+	set[c] = struct{}{}
+}
+
+// severLink closes a dead socket end and repairs the pair's registry: a dead
+// dialed end means the connection is gone, so the whole link is torn down and
+// the maintainer kicked to redial; a dead accepted end alone just clears that
+// half (its dialed twin's death will finish the teardown). A stale end — no
+// longer the registered one — is only closed.
+func (n *tcpNet) severLink(p pair, c net.Conn) {
 	c.Close()
+	kick := false
 	n.mu.Lock()
-	if n.writerConns[ch] == c {
-		delete(n.writerConns, ch)
+	if link := n.links[p]; link != nil {
+		switch c {
+		case link.client:
+			if link.server != nil {
+				link.server.Close()
+			}
+			delete(n.links, p)
+			kick = true
+		case link.server:
+			link.server = nil
+		}
 	}
 	n.mu.Unlock()
+	if kick {
+		select {
+		case n.kicks[p] <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // writeLoop owns one directed channel: it drains the queue in whole-slice
@@ -517,11 +642,12 @@ func (n *tcpNet) writeLoop(ch pair, ws *writerState) {
 	}
 }
 
-// chanWriter is one directed channel's connection state.
+// chanWriter is one directed channel's transmit state. It owns no connection
+// — batches go out on this direction's end of the pair's shared link, looked
+// up per transmit (the maintainer owns establishment).
 type chanWriter struct {
 	n     *tcpNet
 	ch    pair
-	conn  net.Conn
 	jrng  *rand.Rand
 	timer *time.Timer // flush-deadline timer, reused across batches
 }
@@ -655,41 +781,54 @@ accumulate:
 	return pending, i, ok
 }
 
-// transmit puts one batch on the channel, dialing lazily and retrying with
-// capped exponential backoff plus jitter through dial failures, mid-write
-// errors (the connection is severed and the batch retried whole on a fresh
-// one — the length-prefixed stream only stays in sync if a connection starts
-// clean) and chaos partition windows. The batch is abandoned once its epoch
-// goes stale; transmit reports false only when the transport shuts down.
+// transmit puts one batch on this direction's end of the pair's shared
+// connection, retrying with capped exponential backoff plus jitter while the
+// link is down (the maintainer redials; a kick nudges it awake), through
+// mid-write errors (the link is severed and the batch retried whole on a
+// fresh connection — the length-prefixed stream only stays in sync if a
+// connection starts clean) and chaos partition windows. The batch is
+// abandoned once its epoch goes stale; transmit reports false only when the
+// transport shuts down.
 func (w *chanWriter) transmit(batch []byte, epoch uint64) bool {
 	n := w.n
 	backoff := tcpBackoffBase
+	p := upair(w.ch.from, w.ch.to)
 	for {
 		if n.stale(epoch) {
 			return true
 		}
-		if inj := n.mw.inj; inj != nil && inj.Partitioned(w.ch.from, w.ch.to, time.Since(n.mw.start)) {
+		if inj := n.mw.inj; inj != nil && inj.BlockedAttempt(w.ch.from, w.ch.to, time.Since(n.mw.start)) {
 			n.mw.obsm.retries.Inc()
 			if !n.sleep(backoffJitter(&backoff, w.jrng)) {
 				return false
 			}
 			continue
 		}
-		if w.conn == nil {
-			c, err := n.dialPeer(w.ch)
-			if err != nil {
-				n.mw.obsm.retries.Inc()
-				if !n.sleep(backoffJitter(&backoff, w.jrng)) {
-					return false
-				}
-				continue
+		var c net.Conn
+		n.mu.Lock()
+		if link := n.links[p]; link != nil {
+			if w.ch.from < w.ch.to {
+				c = link.client
+			} else {
+				c = link.server
 			}
-			w.conn = c
 		}
-		_ = w.conn.SetWriteDeadline(time.Now().Add(tcpWriteTimeout))
-		if _, err := w.conn.Write(batch); err != nil {
-			n.dropWriterConn(w.ch, w.conn)
-			w.conn = nil
+		n.mu.Unlock()
+		if c == nil {
+			// Link not (re)established yet: nudge the maintainer and wait.
+			select {
+			case n.kicks[p] <- struct{}{}:
+			default:
+			}
+			n.mw.obsm.retries.Inc()
+			if !n.sleep(backoffJitter(&backoff, w.jrng)) {
+				return false
+			}
+			continue
+		}
+		_ = c.SetWriteDeadline(time.Now().Add(tcpWriteTimeout))
+		if _, err := c.Write(batch); err != nil {
+			n.severLink(p, c)
 			n.mw.obsm.retries.Inc()
 			if !n.sleep(backoffJitter(&backoff, w.jrng)) {
 				return false
@@ -725,16 +864,60 @@ func (n *tcpNet) acceptLoop(id msg.ProcID, l net.Listener) {
 			conn.Close()
 			return
 		}
-		set, ok := n.readers[id]
-		if !ok {
-			set = make(map[net.Conn]struct{})
-			n.readers[id] = set
-		}
-		set[conn] = struct{}{}
+		n.addReaderLocked(id, conn)
 		n.wg.Add(1)
 		n.mu.Unlock()
-		go n.readLoop(id, conn)
+		go n.handleConn(id, conn)
 	}
+}
+
+// handleConn completes the accept side of link establishment: the hello frame
+// names the dialer, pinning the connection to its undirected pair. The
+// accepted end is then registered as the higher node's half of the link — its
+// writers transmit on it, and this goroutine becomes its read loop.
+func (n *tcpNet) handleConn(id msg.ProcID, conn net.Conn) {
+	reject := func() {
+		conn.Close()
+		n.mu.Lock()
+		if set, ok := n.readers[id]; ok {
+			delete(set, conn)
+		}
+		n.mu.Unlock()
+		n.wg.Done()
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	var hello [helloLen]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil || hello[0] != helloMagic {
+		reject()
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	dialer := msg.ProcID(hello[1])
+	if dialer >= id {
+		// The designated dialer is always the pair's lower ProcID; anything
+		// else is a framing error.
+		reject()
+		return
+	}
+	p := upair(dialer, id)
+	n.mu.Lock()
+	if n.closed.Load() {
+		n.mu.Unlock()
+		reject()
+		return
+	}
+	link := n.links[p]
+	if link == nil {
+		link = &pairLink{}
+		n.links[p] = link
+	}
+	if link.server != nil && link.server != conn {
+		// A redial raced the stale accepted end's teardown: newest wins.
+		link.server.Close()
+	}
+	link.server = conn
+	n.mu.Unlock()
+	n.readLoop(id, p, conn) // consumes acceptLoop's wg slot
 }
 
 // readLoop consumes length-prefixed batches. The epoch is checked per batch
@@ -744,15 +927,17 @@ func (n *tcpNet) acceptLoop(id msg.ProcID, l net.Listener) {
 // sync because the length prefix already delimited the batch). Decode
 // scratch is pooled and counters are batched, so the steady-state read path
 // allocates nothing and touches no mutex.
-func (n *tcpNet) readLoop(id msg.ProcID, conn net.Conn) {
+func (n *tcpNet) readLoop(id msg.ProcID, p pair, conn net.Conn) {
 	defer n.wg.Done()
 	defer func() {
-		conn.Close()
 		n.mu.Lock()
 		if set, ok := n.readers[id]; ok {
 			delete(set, conn)
 		}
 		n.mu.Unlock()
+		// severLink closes conn and, when this was the link's dialed end,
+		// tears the link down and kicks the maintainer to redial.
+		n.severLink(p, conn)
 	}()
 	var hdr [batchLenSize]byte
 	bp := batchPool.Get().(*[]byte)
@@ -824,9 +1009,11 @@ func (n *tcpNet) readLoop(id msg.ProcID, conn net.Conn) {
 }
 
 // dropNode severs the node's connectivity, emulating its host crashing: the
-// listener closes (dials fail until rejoin), accepted reader connections
-// drop, and writer connections touching the node break so the next write
-// errors immediately instead of draining into a dead socket.
+// listener closes (dials fail until rejoin), every socket end the node
+// terminates drops, and every pair link touching the node is torn down whole
+// so the next write in either direction errors immediately instead of
+// draining into a dead socket. The pairs' maintainers park until rejoinNode
+// kicks them — the missing address gates their redial.
 func (n *tcpNet) dropNode(id msg.ProcID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -838,17 +1025,22 @@ func (n *tcpNet) dropNode(id msg.ProcID) {
 	for c := range n.readers[id] {
 		c.Close()
 	}
-	for p, c := range n.writerConns {
+	for p, link := range n.links {
 		if p.to == id || p.from == id {
-			c.Close()
-			delete(n.writerConns, p)
+			if link.client != nil {
+				link.client.Close()
+			}
+			if link.server != nil {
+				link.server.Close()
+			}
+			delete(n.links, p)
 		}
 	}
 }
 
 // rejoinNode restores connectivity for a restarted node with a fresh
-// listener; surviving writers' backoff loops find the new address on their
-// next dial.
+// listener, then kicks the maintainers of every pair the node touches so the
+// shared links re-establish without waiting for traffic.
 func (n *tcpNet) rejoinNode(id msg.ProcID) error {
 	// Listen outside the lock (a blocked listen under n.mu could stall
 	// frame delivery), then install under it, backing out on a race.
@@ -872,6 +1064,14 @@ func (n *tcpNet) rejoinNode(id msg.ProcID) error {
 	n.wg.Add(1)
 	n.mu.Unlock()
 	go n.acceptLoop(id, l)
+	for p, k := range n.kicks {
+		if p.from == id || p.to == id {
+			select {
+			case k <- struct{}{}:
+			default:
+			}
+		}
+	}
 	return nil
 }
 
@@ -911,8 +1111,13 @@ func (n *tcpNet) close() {
 			c.Close()
 		}
 	}
-	for _, c := range n.writerConns {
-		c.Close()
+	for _, link := range n.links {
+		if link.client != nil {
+			link.client.Close()
+		}
+		if link.server != nil {
+			link.server.Close()
+		}
 	}
 	n.mu.Unlock()
 	n.wg.Wait()

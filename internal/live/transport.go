@@ -14,9 +14,10 @@ const (
 	// ChannelTransport delivers through in-process timer-delayed queues
 	// (the default; fastest, no sockets).
 	ChannelTransport Transport = iota
-	// TCPTransport runs one loopback TCP listener per node and one
-	// connection per directed channel, framing messages with the binary
-	// codec — the deployment shape the GSU middleware targets.
+	// TCPTransport runs one loopback TCP listener per node and one shared
+	// full-duplex connection per undirected node pair (both directed
+	// channels multiplex onto it), framing messages with the binary codec —
+	// the deployment shape the GSU middleware targets.
 	TCPTransport
 )
 

@@ -49,6 +49,13 @@ const drainDeadline = 10 * time.Second
 // stable logs when it schedules crashes or stalls. Only the coordinated
 // scheme runs live; other schemes are simulator baselines.
 func RunLive(spec *Spec, opts LiveOptions) (*LiveResult, error) {
+	if spec.Topology.Cluster != nil {
+		r, err := RunClusterLive(spec)
+		if err != nil {
+			return nil, err
+		}
+		return &LiveResult{Report: r}, nil
+	}
 	if spec.SchemeName() != "coordinated" {
 		return nil, fmt.Errorf("scenario %s: scheme %s runs only in the simulator", spec.Name, spec.SchemeName())
 	}
@@ -182,10 +189,10 @@ func collectLive(spec *Spec, mw *live.Middleware, reg *obs.Registry, wall float6
 	o.hwFaults = m.HWFaults
 	o.swRecoveries = m.SWRecoveries
 
-	o.stableRounds = make(map[msg.ProcID]uint64)
+	o.stableRounds = make(map[string]uint64)
 	for _, id := range msg.Processes() {
 		_ = mw.Inspect(id, func(_ *mdcd.Process, cp *tb.Checkpointer) {
-			o.stableRounds[id] = cp.Ndc()
+			o.stableRounds[id.String()] = cp.Ndc()
 		})
 	}
 

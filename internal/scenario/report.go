@@ -49,6 +49,9 @@ type RunStats struct {
 	FaultsInjected  map[string]uint64 `json:"faults_injected,omitempty"`
 	ProbesSent      uint64            `json:"probes_sent,omitempty"`
 	ProbesDelivered uint64            `json:"probes_delivered,omitempty"`
+	// GossipMaxFanIn is the worst per-node dissemination fan-in of a
+	// cluster run (zero for three-process scenarios).
+	GossipMaxFanIn float64 `json:"gossip_max_fanin,omitempty"`
 	// WallSeconds is the live run's measured wall time including the
 	// probe drain (zero in the simulator, whose duration is exact).
 	WallSeconds float64 `json:"wall_seconds,omitempty"`
@@ -114,9 +117,19 @@ type outcome struct {
 	line    invariant.Line
 	lineErr error
 
-	stableRounds map[msg.ProcID]uint64
+	// stableRounds is keyed by display name (P1act…, or C1/C1s… for
+	// clusters), the key the report and the min_stable_rounds floor use.
+	stableRounds map[string]uint64
 	converged    *bool // simulator only (requires quiescence)
 	activeC1     msg.ProcID
+	// activeName overrides activeC1's rendering when the run's processes
+	// are cluster nodes rather than the fixed three.
+	activeName string
+
+	// fanin/faninBound carry a cluster run's dissemination fan-in and its
+	// fanout·rounds bound; faninKnown distinguishes "not a cluster".
+	fanin, faninBound float64
+	faninKnown        bool
 
 	hwFaults     int
 	swRecoveries int
@@ -147,6 +160,10 @@ func familyTotal(s obs.Snapshot, name string) float64 {
 
 // evaluate runs the spec's expectations over what the runner observed.
 func evaluate(spec *Spec, o *outcome) *Report {
+	activeName := o.activeName
+	if activeName == "" {
+		activeName = o.activeC1.String()
+	}
 	r := &Report{
 		Name:     spec.Name,
 		Mode:     o.mode,
@@ -158,16 +175,17 @@ func evaluate(spec *Spec, o *outcome) *Report {
 			MsgsDelivered:   o.delivered,
 			HWFaults:        o.hwFaults,
 			SWRecoveries:    o.swRecoveries,
-			ActiveC1:        o.activeC1.String(),
+			ActiveC1:        activeName,
 			ProbesSent:      o.probesSent,
 			ProbesDelivered: o.probesDelivered,
+			GossipMaxFanIn:  o.fanin,
 			WallSeconds:     o.wallSeconds,
 		},
 	}
 	if len(o.stableRounds) > 0 {
 		r.Stats.StableRounds = make(map[string]uint64, len(o.stableRounds))
-		for id, n := range o.stableRounds {
-			r.Stats.StableRounds[id.String()] = n
+		for name, n := range o.stableRounds {
+			r.Stats.StableRounds[name] = n
 		}
 	}
 	if o.chaosStats != nil {
@@ -226,11 +244,15 @@ func evaluate(spec *Spec, o *outcome) *Report {
 		}
 	}
 	if e.MinStableRounds != nil {
+		names := make([]string, 0, len(o.stableRounds))
+		for name := range o.stableRounds {
+			names = append(names, name)
+		}
+		sort.Strings(names)
 		var lagging []string
-		for _, id := range msg.Processes() {
-			n, tracked := o.stableRounds[id]
-			if tracked && n < *e.MinStableRounds {
-				lagging = append(lagging, fmt.Sprintf("%v=%d", id, n))
+		for _, name := range names {
+			if n := o.stableRounds[name]; n < *e.MinStableRounds {
+				lagging = append(lagging, fmt.Sprintf("%s=%d", name, n))
 			}
 		}
 		check("min_stable_rounds", len(lagging) == 0,
@@ -253,8 +275,8 @@ func evaluate(spec *Spec, o *outcome) *Report {
 			fmt.Sprintf("recovered %d hardware faults, want %d", o.hwFaults, *e.HWFaults))
 	}
 	if e.Active != "" {
-		check("active", o.activeC1.String() == e.Active,
-			fmt.Sprintf("component 1 active is %v, want %s", o.activeC1, e.Active))
+		check("active", activeName == e.Active,
+			fmt.Sprintf("component 1 active is %s, want %s", activeName, e.Active))
 	}
 	if len(e.FaultKinds) > 0 {
 		evaluateFaultKinds(spec, o, add, check)
@@ -289,6 +311,15 @@ func evaluate(spec *Spec, o *outcome) *Report {
 		} else {
 			check("all_probes_delivered", (o.probesDelivered == o.probesSent) == *e.AllProbesDelivered,
 				fmt.Sprintf("delivered %d of %d probes after drain", o.probesDelivered, o.probesSent))
+		}
+	}
+	if e.GossipFaninBounded != nil {
+		if !o.faninKnown {
+			add("gossip_fanin_bounded", Skip, "requires a cluster topology")
+		} else {
+			bounded := o.fanin > 0 && o.fanin <= o.faninBound
+			check("gossip_fanin_bounded", bounded == *e.GossipFaninBounded,
+				fmt.Sprintf("max per-node fan-in %.2f against fanout·rounds bound %.0f", o.fanin, o.faninBound))
 		}
 	}
 

@@ -15,6 +15,9 @@ import (
 // iteration orders make the returned report byte-identical across
 // executions, machines and worker counts.
 func RunSim(spec *Spec) (*Report, error) {
+	if spec.Topology.Cluster != nil {
+		return RunClusterSim(spec)
+	}
 	scheme, err := spec.SchemeID()
 	if err != nil {
 		return nil, err
@@ -102,10 +105,10 @@ func collectSim(spec *Spec, sys *coord.System, reg *obs.Registry) *outcome {
 	o.hwFaults = m.HWFaults
 	o.swRecoveries = m.SWRecoveries
 
-	o.stableRounds = make(map[msg.ProcID]uint64)
+	o.stableRounds = make(map[string]uint64)
 	for _, id := range msg.Processes() {
 		if cp := sys.Checkpointer(id); cp != nil {
-			o.stableRounds[id] = cp.Ndc()
+			o.stableRounds[id.String()] = cp.Ndc()
 		}
 	}
 

@@ -114,6 +114,32 @@ type Topology struct {
 	// ZeroDelay forces MinDelay = MaxDelay = 0 (pure-transport load
 	// measurement); needed because an absent max_delay means "default".
 	ZeroDelay bool `json:"zero_delay,omitempty"`
+	// Cluster switches the scenario from the fixed three-process
+	// architecture to an N-node cluster (internal/cluster): a ring of
+	// components lowered one node per replica, coordinated over the gossip
+	// dissemination layer. Chaos and expectations then name nodes "C<i>"
+	// (component i's active) and "C<i>s" (its shadow).
+	Cluster *ClusterSpec `json:"cluster,omitempty"`
+}
+
+// ClusterSpec shapes an N-node cluster scenario: a ring topology with the
+// first Guarded components under guarded operation (nodes = components +
+// guarded, since each guarded component adds a shadow).
+type ClusterSpec struct {
+	// Components is the ring size (each component sends to its successor).
+	Components int `json:"components"`
+	// Guarded is how many components run guarded with a shadow replica.
+	Guarded int `json:"guarded"`
+	// InternalRate and ExternalRate drive every component's workload in
+	// events/sec (defaults 50 and 5, the engine's component defaults).
+	InternalRate float64 `json:"internal_rate,omitempty"`
+	ExternalRate float64 `json:"external_rate,omitempty"`
+	// Fanout and GossipRounds parameterize the epidemic dissemination
+	// layer (the gossip package defaults apply when zero).
+	Fanout       int `json:"fanout,omitempty"`
+	GossipRounds int `json:"gossip_rounds,omitempty"`
+	// GossipInterval is the anti-entropy tick period (default 8·MaxDelay).
+	GossipInterval Duration `json:"gossip_interval,omitempty"`
 }
 
 // Workload drives the two application components and the optional
@@ -262,6 +288,12 @@ type Expect struct {
 	// AllProbesDelivered asserts every sent probe was delivered after the
 	// drain (live only; requires workload.probes).
 	AllProbesDelivered *bool `json:"all_probes_delivered,omitempty"`
+	// GossipFaninBounded asserts the worst per-node dissemination fan-in
+	// (update copies received / updates broadcast anywhere) stayed positive
+	// and within the epidemic's fanout·rounds bound — the O(fanout·rounds)
+	// coordination cost the cluster claims instead of O(N). Requires
+	// topology.cluster.
+	GossipFaninBounded *bool `json:"gossip_fanin_bounded,omitempty"`
 }
 
 // Count returns the number of expectations the spec asserts.
@@ -272,7 +304,7 @@ func (e Expect) Count() int {
 		e.ReplicasConverged != nil, e.SWRecoveries != nil, e.HWFaults != nil,
 		e.Active != "", len(e.FaultKinds) > 0, e.FaultCountersMatch != nil,
 		e.CheckpointsRecorded != nil, e.MaxBlocking > 0, e.MinProbeRate > 0,
-		e.AllProbesDelivered != nil,
+		e.AllProbesDelivered != nil, e.GossipFaninBounded != nil,
 	} {
 		if set {
 			n++
@@ -364,6 +396,9 @@ func (s *Spec) Validate() error {
 	if badRate(s.Topology.ClockDriftRate) {
 		return fmt.Errorf("scenario %s: bad clock drift rate %v", s.Name, s.Topology.ClockDriftRate)
 	}
+	if err := s.validateCluster(); err != nil {
+		return err
+	}
 	for name, c := range map[string]*ComponentLoad{"component1": s.Workload.Component1, "component2": s.Workload.Component2} {
 		if c == nil {
 			continue
@@ -446,12 +481,19 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("scenario %s: negative max_blocking", s.Name)
 	}
 	if s.Expect.Active != "" {
-		if _, err := parseProc(s.Expect.Active); err != nil {
+		resolve, err := s.procResolver()
+		if err != nil {
+			return err
+		}
+		if _, err := resolve(s.Expect.Active); err != nil {
 			return fmt.Errorf("scenario %s: expect.active: %w", s.Name, err)
 		}
 	}
 	if (s.Expect.MinProbeRate > 0 || s.Expect.AllProbesDelivered != nil) && s.Workload.Probes == nil {
 		return fmt.Errorf("scenario %s: probe expectations need workload.probes", s.Name)
+	}
+	if s.Expect.GossipFaninBounded != nil && s.Topology.Cluster == nil {
+		return fmt.Errorf("scenario %s: gossip_fanin_bounded needs topology.cluster", s.Name)
 	}
 	if s.Expect.Count() == 0 {
 		return fmt.Errorf("scenario %s: no expectations — a scenario must assert at least one invariant", s.Name)
@@ -518,6 +560,25 @@ func parseProc(name string) (msg.ProcID, error) {
 	return 0, fmt.Errorf("unknown process %q (want P1act, P1sdw or P2)", name)
 }
 
+// procResolver returns the proc-name resolver the spec's topology implies:
+// the fixed three-process names, or the cluster lowering's node names
+// ("C<i>", "C<i>s") when a cluster topology is declared.
+func (s *Spec) procResolver() (func(string) (msg.ProcID, error), error) {
+	if s.Topology.Cluster == nil {
+		return parseProc, nil
+	}
+	asg, err := s.clusterAssignment()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return func(name string) (msg.ProcID, error) {
+		if id, ok := asg.NodeByName(name); ok {
+			return id, nil
+		}
+		return 0, fmt.Errorf("unknown cluster node %q (want \"C<i>\" or \"C<i>s\" within the topology)", name)
+	}, nil
+}
+
 // ChaosSpec lowers the chaos grammar to the internal/chaos spec, validating
 // process names and windows.
 func (s *Spec) ChaosSpec() (chaos.Spec, error) {
@@ -528,12 +589,16 @@ func (s *Spec) ChaosSpec() (chaos.Spec, error) {
 		Corrupt:       s.Chaos.Corrupt,
 		MaxExtraDelay: s.Chaos.MaxExtraDelay.D(),
 	}
+	resolve, err := s.procResolver()
+	if err != nil {
+		return out, err
+	}
 	for _, p := range s.Chaos.Partitions {
-		a, err := parseProc(p.From)
+		a, err := resolve(p.From)
 		if err != nil {
 			return out, err
 		}
-		b, err := parseProc(p.To)
+		b, err := resolve(p.To)
 		if err != nil {
 			return out, err
 		}
@@ -543,14 +608,14 @@ func (s *Spec) ChaosSpec() (chaos.Spec, error) {
 		})
 	}
 	for _, c := range s.Chaos.Crashes {
-		v, err := parseProc(c.Victim)
+		v, err := resolve(c.Victim)
 		if err != nil {
 			return out, err
 		}
 		out.Crashes = append(out.Crashes, chaos.Crash{Victim: v, At: c.At.D(), Downtime: c.Downtime.D()})
 	}
 	for _, f := range s.Chaos.FsyncStalls {
-		v, err := parseProc(f.Victim)
+		v, err := resolve(f.Victim)
 		if err != nil {
 			return out, err
 		}
@@ -559,7 +624,7 @@ func (s *Spec) ChaosSpec() (chaos.Spec, error) {
 		})
 	}
 	for _, f := range s.Chaos.DiskFaults {
-		v, err := parseProc(f.Victim)
+		v, err := resolve(f.Victim)
 		if err != nil {
 			return out, err
 		}

@@ -32,6 +32,12 @@
 #                lands in chaos-metrics.json (uploaded by CI), and the
 #                spec's fault_counters_match expectation asserts the obs
 #                counters agree with the injector's
+#   cluster smoke  synergy-cluster runs a 10-node ring (7 components, 3
+#                guarded with shadows) under link chaos in the deterministic
+#                simulator; the membership-wide recovery line must be clean
+#                and gossip fan-in bounded by fanout·rounds. SCENARIO_FULL=1
+#                adds the 10-node live run and a 100-node simulator soak
+#                with a mid-run software fault
 #   metrics smoke  synergy-live is started with -metrics-addr 127.0.0.1:0
 #                and its /metrics endpoint scraped once: the exposition
 #                must be non-empty and well-typed
@@ -134,6 +140,27 @@ fi
 
 echo "==> chaos soak smoke (replays specs/030-chaos-soak.json live)"
 go run ./cmd/synergy-chaos -spec specs/030-chaos-soak.json -metrics-out chaos-metrics.json > /dev/null
+
+# The cluster smoke soaks the N-node layer (gmdcd topology × time-based
+# checkpointing × gossip dissemination, DESIGN.md §16): a 10-node ring under
+# lossy/duplicating/jittery links must end with a clean membership-wide
+# recovery line and per-node gossip fan-in within the fanout·rounds bound.
+# Locally the deterministic simulator keeps the stage instant; CI
+# (SCENARIO_FULL=1) adds the real-goroutine 10-node live run and a 100-node
+# simulator soak on top (the full scenario matrix above already exercises
+# the committed cluster specs 140/150/160 in the same configuration).
+echo "==> cluster smoke (10-node sim ring under chaos)"
+go build -o "$tmp/synergy-cluster" ./cmd/synergy-cluster
+"$tmp/synergy-cluster" -components 7 -guarded 3 -duration 700ms \
+    -drop 0.02 -duplicate 0.02 -max-extra-delay 1ms > /dev/null
+if [[ -n "${SCENARIO_FULL:-}" ]]; then
+    echo "==> cluster soak (10-node live + 100-node sim)"
+    "$tmp/synergy-cluster" -mode live -components 7 -guarded 3 -duration 900ms \
+        -drop 0.02 -duplicate 0.02 -max-extra-delay 1ms > /dev/null
+    "$tmp/synergy-cluster" -components 93 -guarded 7 -duration 800ms \
+        -internal-rate 20 -drop 0.01 -duplicate 0.01 -max-extra-delay 500us \
+        -corrupt-at 500ms > /dev/null
+fi
 
 echo "==> metrics smoke (synergy-live serves /metrics; one scrape must be non-empty)"
 go build -o "$tmp/synergy-live" ./cmd/synergy-live
